@@ -1,0 +1,68 @@
+"""E10 — empirical validation coverage of the paper's equivalences.
+
+Every lemma instance (Lemma 3.1, Lemma 3.2, the driver congruences) and a
+randomized sample of reverse-axis paths is checked for input/output
+equivalence over a pool of randomized documents, counting the number of
+(document, context node) checks performed.  This is the benchmark companion
+of the property-based test suite: it reports how much evidence backs the
+"rewriting preserves the selected nodes" claim and how long a full
+validation sweep takes.
+"""
+
+from repro.bench.reporting import Table
+from repro.rewrite import rare
+from repro.rewrite.lemmas import all_equivalences
+from repro.semantics.equivalence import paths_equivalent_on
+from repro.workloads.queries import random_reverse_path
+from repro.xmlmodel.generator import RandomDocumentPool
+from repro.xpath.parser import parse_xpath
+
+POOL = RandomDocumentPool(seeds=range(4), max_depth=3, max_children=3)
+RANDOM_PATHS = [random_reverse_path(seed) for seed in range(12)]
+
+
+def _validate_lemmas(documents):
+    checks, failures = 0, 0
+    for equivalence in all_equivalences():
+        if equivalence.requires_single_document_element:
+            continue
+        outcome = paths_equivalent_on(equivalence.left, equivalence.right, documents)
+        checks += outcome.checks
+        failures += 0 if outcome.equivalent else 1
+    return checks, failures
+
+
+def _validate_rewritings(documents):
+    checks, failures = 0, 0
+    for expression in RANDOM_PATHS:
+        original = parse_xpath(expression)
+        for ruleset in ("ruleset1", "ruleset2"):
+            rewritten = rare(original, ruleset=ruleset).result
+            outcome = paths_equivalent_on(original, rewritten, documents)
+            checks += outcome.checks
+            failures += 0 if outcome.equivalent else 1
+    return checks, failures
+
+
+def test_equivalence_validation_sweep(benchmark, report):
+    documents = POOL.documents()
+
+    def sweep():
+        return _validate_lemmas(documents), _validate_rewritings(documents)
+
+    (lemma_checks, lemma_failures), (rewrite_checks, rewrite_failures) = benchmark(sweep)
+
+    assert lemma_failures == 0
+    assert rewrite_failures == 0
+
+    table = Table(
+        "Empirical validation of the paper's equivalences (experiment E10)",
+        ["what", "equivalences", "context checks", "failures"],
+    )
+    lemma_count = sum(1 for eq in all_equivalences()
+                      if not eq.requires_single_document_element)
+    table.add_row("Lemma 3.1/3.2 + driver congruences", lemma_count,
+                  lemma_checks, lemma_failures)
+    table.add_row("rare rewritings (both rule sets)", 2 * len(RANDOM_PATHS),
+                  rewrite_checks, rewrite_failures)
+    report(table.render())

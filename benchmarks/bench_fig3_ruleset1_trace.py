@@ -1,0 +1,33 @@
+"""E4 — Figure 3: the step-by-step ``rare`` run with RuleSet1.
+
+Query: ``/descendant::name/preceding::title[ancestor::journal]`` — "all
+titles that appear before a name and are inside journals".  The benchmark
+times the traced run and reprints the trace in the format of Figure 3; the
+rule sequence (Rule (2), then Rule (1)) and the final output are asserted to
+match the paper.
+"""
+
+from repro.rewrite import rare
+
+QUERY = "/descendant::name/preceding::title[ancestor::journal]"
+PAPER_OUTPUT = (
+    "/descendant::title"
+    "[/descendant::journal/descendant::node() == self::node()]"
+    "[following::name == /descendant::name]")
+
+
+def test_figure3_ruleset1_trace(benchmark, report):
+    result = benchmark(lambda: rare(QUERY, ruleset="ruleset1", collect_trace=True))
+
+    assert str(result) == PAPER_OUTPUT
+    assert result.trace.rules_applied() == ["Rule (2a)", "Rule (1)"]
+
+    lines = ["Figure 3 — example run of rare with RuleSet1",
+             f"input: {QUERY}"]
+    lines.extend(f"Step {index}: {entry.describe()}"
+                 for index, entry in enumerate(result.trace.entries, start=1))
+    lines.append(f"paper output  : {PAPER_OUTPUT}")
+    lines.append(f"our output    : {result}")
+    lines.append(f"rule sequence : {', '.join(result.trace.rules_applied())} "
+                 "(paper: Rule (2), Rule (1))")
+    report("\n".join(lines))

@@ -1,0 +1,47 @@
+"""E2/E3 — the worked examples of the paper (Examples 3.1, 3.2, 3.3).
+
+Regenerates, for every location path the paper discusses, the rewriting under
+both rule sets together with the size/join metrics, and checks the outputs
+the paper prints verbatim.  The timing measures a complete ``rare`` run per
+query (both rule sets).
+"""
+
+from repro.bench.reporting import Table
+from repro.rewrite import rare
+from repro.workloads.queries import PAPER_QUERIES
+from repro.xpath import analysis
+from repro.xpath.parser import parse_xpath
+from repro.xpath.serializer import to_string
+
+
+def _rewrite_all():
+    return {
+        (query.label, ruleset): rare(query.xpath, ruleset=ruleset)
+        for query in PAPER_QUERIES
+        for ruleset in ("ruleset1", "ruleset2")
+    }
+
+
+def test_paper_examples_rewriting(benchmark, report):
+    results = benchmark(_rewrite_all)
+
+    table = Table(
+        "Examples 3.1-3.3 and Figure 3/4 query: rewriting under both rule sets",
+        ["query", "rule set", "output", "len", "joins"],
+    )
+    for query in PAPER_QUERIES:
+        original = parse_xpath(query.xpath)
+        for ruleset in ("ruleset1", "ruleset2"):
+            result = results[(query.label, ruleset)]
+            assert analysis.count_reverse_steps(result.result) == 0
+            expected = (query.expected_ruleset1 if ruleset == "ruleset1"
+                        else query.expected_ruleset2)
+            if expected is not None:
+                assert to_string(result.result) == expected
+            table.add_row(query.label, result.ruleset, to_string(result.result),
+                          analysis.path_length(result.result),
+                          analysis.count_joins(result.result))
+        table.add_row(query.label, "input", query.xpath,
+                      analysis.path_length(original),
+                      analysis.count_joins(original))
+    report(table.render())

@@ -1,0 +1,66 @@
+"""E8 — the Section 4 "Comparison" paragraph: RuleSet1 vs RuleSet2 in practice.
+
+The paper argues that although RuleSet2 is exponential in the worst case,
+practical location paths have fewer than ten steps, where its join-free
+output is usually preferable to RuleSet1's join-carrying output.  This
+benchmark rewrites a mix of practical paths (the paper's queries plus random
+reverse paths of length ≤ 8) with both rule sets and reports output length,
+join count and union terms side by side, including where the size crossover
+between the two rule sets falls.
+"""
+
+from repro.bench.reporting import Table
+from repro.rewrite import rare
+from repro.workloads.queries import (
+    PAPER_QUERIES,
+    following_reverse_chain,
+    mixed_reverse_path,
+    random_reverse_path,
+)
+from repro.xpath import analysis
+from repro.xpath.parser import parse_xpath
+
+
+def _practical_queries():
+    queries = [(query.label, query.xpath) for query in PAPER_QUERIES]
+    queries += [(f"mixed-{size}", mixed_reverse_path(size)) for size in (3, 4, 5, 6)]
+    queries += [(f"random-{seed}", random_reverse_path(seed)) for seed in range(6)]
+    queries += [(f"interaction-{size}", following_reverse_chain(size))
+                for size in (1, 2, 3)]
+    return queries
+
+
+def _rewrite_everything(queries):
+    return {
+        (label, ruleset): rare(xpath, ruleset=ruleset, max_applications=200_000)
+        for label, xpath in queries
+        for ruleset in ("ruleset1", "ruleset2")
+    }
+
+
+def test_ruleset_comparison(benchmark, report):
+    queries = _practical_queries()
+    results = benchmark(lambda: _rewrite_everything(queries))
+
+    table = Table(
+        "Section 4 comparison — RuleSet1 (joins) vs RuleSet2 (unions) on practical paths",
+        ["query", "input len", "rs1 len", "rs1 joins", "rs2 len", "rs2 terms",
+         "smaller"],
+    )
+    crossover = 0
+    for label, xpath in queries:
+        original = parse_xpath(xpath)
+        rs1 = results[(label, "ruleset1")]
+        rs2 = results[(label, "ruleset2")]
+        rs1_length = analysis.path_length(rs1.result)
+        rs2_length = analysis.path_length(rs2.result)
+        assert analysis.count_joins(rs2.result) == 0
+        winner = "RuleSet2" if rs2_length <= rs1_length else "RuleSet1"
+        if winner == "RuleSet1":
+            crossover += 1
+        table.add_row(label, analysis.path_length(original), rs1_length,
+                      analysis.count_joins(rs1.result), rs2_length,
+                      analysis.union_term_count(rs2.result), winner)
+    table.add_row("summary", "-", "-", "-", "-", "-",
+                  f"RuleSet1 smaller on {crossover}/{len(queries)} queries")
+    report(table.render())

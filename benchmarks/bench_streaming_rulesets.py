@@ -1,0 +1,55 @@
+"""E9 (continued) — streaming cost of RuleSet1 output vs RuleSet2 output.
+
+Section 4 notes that RuleSet1's rewriting carries one node-identity join per
+removed reverse step and that such paths "might remain expensive to
+evaluate", while RuleSet2's join-free output is "simpler, hence more
+convenient to evaluate".  This benchmark makes that concrete: the same
+queries, rewritten with both rule sets, are streamed over the same document
+and the buffering each rewriting requires is compared.
+"""
+
+import pytest
+
+from repro.bench.reporting import Table
+from repro.rewrite import remove_reverse_axes
+from repro.streaming import stream_evaluate
+from repro.workloads.documents import streaming_documents
+from repro.xmlmodel.builder import document_events
+
+QUERIES = {
+    "names-before-price": "/descendant::price/preceding::name",
+    "editors-of-journals": "/descendant::editor[parent::journal]",
+    "titles-before-names": "/descendant::name/preceding::title[ancestor::journal]",
+}
+DOCUMENT = streaming_documents()[1]  # catalogue-medium
+
+
+@pytest.mark.parametrize("label", sorted(QUERIES))
+def test_streaming_cost_of_rulesets(benchmark, report, label):
+    query = QUERIES[label]
+    document = DOCUMENT.build()
+    events = list(document_events(document))
+    ruleset1_path = remove_reverse_axes(query, ruleset="ruleset1")
+    ruleset2_path = remove_reverse_axes(query, ruleset="ruleset2")
+
+    ruleset2_result = benchmark(lambda: stream_evaluate(ruleset2_path, events))
+    ruleset1_result = stream_evaluate(ruleset1_path, events)
+
+    assert ruleset1_result.node_ids == ruleset2_result.node_ids
+
+    table = Table(
+        f"Streaming cost of the two rewritings — {label} on {DOCUMENT.name}",
+        ["rewriting", "results", "candidates buffered", "max live expectations",
+         "memory units"],
+    )
+    table.add_row("RuleSet1 (joins)", len(ruleset1_result.node_ids),
+                  ruleset1_result.stats.candidates_buffered,
+                  ruleset1_result.stats.max_live_expectations,
+                  ruleset1_result.stats.memory_units)
+    table.add_row("RuleSet2 (join-free)", len(ruleset2_result.node_ids),
+                  ruleset2_result.stats.candidates_buffered,
+                  ruleset2_result.stats.max_live_expectations,
+                  ruleset2_result.stats.memory_units)
+    assert (ruleset2_result.stats.memory_units
+            <= ruleset1_result.stats.memory_units)
+    report(table.render())

@@ -1,0 +1,53 @@
+"""E6 — Theorem 4.1: RuleSet1 rewriting is linear in the input length.
+
+Workload: chains of reverse steps of growing length (``/descendant::t0/
+parent::t1/ancestor::t2/...``).  For each length the output length (number
+of location steps), the number of joins and the number of rule applications
+are reported; a least-squares fit confirms the linear shape (r² ≈ 1) and the
+timing series is produced by pytest-benchmark.
+"""
+
+import pytest
+
+from repro.bench.reporting import Table, linear_fit
+from repro.rewrite import rare
+from repro.workloads.queries import ancestor_chain, parent_chain, preceding_chain
+from repro.xpath import analysis
+
+LENGTHS = (1, 2, 4, 6, 8, 10, 12)
+FAMILIES = {
+    "parent": parent_chain,
+    "ancestor": ancestor_chain,
+    "preceding": preceding_chain,
+}
+
+
+def _sweep(factory):
+    return [rare(factory(length), ruleset="ruleset1") for length in LENGTHS]
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_theorem41_linear_output(benchmark, report, family):
+    factory = FAMILIES[family]
+    results = benchmark(lambda: _sweep(factory))
+
+    table = Table(
+        f"Theorem 4.1 — RuleSet1 on {family}-chains (output size is linear)",
+        ["reverse steps", "input len", "output len", "joins", "rule applications"],
+    )
+    xs, ys = [], []
+    for length, result in zip(LENGTHS, results):
+        input_length = analysis.path_length(result.input)
+        output_length = analysis.path_length(result.result)
+        table.add_row(length, input_length, output_length,
+                      analysis.count_joins(result.result), result.applications)
+        xs.append(input_length)
+        ys.append(output_length)
+        assert result.applications == length
+        assert analysis.count_joins(result.result) == length
+
+    slope, intercept, r_squared = linear_fit(xs, ys)
+    table.add_row("fit", f"slope={slope:.2f}", f"intercept={intercept:.2f}",
+                  f"r2={r_squared:.4f}", "linear" if r_squared > 0.99 else "NOT linear")
+    assert r_squared > 0.99, "Theorem 4.1 predicts a linear output size"
+    report(table.render())

@@ -1,0 +1,75 @@
+"""E7 — Theorem 4.2: RuleSet2 is exponential in the worst case, linear in the best.
+
+Worst-case workload: chains of ``following``/reverse interactions — each
+interaction multiplies the number of union terms (result type 3 in the proof
+of Theorem 4.2).  Best-case workload: the same reverse-step chains as
+experiment E6, where every rule application removes a reverse step outright.
+
+The report shows, for growing interaction counts, the number of union terms
+and total output length under RuleSet2 next to RuleSet1's linear output, and
+the successive growth ratios demonstrating the super-linear shape.
+"""
+
+import pytest
+
+from repro.bench.reporting import Table, growth_ratios
+from repro.rewrite import rare
+from repro.workloads.queries import following_reverse_chain, parent_chain
+from repro.xpath import analysis
+
+WORST_CASE_LENGTHS = (1, 2, 3, 4, 5)
+BEST_CASE_LENGTHS = (1, 2, 4, 6, 8)
+
+
+def _worst_case_sweep():
+    return [rare(following_reverse_chain(length), ruleset="ruleset2",
+                 max_applications=200_000)
+            for length in WORST_CASE_LENGTHS]
+
+
+def test_theorem42_worst_case_growth(benchmark, report):
+    results = benchmark(_worst_case_sweep)
+
+    table = Table(
+        "Theorem 4.2 — RuleSet2 on following/preceding interaction chains (worst case)",
+        ["interactions", "input len", "union terms", "output len", "rule applications"],
+    )
+    sizes = []
+    for length, result in zip(WORST_CASE_LENGTHS, results):
+        terms = analysis.union_term_count(result.result)
+        output_length = analysis.path_length(result.result)
+        sizes.append(output_length)
+        table.add_row(length, analysis.path_length(result.input), terms,
+                      output_length, result.applications)
+        assert analysis.count_joins(result.result) == 0
+        assert analysis.count_reverse_steps(result.result) == 0
+
+    ratios = growth_ratios(sizes)
+    table.add_row("growth ratios", "-", "-",
+                  " ".join(f"{ratio:.2f}" for ratio in ratios), "-")
+    # Super-linear growth: the ratio between successive sizes does not shrink
+    # towards 1 the way a linear (constant-increment) series would.
+    assert ratios[-1] > 1.5, "Theorem 4.2 predicts super-linear growth"
+    assert sizes[-1] > 10 * sizes[0]
+    report(table.render())
+
+
+def test_theorem42_best_case_is_linear(benchmark, report):
+    results = benchmark(lambda: [rare(parent_chain(length), ruleset="ruleset2")
+                                 for length in BEST_CASE_LENGTHS])
+
+    table = Table(
+        "Theorem 4.2 — RuleSet2 on parent-chains (best case: linear)",
+        ["reverse steps", "output len", "union terms", "rule applications"],
+    )
+    increments = []
+    previous = None
+    for length, result in zip(BEST_CASE_LENGTHS, results):
+        output_length = analysis.path_length(result.result)
+        table.add_row(length, output_length,
+                      analysis.union_term_count(result.result), result.applications)
+        if previous is not None:
+            increments.append(output_length - previous)
+        previous = output_length
+    assert analysis.union_term_count(results[-1].result) == 1
+    report(table.render())

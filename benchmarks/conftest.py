@@ -1,0 +1,43 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark regenerates one of the paper's artifacts (a worked example, a
+figure trace, a complexity curve, a comparison table).  Timings are handled
+by pytest-benchmark; the *tables and series themselves* are collected through
+the ``report`` fixture and printed in the terminal summary, so that
+
+    pytest benchmarks/ --benchmark-only | tee bench_output.txt
+
+captures both the timings and the reproduced artifacts (EXPERIMENTS.md is
+written from exactly that output).
+"""
+
+import os
+import sys
+
+import pytest
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+_REPORTS = []
+
+
+@pytest.fixture
+def report():
+    """Register a rendered table/series for the end-of-run summary."""
+
+    def _add(text: str) -> None:
+        _REPORTS.append(text)
+
+    return _add
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _REPORTS:
+        return
+    terminalreporter.section("reproduced paper artifacts")
+    for text in _REPORTS:
+        terminalreporter.write_line("")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

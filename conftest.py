@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make the in-tree package importable without installation.
+
+The project is normally installed with ``pip install -e .`` (or
+``python setup.py develop`` in offline environments without the ``wheel``
+package); this shim additionally lets ``pytest`` and the benchmark suite run
+straight from a source checkout.
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(__file__), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Rewrite explorer: show the rare trace for any XPath expression.
+
+A small command-line companion for studying the rewriting itself: give it a
+location path (abbreviated or unabbreviated XPath) and it prints, for both
+rule sets, the step-by-step trace in the style of Figures 3 and 4, the size
+and join metrics, and — optionally — the simplified form.
+
+Run with, for example::
+
+    python examples/rewrite_explorer.py "//price/preceding::name"
+    python examples/rewrite_explorer.py "/descendant::a/following::b/parent::c"
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import parse_xpath, rare, simplify, to_string  # noqa: E402
+from repro.xpath import analysis  # noqa: E402
+
+DEFAULT_QUERY = "/descendant::name/preceding::title[ancestor::journal]"
+
+
+def explore(expression: str) -> None:
+    path = parse_xpath(expression)
+    print(f"input: {to_string(path)}")
+    print(f"  length={analysis.path_length(path)} "
+          f"reverse steps={analysis.count_reverse_steps(path)} "
+          f"joins={analysis.count_joins(path)}")
+    print()
+    for ruleset in ("ruleset1", "ruleset2"):
+        result = rare(path, ruleset=ruleset, collect_trace=True)
+        print(result.trace.describe())
+        print(f"  output length={analysis.path_length(result.result)} "
+              f"joins={analysis.count_joins(result.result)} "
+              f"union terms={analysis.union_term_count(result.result)} "
+              f"rule applications={result.applications}")
+        simplified = simplify(result.result)
+        if simplified != result.result:
+            print(f"  simplified: {to_string(simplified)}")
+        print()
+
+
+def main() -> None:
+    expression = sys.argv[1] if len(sys.argv) > 1 else DEFAULT_QUERY
+    explore(expression)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+Kept alongside ``pyproject.toml`` so that editable installs work in offline
+environments that lack the ``wheel`` package (``pip install -e .`` then falls
+back to the legacy ``setup.py develop`` code path).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'XPath: Looking Forward' (EDBT 2002): "
+        "reverse-axis removal for streaming XPath"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+)

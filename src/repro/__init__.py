@@ -1,0 +1,117 @@
+"""repro — a reproduction of "XPath: Looking Forward" (EDBT 2002).
+
+The package implements the paper's reverse-axis-removal rewriting (RuleSet1,
+RuleSet2 and the ``rare`` algorithm) together with every substrate it needs:
+an XML data model and SAX-like event streams, the xPath language front end,
+the reference denotational semantics, a streaming evaluator for
+reverse-axis-free paths, baselines, workloads and benchmarks.
+
+Typical use::
+
+    from repro import parse_xpath, remove_reverse_axes, to_string
+
+    path = parse_xpath("/descendant::price/preceding::name")
+    forward_only = remove_reverse_axes(path, ruleset="ruleset2")
+    print(to_string(forward_only))
+    # /descendant::name[following::price]
+
+and, to evaluate the rewritten query progressively over a stream::
+
+    from repro import journal_document, document_events, stream_evaluate
+
+    document = journal_document(journals=1000)
+    result = stream_evaluate(forward_only, document_events(document))
+    print(len(result), result.stats.memory_units)
+"""
+
+from repro.datasets import FIGURE1_XML, figure1_document, two_journal_document
+from repro.errors import (
+    EvaluationError,
+    ReproError,
+    ReverseAxisStreamingError,
+    RewriteError,
+    RewriteLimitExceeded,
+    RRJoinError,
+    UnsupportedPathError,
+    XMLSyntaxError,
+    XPathSyntaxError,
+)
+from repro.semantics import evaluate, paths_equivalent_on
+from repro.xmlmodel import (
+    Document,
+    build_document,
+    document_events,
+    element,
+    iter_events,
+    journal_document,
+    parse_xml,
+    text,
+    to_xml,
+)
+from repro.xpath import parse_xpath, to_string
+from repro.rewrite import (
+    RareResult,
+    RewriteTrace,
+    RuleSet1,
+    RuleSet2,
+    rare,
+    remove_reverse_axes,
+    simplify,
+)
+from repro.streaming import (
+    StreamResult,
+    StreamStats,
+    buffered_evaluate,
+    dom_evaluate,
+    stream_evaluate,
+    stream_matches,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # language front end
+    "parse_xpath",
+    "to_string",
+    # rewriting
+    "rare",
+    "remove_reverse_axes",
+    "simplify",
+    "RareResult",
+    "RewriteTrace",
+    "RuleSet1",
+    "RuleSet2",
+    # data model
+    "Document",
+    "parse_xml",
+    "iter_events",
+    "build_document",
+    "document_events",
+    "element",
+    "text",
+    "to_xml",
+    "journal_document",
+    "figure1_document",
+    "two_journal_document",
+    "FIGURE1_XML",
+    # evaluation
+    "evaluate",
+    "paths_equivalent_on",
+    "stream_evaluate",
+    "stream_matches",
+    "dom_evaluate",
+    "buffered_evaluate",
+    "StreamResult",
+    "StreamStats",
+    # errors
+    "ReproError",
+    "XMLSyntaxError",
+    "XPathSyntaxError",
+    "EvaluationError",
+    "RewriteError",
+    "UnsupportedPathError",
+    "RRJoinError",
+    "RewriteLimitExceeded",
+    "ReverseAxisStreamingError",
+    "__version__",
+]

@@ -1,0 +1,5 @@
+"""Benchmark harness helpers (System S13)."""
+
+from repro.bench.reporting import Table, format_table, linear_fit, growth_ratios
+
+__all__ = ["Table", "format_table", "linear_fit", "growth_ratios"]

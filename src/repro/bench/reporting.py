@@ -1,0 +1,87 @@
+"""Reporting helpers shared by the benchmark modules.
+
+The paper reports no absolute measurements, so what the benchmarks print are
+small tables (rewrite sizes, join counts, memory units, time series) and the
+derived *shape* indicators the theorems predict: a linear fit for RuleSet1's
+output size (Theorem 4.1) and successive growth ratios for RuleSet2's
+worst case (Theorem 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass
+class Table:
+    """A tiny plain-text table used by benchmark reports and EXPERIMENTS.md."""
+
+    title: str
+    columns: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+
+    def add_row(self, *values) -> None:
+        if len(values) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} values, got {len(values)}")
+        self.rows.append(values)
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows)
+
+
+def format_table(title: str, columns: Sequence[str],
+                 rows: Iterable[Sequence]) -> str:
+    """Render rows as an aligned plain-text table."""
+    rows = [[str(value) for value in row] for row in rows]
+    headers = [str(column) for column in columns]
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines = [title, "-" * len(title)]
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rows:
+        lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
+    return "\n".join(lines)
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:
+    """Least-squares fit ``y = a*x + b``; returns ``(a, b, r_squared)``.
+
+    Used to check Theorem 4.1: RuleSet1's output length against input length
+    should fit a line almost perfectly (r² ≈ 1).
+    """
+    n = len(xs)
+    if n < 2 or len(ys) != n:
+        raise ValueError("need at least two points")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    if sxx == 0:
+        raise ValueError("degenerate x values")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys))
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r_squared = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return slope, intercept, r_squared
+
+
+def growth_ratios(values: Sequence[float]) -> List[float]:
+    """Successive ratios ``values[i+1] / values[i]``.
+
+    Used to check Theorem 4.2: for the ``following``/reverse interaction
+    chains the ratios stay above 1 and do not die down, the signature of
+    super-linear (in the worst case exponential) growth.
+    """
+    ratios: List[float] = []
+    for previous, current in zip(values, values[1:]):
+        if previous == 0:
+            ratios.append(float("inf"))
+        else:
+            ratios.append(current / previous)
+    return ratios

@@ -1,0 +1,83 @@
+"""Canned documents used throughout the paper, tests and examples.
+
+The most important one is :func:`figure1_document`, the journal document of
+Figure 1, on which all worked examples of the paper (Examples 3.1-3.3 and the
+Figure 3/4 traces) are defined.
+"""
+
+from __future__ import annotations
+
+from repro.xmlmodel.document import Document, element, text
+
+FIGURE1_XML = """\
+<journal>
+  <title>databases</title>
+  <editor>anna</editor>
+  <authors>
+    <name>anna</name>
+    <name>bob</name>
+  </authors>
+  <price />
+</journal>
+"""
+
+
+def figure1_document() -> Document:
+    """The document of Figure 1 of the paper.
+
+    ::
+
+        root
+         └─ journal
+             ├─ title   ─ "databases"
+             ├─ editor  ─ "anna"
+             ├─ authors ─ name ─ "anna"
+             │            name ─ "bob"
+             └─ price
+    """
+    return Document.from_tree(
+        element(
+            "journal",
+            element("title", text("databases")),
+            element("editor", text("anna")),
+            element(
+                "authors",
+                element("name", text("anna")),
+                element("name", text("bob")),
+            ),
+            element("price"),
+        )
+    )
+
+
+def two_journal_document() -> Document:
+    """A two-journal catalogue used by tests for queries spanning journals.
+
+    The second journal has no title, which matters for Example 3.1's variant
+    query ("only prices inside a journal with a title").
+    """
+    return Document.from_tree(
+        element(
+            "catalogue",
+            element(
+                "journal",
+                element("title", text("databases")),
+                element("editor", text("anna")),
+                element(
+                    "authors",
+                    element("name", text("anna")),
+                    element("name", text("bob")),
+                ),
+                element("price"),
+            ),
+            element(
+                "journal",
+                element("editor", text("carla")),
+                element(
+                    "authors",
+                    element("name", text("dan")),
+                ),
+                element("price"),
+            ),
+        )
+    )

@@ -1,0 +1,117 @@
+"""Small AST construction helpers shared by the rewrite rules.
+
+The rule implementations in :mod:`repro.rewrite.ruleset1` and
+:mod:`repro.rewrite.ruleset2` read much closer to the paper when the
+right-hand sides can be written with compact constructors; this module
+provides them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.xpath.ast import (
+    Comparison,
+    LocationPath,
+    NodeTest,
+    PathExpr,
+    PathQualifier,
+    Qualifier,
+    Step,
+    Union,
+    union_of,
+)
+from repro.xpath.axes import Axis
+
+
+def step(axis: Axis, node_test: NodeTest, *qualifiers: Qualifier) -> Step:
+    """Build a step from an axis, a node test and qualifiers."""
+    return Step(axis=axis, node_test=node_test, qualifiers=tuple(qualifiers))
+
+
+def rel(*steps: Step) -> LocationPath:
+    """A relative location path."""
+    return LocationPath(absolute=False, steps=tuple(steps))
+
+
+def absolute(*steps: Step) -> LocationPath:
+    """An absolute location path (``/`` when no steps are given)."""
+    return LocationPath(absolute=True, steps=tuple(steps))
+
+
+def exists(*steps: Step) -> PathQualifier:
+    """Qualifier asserting that the relative path built from ``steps`` is non-empty."""
+    return PathQualifier(path=rel(*steps))
+
+
+def exists_path(path: PathExpr) -> PathQualifier:
+    """Qualifier asserting that ``path`` selects at least one node."""
+    return PathQualifier(path=path)
+
+
+def identity_join(left: PathExpr, right: PathExpr) -> Comparison:
+    """The node-identity join ``left == right`` used by RuleSet1."""
+    return Comparison(left=left, op="==", right=right)
+
+
+def self_node() -> Step:
+    """The step ``self::node()``."""
+    return Step(axis=Axis.SELF, node_test=NodeTest.node())
+
+
+def node_wildcard() -> NodeTest:
+    """The ``*`` node test."""
+    return NodeTest.any_element()
+
+
+def spine(path: LocationPath, steps: Sequence[Step]) -> LocationPath:
+    """A path with the same absoluteness as ``path`` but the given steps."""
+    return LocationPath(absolute=path.absolute, steps=tuple(steps))
+
+
+def replace_qualifier(step_obj: Step, qual_index: int,
+                      replacements: Iterable[Qualifier]) -> Step:
+    """Return ``step_obj`` with the qualifier at ``qual_index`` replaced.
+
+    ``replacements`` may contain zero, one or several qualifiers; they are
+    spliced in at the position of the replaced qualifier, preserving the
+    order of the remaining ones.
+    """
+    quals = list(step_obj.qualifiers)
+    quals[qual_index:qual_index + 1] = list(replacements)
+    return step_obj.with_qualifiers(quals)
+
+
+def replace_step(path: LocationPath, index: int,
+                 replacements: Iterable[Step]) -> LocationPath:
+    """Return ``path`` with the step at ``index`` replaced by ``replacements``."""
+    steps = list(path.steps)
+    steps[index:index + 1] = list(replacements)
+    return path.with_steps(steps)
+
+
+def with_appended_qualifier(steps: Sequence[Step], qualifier: Qualifier) -> Tuple[Step, ...]:
+    """Append ``qualifier`` to the last step of ``steps`` (which must be non-empty)."""
+    steps = list(steps)
+    steps[-1] = steps[-1].add_qualifiers(qualifier)
+    return tuple(steps)
+
+
+def assemble(absolute_flag: bool, *parts: Sequence[Step]) -> LocationPath:
+    """Concatenate step sequences into one location path."""
+    steps: List[Step] = []
+    for part in parts:
+        steps.extend(part)
+    return LocationPath(absolute=absolute_flag, steps=tuple(steps))
+
+
+def assemble_union(absolute_flag: bool, variants: Iterable[Sequence[Step]],
+                   rest: Sequence[Step] = ()) -> PathExpr:
+    """Build ``variant1/rest | variant2/rest | ...`` as a path expression.
+
+    Unions are always distributed over the trailing ``rest`` so that the
+    spine of every location path stays union-free (the invariant assumed by
+    ``union-flattening`` in the ``rare`` algorithm).
+    """
+    members = [assemble(absolute_flag, variant, rest) for variant in variants]
+    return union_of(*members)

@@ -1,0 +1,146 @@
+"""Errata of the published rule set, with machine-checkable counterexamples.
+
+While reproducing Propositions 3.2–3.5 we found four equivalences whose
+right-hand side, as printed in the EDBT 2002 paper, is not equivalent to the
+left-hand side.  Our implementation (see :mod:`repro.rewrite.ruleset2`) uses
+corrected right-hand sides; this module records the *literal* printed forms
+together with small documents on which they disagree with the left-hand
+side, so the deviation is documented and verifiable (``tests/test_errata.py``).
+
+The four errata:
+
+``Rule (30)``
+    printed: ``p/self::n[preceding-sibling::m] ≡ p[self::n]/following-sibling::m``.
+    The right-hand side selects sibling nodes, the left-hand side selects the
+    context node itself.  Corrected to the push-left form
+    ``p[preceding-sibling::m]/self::n``.
+
+``Rule (32)``
+    the third union term is typographically garbled
+    (``p/ancestor-or-self::/following-sibling::n``); reconstructed as
+    ``p/ancestor-or-self::m/following-sibling::n`` by analogy with Rule (27).
+
+``Rules (33)/(38)``
+    printed second term anchors the branch point at ``child::*`` of the
+    context node, missing ``preceding`` nodes whose branch point lies deeper
+    in the context's subtree.  Corrected to ``descendant::*``.
+
+``Rules (37)/(42)``
+    the printed union misses ``preceding`` nodes that are ancestors of the
+    context node; the terms ``p/ancestor::m[following::n]`` (37) and
+    ``p/ancestor::m/following::n`` (42) are added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.xmlmodel.document import Document, element, text
+from repro.xpath.ast import PathExpr
+from repro.xpath.parser import parse_xpath
+
+
+@dataclass(frozen=True)
+class Erratum:
+    """A printed equivalence that fails, with a witness document."""
+
+    rule: str
+    description: str
+    left: PathExpr             # the original (reverse-axis) path
+    printed_right: PathExpr    # the right-hand side as printed in the paper
+    corrected_right: PathExpr  # the right-hand side our implementation uses
+    witness: Document          # document on which printed_right differs from left
+
+
+def _doc_deep_preceding() -> Document:
+    """Witness for Rules (33)/(38): the preceding node shares a non-root branch point."""
+    return Document.from_tree(
+        element("r", element("c", element("m"), element("n")))
+    )
+
+
+def _doc_ancestor_preceding() -> Document:
+    """Witness for Rules (37)/(42): the preceding node is an ancestor of the context."""
+    return Document.from_tree(
+        element("r", element("m", element("x")), element("n"))
+    )
+
+
+def _doc_siblings() -> Document:
+    """Witness for Rule (30): the context has both preceding and following siblings."""
+    return Document.from_tree(
+        element("r", element("m"), element("n"), element("m"))
+    )
+
+
+def paper_errata() -> List[Erratum]:
+    """The four errata, each with the literal printed right-hand side."""
+    return [
+        Erratum(
+            rule="Rule (30)",
+            description="printed right-hand side selects siblings instead of the context node",
+            left=parse_xpath("/descendant::*/self::n[preceding-sibling::m]"),
+            printed_right=parse_xpath("/descendant::*[self::n]/following-sibling::m"),
+            corrected_right=parse_xpath("/descendant::*[preceding-sibling::m]/self::n"),
+            witness=_doc_siblings(),
+        ),
+        Erratum(
+            rule="Rule (33)",
+            description="child::* branch point misses deeper preceding matches",
+            left=parse_xpath("/child::r/descendant::n/preceding::m"),
+            printed_right=parse_xpath(
+                "/child::r[descendant::n]/preceding::m"
+                " | /child::r/child::*[following-sibling::*/descendant-or-self::n]"
+                "/descendant-or-self::m"),
+            corrected_right=parse_xpath(
+                "/child::r[descendant::n]/preceding::m"
+                " | /child::r/descendant::*[following-sibling::*/descendant-or-self::n]"
+                "/descendant-or-self::m"),
+            witness=_doc_deep_preceding(),
+        ),
+        Erratum(
+            rule="Rule (38)",
+            description="child::* branch point misses deeper preceding matches (qualifier form)",
+            left=parse_xpath("/child::r/descendant::n[preceding::m]"),
+            printed_right=parse_xpath(
+                "/child::r[preceding::m]/descendant::n"
+                " | /child::r/child::*[descendant-or-self::m]"
+                "/following-sibling::*/descendant-or-self::n"),
+            corrected_right=parse_xpath(
+                "/child::r[preceding::m]/descendant::n"
+                " | /child::r/descendant::*[descendant-or-self::m]"
+                "/following-sibling::*/descendant-or-self::n"),
+            witness=_doc_deep_preceding(),
+        ),
+        Erratum(
+            rule="Rule (37)",
+            description="missing term for preceding nodes that are ancestors of the context",
+            left=parse_xpath("/descendant::x/following::n/preceding::m"),
+            printed_right=parse_xpath(
+                "/descendant::x[following::n]/preceding::m"
+                " | /descendant::x/following::m[following::n]"
+                " | /descendant::x[following::n]/descendant-or-self::m"),
+            corrected_right=parse_xpath(
+                "/descendant::x[following::n]/preceding::m"
+                " | /descendant::x/following::m[following::n]"
+                " | /descendant::x[following::n]/descendant-or-self::m"
+                " | /descendant::x/ancestor::m[following::n]"),
+            witness=_doc_ancestor_preceding(),
+        ),
+        Erratum(
+            rule="Rule (42)",
+            description="missing term for preceding nodes that are ancestors of the context (qualifier form)",
+            left=parse_xpath("/descendant::x/following::n[preceding::m]"),
+            printed_right=parse_xpath(
+                "/descendant::x[preceding::m]/following::n"
+                " | /descendant::x/following::m/following::n"
+                " | /descendant::x[descendant-or-self::m]/following::n"),
+            corrected_right=parse_xpath(
+                "/descendant::x[preceding::m]/following::n"
+                " | /descendant::x/following::m/following::n"
+                " | /descendant::x[descendant-or-self::m]/following::n"
+                " | /descendant::x/ancestor::m/following::n"),
+            witness=_doc_ancestor_preceding(),
+        ),
+    ]

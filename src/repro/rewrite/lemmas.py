@@ -1,0 +1,218 @@
+"""The equivalences of Lemma 3.1 and Lemma 3.2 as testable data.
+
+The rewriting driver applies these lemmas *on demand* (see
+:mod:`repro.rewrite.rewriter`); this module exposes each lemma as an explicit
+pair of equivalent expressions so the property-based test suite can validate
+every one of them empirically on randomized documents, and so that the
+documentation can point to a single place listing them.
+
+Lemma 3.2's second bullet (``/child::m/a::n`` collapses for ``a`` in
+{ancestor, preceding}) additionally assumes that the document root has a
+single element child — true for well-formed XML documents but not for every
+tree the permissive test model can build — so those equivalences are kept
+here for completeness and tested on single-rooted documents, while the
+algorithm itself relies only on the generally valid cases.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+from repro.rewrite.builders import rel, self_node, step
+from repro.xpath.ast import (
+    AndExpr,
+    Bottom,
+    Comparison,
+    LocationPath,
+    NodeTest,
+    PathExpr,
+    PathQualifier,
+    Step,
+    Union,
+    union_of,
+)
+from repro.xpath.axes import Axis
+from repro.xpath.parser import parse_xpath
+
+
+@dataclass(frozen=True)
+class Equivalence:
+    """A named pair of equivalent path expressions."""
+
+    name: str
+    left: PathExpr
+    right: PathExpr
+    requires_single_document_element: bool = False
+
+
+def _p(expression: str) -> PathExpr:
+    return parse_xpath(expression)
+
+
+def lemma_3_1_equivalences() -> List[Equivalence]:
+    """Concrete instances of Lemma 3.1 (1)–(8) used by the test suite.
+
+    The lemma statements are schematic (they hold for all paths p, p1, p2 and
+    qualifiers q); the instances below choose small representative paths over
+    the test tag alphabet {a, b, c, d} so that random documents exercise both
+    the "selected" and "not selected" outcomes.
+    """
+    instances: List[Equivalence] = []
+
+    # (1) Right step adjunction: if p1 ≡ p2 then p1/p ≡ p2/p.
+    instances.append(Equivalence(
+        "Lemma 3.1.1 (right step adjunction)",
+        _p("/descendant-or-self::a/child::b"),
+        _p("/descendant::a/child::b | /self::a/child::b"),
+    ))
+    # (2) Left step adjunction: if p1 ≡ p2 (relative) then p/p1 ≡ p/p2.
+    instances.append(Equivalence(
+        "Lemma 3.1.2 (left step adjunction)",
+        _p("/child::a/descendant-or-self::b"),
+        _p("/child::a/descendant::b | /child::a/self::b"),
+    ))
+    # (3) Qualifier adjunction.
+    instances.append(Equivalence(
+        "Lemma 3.1.3 (qualifier adjunction)",
+        _p("/descendant::a[descendant-or-self::b][child::c]"),
+        _p("/descendant::a[descendant::b or self::b][child::c]"),
+    ))
+    # (4) Relative/absolute conversion.
+    instances.append(Equivalence(
+        "Lemma 3.1.4 (relative/absolute conversion)",
+        _p("/descendant-or-self::a"),
+        _p("/descendant::a | /self::a"),
+    ))
+    # (5) Qualifier flattening: p[p1/p2] ≡ p[p1[p2]].
+    instances.append(Equivalence(
+        "Lemma 3.1.5 (qualifier flattening)",
+        _p("/descendant::a[child::b/child::c]"),
+        _p("/descendant::a[child::b[child::c]]"),
+    ))
+    # (6) ancestor-or-self decomposition.
+    instances.append(Equivalence(
+        "Lemma 3.1.6 (ancestor-or-self decomposition)",
+        _p("/descendant::a/ancestor-or-self::b"),
+        _p("/descendant::a/ancestor::b | /descendant::a/self::b"),
+    ))
+    # (7) descendant-or-self decomposition.
+    instances.append(Equivalence(
+        "Lemma 3.1.7 (descendant-or-self decomposition)",
+        _p("/child::a/descendant-or-self::b"),
+        _p("/child::a/descendant::b | /child::a/self::b"),
+    ))
+    # (8) Qualifiers with joins: p[p1 θ /p2] ≡ p[p1[self::node() θ /p2]].
+    instances.append(Equivalence(
+        "Lemma 3.1.8 (qualifiers with joins, ==)",
+        _p("/descendant::a[child::b == /descendant::c/child::b]"),
+        _p("/descendant::a[child::b[self::node() == /descendant::c/child::b]]"),
+    ))
+    instances.append(Equivalence(
+        "Lemma 3.1.8 (qualifiers with joins, =)",
+        _p("/descendant::a[child::b = /descendant::c]"),
+        _p("/descendant::a[child::b[self::node() = /descendant::c]]"),
+    ))
+    return instances
+
+
+def lemma_3_2_equivalences() -> List[Equivalence]:
+    """Concrete instances of Lemma 3.2 (root simplifications)."""
+    instances: List[Equivalence] = []
+    for axis in ("parent", "ancestor", "preceding", "preceding-sibling",
+                 "following", "following-sibling"):
+        for test in ("a", "*", "node()"):
+            instances.append(Equivalence(
+                f"Lemma 3.2 (/{axis}::{test} ≡ ⊥)",
+                _p(f"/{axis}::{test}"),
+                Bottom(),
+            ))
+    instances.append(Equivalence(
+        "Lemma 3.2 (/self::node() ≡ /)",
+        _p("/self::node()"),
+        _p("/"),
+    ))
+    instances.append(Equivalence(
+        "Lemma 3.2 (/self::a ≡ ⊥)",
+        _p("/self::a"),
+        Bottom(),
+    ))
+    # Second bullet: /child::m/a::n forms; they additionally assume a single
+    # document element (standard XML), see the module docstring.
+    instances.append(Equivalence(
+        "Lemma 3.2 (/child::a/ancestor::node())",
+        _p("/child::a/ancestor::node()"),
+        _p("/self::node()[child::a]"),
+    ))
+    instances.append(Equivalence(
+        "Lemma 3.2 (/child::a/ancestor::b ≡ ⊥)",
+        _p("/child::a/ancestor::b"),
+        Bottom(),
+    ))
+    instances.append(Equivalence(
+        "Lemma 3.2 (/child::a/preceding::node() ≡ ⊥)",
+        _p("/child::a/preceding::node()"),
+        Bottom(),
+        requires_single_document_element=True,
+    ))
+    instances.append(Equivalence(
+        "Lemma 3.2 (/child::a[ancestor::node()])",
+        _p("/child::a[ancestor::node()]"),
+        _p("/child::a"),
+    ))
+    instances.append(Equivalence(
+        "Lemma 3.2 (/child::a[preceding::b] ≡ ⊥)",
+        _p("/child::a[preceding::b]"),
+        Bottom(),
+        requires_single_document_element=True,
+    ))
+    return instances
+
+
+def driver_lemma_equivalences() -> List[Equivalence]:
+    """Congruences applied by the driver that the short paper leaves implicit.
+
+    These are the "complex qualifier" lemmas referenced in Section 3 but only
+    spelled out in the full version: splitting ``and``/``or`` qualifiers,
+    turning union qualifiers into disjunctions, hoisting self-headed
+    qualifier paths, and distributing joins over union operands.
+    """
+    instances: List[Equivalence] = []
+    instances.append(Equivalence(
+        "and-split: p[q1 and q2] ≡ p[q1][q2]",
+        _p("/descendant::a[child::b and child::c]"),
+        _p("/descendant::a[child::b][child::c]"),
+    ))
+    instances.append(Equivalence(
+        "or-split: p/F::n[q1 or q2] ≡ p/F::n[q1] | p/F::n[q2]",
+        _p("/descendant::a/child::b[child::c or child::d]"),
+        _p("/descendant::a/child::b[child::c] | /descendant::a/child::b[child::d]"),
+    ))
+    instances.append(Equivalence(
+        "union qualifier: p[u1 | u2] ≡ p[u1 or u2]",
+        _p("/descendant::a[child::b | descendant::c]"),
+        _p("/descendant::a[child::b or descendant::c]"),
+    ))
+    instances.append(Equivalence(
+        "self-headed qualifier hoisting: p[self::b[q]/r] ≡ p[self::b][q][r]",
+        _p("/descendant::a[self::a[child::b]/descendant::c]"),
+        _p("/descendant::a[self::a][child::b][descendant::c]"),
+    ))
+    instances.append(Equivalence(
+        "join distributed over a union operand",
+        _p("/descendant::a[(child::b | child::c) == /descendant::b]"),
+        _p("/descendant::a[child::b == /descendant::b or child::c == /descendant::b]"),
+    ))
+    instances.append(Equivalence(
+        "self push-left: p/self::n[q] ≡ p[q]/self::n",
+        _p("/descendant::a/self::a[child::b]"),
+        _p("/descendant::a[child::b]/self::a"),
+    ))
+    return instances
+
+
+def all_equivalences() -> List[Equivalence]:
+    """Every lemma instance exposed by this module."""
+    return (lemma_3_1_equivalences()
+            + lemma_3_2_equivalences()
+            + driver_lemma_equivalences())

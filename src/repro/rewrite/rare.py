@@ -1,0 +1,237 @@
+"""The ``rare`` algorithm (reverse axis removal) of Figure 2.
+
+``rare`` takes an absolute location path whose qualifiers contain no RR
+joins, repeatedly applies one rewriting rule to the first reverse location
+step of the current union term (delegating to RuleSet1 or RuleSet2), keeps
+the resulting union terms on a stack, and assembles the reverse-axis-free
+result.  The structure follows Figure 2 of the paper:
+
+1. ``apply-lemmas`` — in this implementation the lemmas of Section 3.1/3.2
+   are applied *on demand* by the driver (see :mod:`repro.rewrite.rewriter`),
+   so the explicit call reduces to a no-op pre-pass;
+2. ``union-flattening`` — the top-level union terms are pushed on a stack;
+3. the inner loop rewrites one union term until it has no reverse steps,
+   pushing any new union terms produced by a rule application;
+4. terms are accumulated into the output union.
+
+Every intermediate state is recorded in a :class:`RewriteTrace`, which is how
+the worked examples of Figures 3 and 4 are reproduced verbatim by
+``benchmarks/bench_fig3_ruleset1_trace.py`` and
+``benchmarks/bench_fig4_ruleset2_trace.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Union as TypingUnion
+
+from repro.errors import RewriteLimitExceeded, RRJoinError, UnsupportedPathError
+from repro.rewrite.rewriter import apply_once
+from repro.rewrite.rules import RuleApplication, RuleSetBase
+from repro.rewrite.ruleset1 import RuleSet1
+from repro.rewrite.ruleset2 import RuleSet2
+from repro.rewrite.unionflatten import union_terms
+from repro.xpath import analysis
+from repro.xpath.ast import Bottom, PathExpr, union_of
+from repro.xpath.parser import parse_xpath
+from repro.xpath.serializer import to_string
+
+#: Default safety budget for rule applications.  RuleSet2 is worst-case
+#: exponential (Theorem 4.2); practical paths stay far below this bound.
+DEFAULT_MAX_APPLICATIONS = 20_000
+
+_RULESETS = {
+    "ruleset1": RuleSet1,
+    "ruleset2": RuleSet2,
+}
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One step of a ``rare`` run, mirroring the rows of Figures 3 and 4."""
+
+    action: str          # "pop", "match", "push", "emit", "input", "output"
+    rule: str = ""       # rule or lemma label for "match" entries
+    detail: str = ""     # the path (or term) after the action, rendered as text
+    note: str = ""
+
+    def describe(self) -> str:
+        """Render the entry the way the paper's figures narrate a run."""
+        if self.action == "match":
+            suffix = f"  {{{self.rule}}}" if self.rule else ""
+            return f"U ← match(U) = {self.detail}{suffix}"
+        if self.action == "pop":
+            return f"U ← pop(S) = {self.detail}"
+        if self.action == "push":
+            return f"push({self.detail}, S)"
+        if self.action == "emit":
+            return f"p′ ← p′ | {self.detail}"
+        if self.action == "input":
+            return f"input: {self.detail}"
+        if self.action == "output":
+            return f"output: {self.detail}"
+        return f"{self.action}: {self.detail}"
+
+
+@dataclass
+class RewriteTrace:
+    """The full trace of a ``rare`` run."""
+
+    ruleset: str
+    entries: List[TraceEntry] = field(default_factory=list)
+
+    def add(self, action: str, rule: str = "", detail: str = "", note: str = "") -> None:
+        self.entries.append(TraceEntry(action=action, rule=rule, detail=detail, note=note))
+
+    def rules_applied(self) -> List[str]:
+        """The sequence of rule labels applied during the run."""
+        return [entry.rule for entry in self.entries if entry.action == "match"]
+
+    def describe(self) -> str:
+        """Multi-line rendering of the whole run (Figures 3/4 style)."""
+        lines = [f"rare run with {self.ruleset}"]
+        for index, entry in enumerate(self.entries):
+            lines.append(f"  Step {index}: {entry.describe()}")
+        return "\n".join(lines)
+
+
+@dataclass
+class RareResult:
+    """Result of running ``rare`` on a location path."""
+
+    input: PathExpr
+    result: PathExpr
+    ruleset: str
+    applications: int
+    elapsed_seconds: float
+    trace: Optional[RewriteTrace] = None
+
+    @property
+    def input_length(self) -> int:
+        """Length (number of steps) of the input path."""
+        return analysis.path_length(self.input)
+
+    @property
+    def output_length(self) -> int:
+        """Length (number of steps) of the rewritten path."""
+        return analysis.path_length(self.result)
+
+    @property
+    def output_joins(self) -> int:
+        """Number of joins in the rewritten path."""
+        return analysis.count_joins(self.result)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return to_string(self.result)
+
+
+def resolve_ruleset(ruleset: TypingUnion[str, RuleSetBase]) -> RuleSetBase:
+    """Accept a rule-set instance or one of the names ``ruleset1``/``ruleset2``."""
+    if isinstance(ruleset, RuleSetBase):
+        return ruleset
+    try:
+        return _RULESETS[ruleset.lower()]()
+    except KeyError:
+        raise UnsupportedPathError(
+            f"unknown rule set {ruleset!r}; expected 'ruleset1' or 'ruleset2'"
+        ) from None
+
+
+def rare(path: TypingUnion[str, PathExpr],
+         ruleset: TypingUnion[str, RuleSetBase] = "ruleset2",
+         collect_trace: bool = False,
+         max_applications: int = DEFAULT_MAX_APPLICATIONS) -> RareResult:
+    """Run the ``rare`` algorithm on ``path``.
+
+    Parameters
+    ----------
+    path:
+        The input location path — an AST or an xPath string.  It must be
+        absolute and its qualifiers must not contain RR joins
+    ruleset:
+        ``"ruleset1"``, ``"ruleset2"`` or a :class:`RuleSetBase` instance.
+    collect_trace:
+        Record a :class:`RewriteTrace` of every rule application (used to
+        reproduce Figures 3 and 4).
+    max_applications:
+        Safety budget; exceeded only by adversarial inputs far beyond the
+        "less than ten steps" paths the paper considers practical.
+
+    Raises
+    ------
+    UnsupportedPathError
+        If the path is relative.
+    RRJoinError
+        If a qualifier contains an RR join (Definition 4.2).
+    RewriteLimitExceeded
+        If the rule-application budget is exhausted.
+    """
+    if isinstance(path, str):
+        path = parse_xpath(path)
+    ruleset_obj = resolve_ruleset(ruleset)
+
+    ok, reason = analysis.is_rare_input(path)
+    if not ok:
+        if "RR join" in (reason or ""):
+            raise RRJoinError(reason)
+        raise UnsupportedPathError(reason or "path outside the input class of rare")
+
+    trace = RewriteTrace(ruleset=ruleset_obj.name) if collect_trace else None
+    if trace is not None:
+        trace.add("input", detail=to_string(path))
+
+    start = time.perf_counter()
+    applications = 0
+
+    stack: List[PathExpr] = list(reversed(union_terms(path)))
+    finished: List[PathExpr] = []
+
+    while stack:
+        term = stack.pop()
+        if trace is not None:
+            trace.add("pop", detail=to_string(term))
+        while analysis.has_reverse_steps(term):
+            if applications >= max_applications:
+                raise RewriteLimitExceeded(
+                    f"exceeded {max_applications} rule applications while "
+                    f"rewriting with {ruleset_obj.name}")
+            application: Optional[RuleApplication] = apply_once(term, ruleset_obj)
+            if application is None:  # pragma: no cover - defensive
+                break
+            applications += 1
+            terms = union_terms(application.result)
+            if not terms:
+                term = Bottom()
+                if trace is not None:
+                    trace.add("match", rule=application.rule, detail="⊥",
+                              note=application.note)
+                break
+            term = terms[0]
+            for extra in reversed(terms[1:]):
+                stack.append(extra)
+                if trace is not None:
+                    trace.add("push", detail=to_string(extra))
+            if trace is not None:
+                trace.add("match", rule=application.rule, detail=to_string(term),
+                          note=application.note)
+        if not isinstance(term, Bottom):
+            finished.append(term)
+            if trace is not None:
+                trace.add("emit", detail=to_string(term))
+
+    result = union_of(*finished) if finished else Bottom()
+    elapsed = time.perf_counter() - start
+    if trace is not None:
+        trace.add("output", detail=to_string(result))
+
+    return RareResult(input=path, result=result, ruleset=ruleset_obj.name,
+                      applications=applications, elapsed_seconds=elapsed,
+                      trace=trace)
+
+
+def remove_reverse_axes(path: TypingUnion[str, PathExpr],
+                        ruleset: TypingUnion[str, RuleSetBase] = "ruleset2",
+                        max_applications: int = DEFAULT_MAX_APPLICATIONS) -> PathExpr:
+    """Convenience wrapper around :func:`rare` returning only the rewritten path."""
+    return rare(path, ruleset=ruleset, max_applications=max_applications).result

@@ -1,0 +1,467 @@
+"""The rewriting driver: locate the first reverse step and apply one rule.
+
+``apply_once(path, ruleset)`` performs a single *rule application* in the
+sense of Definition 4.1: it finds the first reverse location step of the
+expression (scanning spine steps left to right and, for each forward spine
+step, its qualifiers), prepares the surrounding structure with the lemmas of
+Section 3 where necessary, and then delegates to the rule set (RuleSet1 or
+RuleSet2) for the actual equivalence.  The ``rare`` loop of
+:mod:`repro.rewrite.rare` calls this repeatedly until no reverse step
+remains, exactly as in Figure 2 of the paper.
+
+Which lemmas the driver applies on demand (the ``apply-lemmas`` box of
+Figure 2) and why:
+
+* **Lemma 3.2 / root context** — a reverse step as the first step of an
+  absolute path, or preceded only by ``self`` steps, is evaluated at the
+  document root, which has no parent, no ancestors and nothing preceding it;
+  the whole union term collapses to ``⊥``.
+* **Lemma 3.1.6 / 3.1.7 (or-self decomposition)** — RuleSet2's specific rules
+  only treat the five plain reverse axes and five plain forward predecessor
+  axes, so ``ancestor-or-self`` reverse steps and ``descendant-or-self``
+  predecessors are first decomposed into unions.
+* **Lemma 3.1.5 (qualifier flattening)** — RuleSet1 handles reverse steps
+  inside qualifiers only when they head a qualifier (Rule (1)); a reverse
+  step at a later position is first pushed into a nested qualifier.
+  RuleSet2 needs the same flattening for reverse steps that head a qualifier
+  path with trailing steps.
+* **Lemma 3.1.8 and complex-qualifier congruences** — joins with an absolute
+  operand are pushed into the relative operand, ``and``/``or`` qualifiers are
+  split so the reverse step ends up in a *direct* qualifier of its carrier
+  step (needed by RuleSet2 only), union qualifiers are turned into ``or``
+  qualifiers, and qualifier paths headed by a ``self`` step are hoisted onto
+  the carrier.  Each of these is an equivalence on qualifiers (they hold at
+  every context node) and is property-tested in
+  ``tests/property/test_driver_lemmas.py``.
+* **RR joins** are rejected with :class:`repro.errors.RRJoinError`
+  (Definition 4.2 delimits the input class of ``rare``); the variable-based
+  extension of :mod:`repro.rewrite.variables` covers them.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import RewriteError, RRJoinError
+from repro.rewrite.builders import rel, replace_qualifier, replace_step, self_node
+from repro.rewrite.rules import RuleApplication, RuleSetBase
+from repro.xpath import analysis
+from repro.xpath.ast import (
+    AndExpr,
+    Bottom,
+    Comparison,
+    LocationPath,
+    OrExpr,
+    PathExpr,
+    PathQualifier,
+    Qualifier,
+    Step,
+    Union,
+    iter_union_members,
+    union_of,
+)
+from repro.xpath.axes import Axis
+
+#: The four reverse axes that select nothing when evaluated at the root.
+#: ``ancestor-or-self`` is excluded: from the root it selects the root.
+_EMPTY_AT_ROOT = frozenset({
+    Axis.PARENT,
+    Axis.ANCESTOR,
+    Axis.PRECEDING,
+    Axis.PRECEDING_SIBLING,
+})
+
+
+def apply_once(path: PathExpr, ruleset: RuleSetBase) -> Optional[RuleApplication]:
+    """Apply one rewriting rule (or preparatory lemma) to the first reverse step.
+
+    Returns ``None`` when the expression contains no reverse step, otherwise
+    the :class:`RuleApplication` describing the replacement of the whole
+    expression.
+    """
+    return _rewrite_expr(path, ruleset)
+
+
+# ---------------------------------------------------------------------------
+# Recursive descent over path expressions
+# ---------------------------------------------------------------------------
+
+def _rewrite_expr(expr: PathExpr, ruleset: RuleSetBase) -> Optional[RuleApplication]:
+    if isinstance(expr, Bottom):
+        return None
+    if isinstance(expr, Union):
+        for index, member in enumerate(expr.members):
+            app = _rewrite_expr(member, ruleset)
+            if app is not None:
+                members = list(expr.members)
+                members[index] = app.result
+                return RuleApplication(union_of(*members), app.rule, app.note)
+        return None
+    if isinstance(expr, LocationPath):
+        return _rewrite_location_path(expr, ruleset)
+    raise RewriteError(f"not a path expression: {expr!r}")
+
+
+def _rewrite_location_path(path: LocationPath,
+                           ruleset: RuleSetBase) -> Optional[RuleApplication]:
+    for index, spine_step in enumerate(path.steps):
+        if spine_step.is_reverse:
+            return _handle_spine_reverse(path, index, ruleset)
+        for qual_index, qual in enumerate(spine_step.qualifiers):
+            if not _qualifier_has_reverse(qual):
+                continue
+            return _handle_qualifier(path, index, qual_index, ruleset)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Case A: the first reverse step lies on the spine of ``path``
+# ---------------------------------------------------------------------------
+
+def _handle_spine_reverse(path: LocationPath, index: int,
+                          ruleset: RuleSetBase) -> RuleApplication:
+    steps = path.steps
+    reverse_step = steps[index]
+
+    if path.absolute and index == 0:
+        if reverse_step.axis in _EMPTY_AT_ROOT:
+            return RuleApplication(
+                Bottom(), "Lemma 3.2",
+                note=f"/{reverse_step.axis.xpath_name}::... selects nothing at the root",
+            )
+        # ancestor-or-self as the very first step: /ancestor-or-self::t
+        # selects the root iff t is node(); decompose so the ancestor part
+        # collapses via the branch above and the self part is forward.
+        return _decompose_or_self_step(path, index, "Lemma 3.1.6")
+
+    if (path.absolute
+            and reverse_step.axis in _EMPTY_AT_ROOT
+            and all(step.axis is Axis.SELF for step in steps[:index])):
+        return RuleApplication(
+            Bottom(), "Lemma 3.2",
+            note="reverse axis evaluated at the document root (self-only prefix)",
+        )
+
+    if not path.absolute and index == 0:
+        raise RewriteError(
+            "a relative path starting with a reverse step has no context to "
+            "rewrite against; use the variable-based rewriting of "
+            "repro.rewrite.variables"
+        )
+
+    if ruleset.requires_or_self_decomposition:
+        if reverse_step.axis is Axis.ANCESTOR_OR_SELF:
+            return _decompose_or_self_step(path, index, "Lemma 3.1.6")
+        predecessor = steps[index - 1]
+        if predecessor.axis is Axis.DESCENDANT_OR_SELF:
+            return _decompose_or_self_step(path, index - 1, "Lemma 3.1.7")
+        if predecessor.axis is Axis.ANCESTOR_OR_SELF:
+            # The predecessor is itself reverse and would have been found
+            # first; defensive only.
+            return _decompose_or_self_step(path, index - 1, "Lemma 3.1.6")
+
+    if not path.absolute and ruleset.flatten_relative_spine:
+        # Lemma 3.1.5: push the tail starting at the reverse step into a
+        # nested qualifier, so that Rule (1) applies at the next iteration.
+        # Only sound inside an existence qualifier, which is the only place
+        # the driver ever descends into relative paths.
+        head = steps[:index]
+        tail = steps[index:]
+        flattened = LocationPath(
+            absolute=False,
+            steps=head[:-1] + (head[-1].add_qualifiers(PathQualifier(rel(*tail))),),
+        )
+        return RuleApplication(flattened, "Lemma 3.1.5",
+                               note="reverse step pushed into a nested qualifier")
+
+    return ruleset.spine_rule(path, index)
+
+
+def _decompose_or_self_step(path: LocationPath, index: int,
+                            rule: str) -> RuleApplication:
+    """Split an ``*-or-self`` step into its two plain variants (union)."""
+    target = path.steps[index]
+    if target.axis is Axis.ANCESTOR_OR_SELF:
+        plain, self_axis = Axis.ANCESTOR, Axis.SELF
+    elif target.axis is Axis.DESCENDANT_OR_SELF:
+        plain, self_axis = Axis.DESCENDANT, Axis.SELF
+    else:  # pragma: no cover - defensive
+        raise RewriteError(f"step {target!r} is not an or-self step")
+    plain_variant = replace_step(
+        path, index, [Step(plain, target.node_test, target.qualifiers)])
+    self_variant = replace_step(
+        path, index, [Step(self_axis, target.node_test, target.qualifiers)])
+    return RuleApplication(
+        union_of(plain_variant, self_variant), rule,
+        note=f"{target.axis.xpath_name} decomposed into "
+             f"{plain.xpath_name} | {self_axis.xpath_name}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Case B: the first reverse step lies inside a qualifier
+# ---------------------------------------------------------------------------
+
+def _handle_qualifier(path: LocationPath, step_index: int, qual_index: int,
+                      ruleset: RuleSetBase) -> RuleApplication:
+    carrier = path.steps[step_index]
+    qual = carrier.qualifiers[qual_index]
+
+    if isinstance(qual, PathQualifier):
+        return _handle_path_qualifier(path, step_index, qual_index, qual, ruleset)
+    if isinstance(qual, AndExpr):
+        return _handle_and(path, step_index, qual_index, qual, ruleset)
+    if isinstance(qual, OrExpr):
+        return _handle_or(path, step_index, qual_index, qual, ruleset)
+    if isinstance(qual, Comparison):
+        new_qual, rule, note = _rewrite_comparison(qual, ruleset)
+        return _replace_qualifier_application(path, step_index, qual_index,
+                                              [new_qual], rule, note)
+    raise RewriteError(f"not a qualifier: {qual!r}")
+
+
+def _handle_path_qualifier(path: LocationPath, step_index: int, qual_index: int,
+                           qual: PathQualifier,
+                           ruleset: RuleSetBase) -> RuleApplication:
+    carrier = path.steps[step_index]
+    inner_path = qual.path
+
+    if isinstance(inner_path, Union):
+        # [u1 | u2 | ...]  ≡  [u1 or u2 or ...]; exposes each member as its
+        # own path qualifier so reverse-headed members can be rewritten.
+        members = list(iter_union_members(inner_path))
+        new_qual: Qualifier = PathQualifier(members[0])
+        for member in members[1:]:
+            new_qual = OrExpr(left=new_qual, right=PathQualifier(member))
+        return _replace_qualifier_application(
+            path, step_index, qual_index, [new_qual],
+            "Lemma (complex qualifiers)", "union qualifier turned into 'or'")
+
+    if isinstance(inner_path, Bottom):  # pragma: no cover - has no reverse step
+        raise RewriteError("⊥ qualifier contains no reverse step")
+
+    assert isinstance(inner_path, LocationPath)
+
+    if inner_path.absolute:
+        inner = _rewrite_expr(inner_path, ruleset)
+        if inner is None:  # pragma: no cover - caller checked for reverse steps
+            raise RewriteError("expected a reverse step inside the qualifier")
+        return _replace_qualifier_application(
+            path, step_index, qual_index, [PathQualifier(inner.result)],
+            inner.rule, inner.note)
+
+    head = inner_path.steps[0]
+
+    if ruleset.requires_carrier_exposure and head.axis is Axis.SELF:
+        # Self-headed qualifier paths are hoisted onto the carrier:
+        # [self::t[q1]...[qk]/rest] ≡ [self::t] and q1 and ... and [rest].
+        parts: List[Qualifier] = [PathQualifier(rel(head.without_qualifiers()))]
+        parts.extend(head.qualifiers)
+        if len(inner_path.steps) > 1:
+            parts.append(PathQualifier(rel(*inner_path.steps[1:])))
+        combined: Qualifier = parts[0]
+        for part in parts[1:]:
+            combined = AndExpr(left=combined, right=part)
+        return _replace_qualifier_application(
+            path, step_index, qual_index, [combined],
+            "Lemma (complex qualifiers)", "self-headed qualifier hoisted")
+
+    if head.is_reverse:
+        if ruleset.requires_or_self_decomposition and head.axis is Axis.ANCESTOR_OR_SELF:
+            decomposed = _decompose_or_self_step(inner_path, 0, "Lemma 3.1.6")
+            return _replace_qualifier_application(
+                path, step_index, qual_index, [PathQualifier(decomposed.result)],
+                decomposed.rule, decomposed.note)
+
+        if not ruleset.requires_carrier_exposure:
+            new_qual, rule, note = ruleset.local_qualifier_rule(inner_path)
+            return _replace_qualifier_application(
+                path, step_index, qual_index, [new_qual], rule, note)
+
+        # RuleSet2 from here on: the rule mentions the carrier step.
+        if len(inner_path.steps) > 1:
+            # Lemma 3.1.5 inside the qualifier: [Lr/rest] ≡ [Lr[rest]].
+            folded = head.add_qualifiers(PathQualifier(rel(*inner_path.steps[1:])))
+            return _replace_qualifier_application(
+                path, step_index, qual_index, [PathQualifier(rel(folded))],
+                "Lemma 3.1.5", "trailing steps folded into the reverse step")
+
+        if ruleset.requires_or_self_decomposition and carrier.axis in (
+                Axis.DESCENDANT_OR_SELF, Axis.ANCESTOR_OR_SELF):
+            return _decompose_or_self_step(path, step_index, "Lemma 3.1.7")
+
+        if (path.absolute
+                and carrier.axis is Axis.SELF
+                and head.axis in _EMPTY_AT_ROOT
+                and all(step.axis is Axis.SELF for step in path.steps[:step_index + 1])):
+            return RuleApplication(
+                Bottom(), "Lemma 3.2",
+                note="reverse qualifier on a self-only prefix is false at the root",
+            )
+
+        return ruleset.qualifier_head_rule(path, step_index, qual_index)
+
+    # The qualifier path starts with a forward step; recurse into it (the
+    # congruences of Lemma 3.1.2/3.1.3 justify rewriting in place).
+    inner = _rewrite_location_path(inner_path, ruleset)
+    if inner is None:  # pragma: no cover - caller checked for reverse steps
+        raise RewriteError("expected a reverse step inside the qualifier")
+    return _replace_qualifier_application(
+        path, step_index, qual_index, [PathQualifier(inner.result)],
+        inner.rule, inner.note)
+
+
+def _handle_and(path: LocationPath, step_index: int, qual_index: int,
+                qual: AndExpr, ruleset: RuleSetBase) -> RuleApplication:
+    if ruleset.requires_carrier_exposure:
+        # [q1 and q2] ≡ [q1][q2] on the same step.
+        return _replace_qualifier_application(
+            path, step_index, qual_index, [qual.left, qual.right],
+            "Lemma (complex qualifiers)", "'and' qualifier split in two")
+    rewritten, rule, note = _descend_boolean(qual, ruleset)
+    return _replace_qualifier_application(path, step_index, qual_index,
+                                          [rewritten], rule, note)
+
+
+def _handle_or(path: LocationPath, step_index: int, qual_index: int,
+               qual: OrExpr, ruleset: RuleSetBase) -> RuleApplication:
+    if ruleset.requires_carrier_exposure:
+        # p/F::n[q1 or q2]/rest ≡ p/F::n[q1]/rest | p/F::n[q2]/rest.
+        carrier = path.steps[step_index]
+        left_path = replace_step(
+            path, step_index, [replace_qualifier(carrier, qual_index, [qual.left])])
+        right_path = replace_step(
+            path, step_index, [replace_qualifier(carrier, qual_index, [qual.right])])
+        return RuleApplication(
+            union_of(left_path, right_path), "Lemma (complex qualifiers)",
+            note="'or' qualifier split into a union")
+    rewritten, rule, note = _descend_boolean(qual, ruleset)
+    return _replace_qualifier_application(path, step_index, qual_index,
+                                          [rewritten], rule, note)
+
+
+def _descend_boolean(qual: Qualifier,
+                     ruleset: RuleSetBase) -> Tuple[Qualifier, str, str]:
+    """Rewrite the first reverse step inside a boolean qualifier (RuleSet1).
+
+    RuleSet1's Rule (1) and the comparison lemmas are *local* qualifier
+    equivalences, so the driver can rewrite them in place underneath
+    ``and``/``or`` operators without restructuring the carrier step.
+    """
+    if isinstance(qual, PathQualifier):
+        inner_path = qual.path
+        if isinstance(inner_path, Union):
+            members = list(iter_union_members(inner_path))
+            combined: Qualifier = PathQualifier(members[0])
+            for member in members[1:]:
+                combined = OrExpr(left=combined, right=PathQualifier(member))
+            return combined, "Lemma (complex qualifiers)", "union qualifier turned into 'or'"
+        assert isinstance(inner_path, LocationPath)
+        if inner_path.absolute:
+            inner = _rewrite_expr(inner_path, ruleset)
+            if inner is None:  # pragma: no cover
+                raise RewriteError("expected a reverse step inside the qualifier")
+            return PathQualifier(inner.result), inner.rule, inner.note
+        if inner_path.steps[0].is_reverse:
+            return ruleset.local_qualifier_rule(inner_path)
+        inner = _rewrite_location_path(inner_path, ruleset)
+        if inner is None:  # pragma: no cover
+            raise RewriteError("expected a reverse step inside the qualifier")
+        return PathQualifier(inner.result), inner.rule, inner.note
+    if isinstance(qual, (AndExpr, OrExpr)):
+        constructor = AndExpr if isinstance(qual, AndExpr) else OrExpr
+        if _qualifier_has_reverse(qual.left):
+            left, rule, note = _descend_boolean(qual.left, ruleset)
+            return constructor(left=left, right=qual.right), rule, note
+        right, rule, note = _descend_boolean(qual.right, ruleset)
+        return constructor(left=qual.left, right=right), rule, note
+    if isinstance(qual, Comparison):
+        return _rewrite_comparison(qual, ruleset)
+    raise RewriteError(f"not a qualifier: {qual!r}")
+
+
+# ---------------------------------------------------------------------------
+# Comparisons (joins)
+# ---------------------------------------------------------------------------
+
+def _rewrite_comparison(qual: Comparison,
+                        ruleset: RuleSetBase) -> Tuple[Qualifier, str, str]:
+    left_abs = analysis.is_absolute(qual.left)
+    right_abs = analysis.is_absolute(qual.right)
+    left_rev = analysis.has_reverse_steps(qual.left)
+    right_rev = analysis.has_reverse_steps(qual.right)
+
+    if not left_abs and not right_abs and (left_rev or right_rev):
+        raise RRJoinError(
+            "qualifier contains an RR join (both operands relative, one with a "
+            "reverse step); rare cannot rewrite it — see "
+            "repro.rewrite.variables for the variable-based extension"
+        )
+
+    # A relative union operand with reverse steps: distribute the join over
+    # the union members first so Lemma 3.1.8 applies to plain paths.
+    for attr, operand, is_abs, has_rev in (
+            ("left", qual.left, left_abs, left_rev),
+            ("right", qual.right, right_abs, right_rev)):
+        if isinstance(operand, Union) and not is_abs and has_rev:
+            members = list(iter_union_members(operand))
+            comparisons = [
+                Comparison(left=member, op=qual.op, right=qual.right)
+                if attr == "left"
+                else Comparison(left=qual.left, op=qual.op, right=member)
+                for member in members
+            ]
+            combined: Qualifier = comparisons[0]
+            for comparison in comparisons[1:]:
+                combined = OrExpr(left=combined, right=comparison)
+            return (combined, "Lemma (complex qualifiers)",
+                    "join distributed over a union operand")
+
+    if left_abs and left_rev:
+        inner = _rewrite_expr(qual.left, ruleset)
+        assert inner is not None
+        return (Comparison(left=inner.result, op=qual.op, right=qual.right),
+                inner.rule, inner.note)
+    if right_abs and right_rev:
+        inner = _rewrite_expr(qual.right, ruleset)
+        assert inner is not None
+        return (Comparison(left=qual.left, op=qual.op, right=inner.result),
+                inner.rule, inner.note)
+
+    # Exactly one operand is relative and carries the reverse step, the other
+    # is absolute: Lemma 3.1.8 pushes the join inside the relative operand.
+    relative_operand, absolute_operand = (
+        (qual.left, qual.right) if not left_abs else (qual.right, qual.left))
+    assert isinstance(relative_operand, LocationPath)
+    inner_join = Comparison(left=rel(self_node()), op=qual.op, right=absolute_operand)
+    wrapped = LocationPath(
+        absolute=False,
+        steps=relative_operand.steps[:-1]
+        + (relative_operand.steps[-1].add_qualifiers(inner_join),),
+    )
+    return (PathQualifier(wrapped), "Lemma 3.1.8",
+            "join with an absolute operand pushed into the relative path")
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+def _replace_qualifier_application(path: LocationPath, step_index: int,
+                                   qual_index: int, replacements, rule: str,
+                                   note: str = "") -> RuleApplication:
+    carrier = path.steps[step_index]
+    new_step = replace_qualifier(carrier, qual_index, replacements)
+    new_path = replace_step(path, step_index, [new_step])
+    return RuleApplication(new_path, rule, note)
+
+
+def _qualifier_has_reverse(qual: Qualifier) -> bool:
+    if isinstance(qual, PathQualifier):
+        return analysis.has_reverse_steps(qual.path)
+    if isinstance(qual, (AndExpr, OrExpr)):
+        return _qualifier_has_reverse(qual.left) or _qualifier_has_reverse(qual.right)
+    if isinstance(qual, Comparison):
+        return (analysis.has_reverse_steps(qual.left)
+                or analysis.has_reverse_steps(qual.right))
+    raise RewriteError(f"not a qualifier: {qual!r}")

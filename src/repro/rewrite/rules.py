@@ -1,0 +1,111 @@
+"""Shared infrastructure of the rewrite engine.
+
+A *rule application* (Definition 4.1) replaces a portion of a location path
+according to one of the equivalences of Section 3; the driver in
+:mod:`repro.rewrite.rewriter` locates the first reverse step, the rule-set
+objects below produce the replacement, and :class:`RuleApplication` records
+what happened for the trace (Figures 3 and 4).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.xpath.ast import LocationPath, PathExpr
+
+
+@dataclass(frozen=True)
+class RuleApplication:
+    """The outcome of applying one rewriting rule or lemma.
+
+    Attributes
+    ----------
+    result:
+        The path expression that replaces the rewritten one.  May be a
+        :class:`~repro.xpath.ast.Union` (several rules produce unions), a
+        plain location path or ``⊥``.
+    rule:
+        A short label identifying the rule, matching the numbering of the
+        paper — e.g. ``"Rule (2a)"``, ``"Rule (8)"``, ``"Lemma 3.2"``,
+        ``"Lemma 3.1.5"``.
+    note:
+        Optional free-text detail (which axis interaction was resolved, which
+        erratum correction applies, ...), surfaced in traces.
+    """
+
+    result: PathExpr
+    rule: str
+    note: str = ""
+
+
+class RuleSetBase(abc.ABC):
+    """Interface of a rewriting rule set usable by ``rare``.
+
+    Two implementations exist, mirroring Section 4 of the paper:
+    :class:`repro.rewrite.ruleset1.RuleSet1` (general, join-introducing) and
+    :class:`repro.rewrite.ruleset2.RuleSet2` (specific, join-free).
+
+    The driver guarantees the following preconditions when it calls the two
+    hooks:
+
+    * ``spine_rule(path, index)`` — ``path.steps[index]`` is the first
+      reverse step of the whole expression and every earlier spine step is
+      forward.  For absolute paths ``index >= 1`` (reverse first steps are
+      eliminated by Lemma 3.2 before rule sets are consulted); the driver has
+      also already eliminated the degenerate "all preceding steps are
+      ``self``" absolute prefixes.
+    * ``qualifier_head_rule(path, step_index, qual_index)`` — the carrier
+      step ``path.steps[step_index]`` is forward, and its qualifier at
+      ``qual_index`` is a :class:`~repro.xpath.ast.PathQualifier` whose path
+      is relative and starts with a reverse step.
+    """
+
+    #: Human-readable rule-set name used in traces and benchmark reports.
+    name: str = "ruleset"
+
+    #: Whether the driver should decompose ``*-or-self`` axes (Lemma
+    #: 3.1.6/3.1.7) before consulting the rule set.  RuleSet2's specific
+    #: rules only cover the five plain reverse axes and the five plain
+    #: forward predecessors; RuleSet1's general rules handle every axis via
+    #: symmetry, so no decomposition is required there.
+    requires_or_self_decomposition: bool = False
+
+    #: Whether the driver should split boolean qualifiers (``and``/``or``)
+    #: and self-headed qualifier paths so that the reverse step ends up
+    #: heading a *direct* qualifier of a forward carrier step.  Needed by
+    #: RuleSet2, whose qualifier rules mention the carrier; RuleSet1 rewrites
+    #: path qualifiers locally and can descend into boolean structure.
+    requires_carrier_exposure: bool = False
+
+    #: Whether a reverse step at spine position >= 1 of a *relative*
+    #: qualifier path should first be pushed into a nested qualifier with
+    #: Lemma 3.1.5 (RuleSet1) instead of being handled by a relative spine
+    #: rule (RuleSet2).
+    flatten_relative_spine: bool = False
+
+    @abc.abstractmethod
+    def spine_rule(self, path: LocationPath, index: int) -> RuleApplication:
+        """Rewrite the reverse step at ``path.steps[index]``."""
+
+    @abc.abstractmethod
+    def qualifier_head_rule(self, path: LocationPath, step_index: int,
+                            qual_index: int) -> RuleApplication:
+        """Rewrite the reverse step heading the given qualifier."""
+
+    def local_qualifier_rule(self, qualifier_path: LocationPath):
+        """Rewrite a reverse-headed qualifier path *locally* (no carrier).
+
+        Only rule sets with ``requires_carrier_exposure = False`` (RuleSet1)
+        implement this; it returns a ``(qualifier, rule_label, note)`` triple
+        that replaces the existence qualifier ``[qualifier_path]`` wherever it
+        occurs.
+        """
+        raise NotImplementedError(
+            f"{self.name} rewrites qualifiers through their carrier step")
+
+
+def rule_label(number) -> str:
+    """Format a rule label the way the paper numbers its equivalences."""
+    return f"Rule ({number})"

@@ -1,0 +1,126 @@
+"""RuleSet1 — the general equivalences of Section 3.1 (Proposition 3.1).
+
+RuleSet1 removes reverse steps with two rules based purely on axis symmetry
+and node-identity joins:
+
+* **Rule (1)** — a reverse step heading a qualifier::
+
+      p[am::m/s]  ≡  p[/descendant::m[s]/bm::node() == self::node()]
+
+  "instead of looking back from the context node for a matching node, look
+  forward from the beginning of the document for the node, and then —
+  still forward — for reaching the initial context node."
+
+* **Rule (2) / (2a)** — a reverse step on the spine of an absolute path::
+
+      /p/an::n/am::m  ≡  /descendant::m[bm::n == /p/an::n]
+
+``bm`` is the symmetrical axis of ``am``.  Every rule application removes one
+reverse step and adds at most two forward steps plus one join, which is why
+Theorem 4.1 gives a rewriting that is *linear* in the length of the input —
+at the price of one ``==`` join per removed reverse step.
+
+One refinement relative to the paper's statement: when the reverse axis can
+select the document root itself (``parent``/``ancestor``/``ancestor-or-self``
+with the ``node()`` test), the ``/descendant::m`` anchor of the right-hand
+side is widened to ``/descendant-or-self::m`` — otherwise the root would be
+missed.  For every other node test the two anchors coincide, so the paper's
+form is emitted verbatim (as in Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import RewriteError
+from repro.rewrite.builders import identity_join, rel, self_node, step
+from repro.rewrite.rules import RuleApplication, RuleSetBase
+from repro.xpath.ast import (
+    Comparison,
+    LocationPath,
+    NodeTest,
+    PathQualifier,
+    Qualifier,
+    Step,
+)
+from repro.xpath.axes import Axis
+
+#: Reverse axes that can select the document root (when the node test is
+#: ``node()``); for these the forward anchor must include the root.
+_MAY_SELECT_ROOT = frozenset({Axis.PARENT, Axis.ANCESTOR, Axis.ANCESTOR_OR_SELF})
+
+
+def _anchor_axis(reverse_axis: Axis, node_test: NodeTest) -> Axis:
+    """The forward anchor axis used on the right-hand side of Rules (1)/(2)."""
+    if reverse_axis in _MAY_SELECT_ROOT and node_test.is_node:
+        return Axis.DESCENDANT_OR_SELF
+    return Axis.DESCENDANT
+
+
+class RuleSet1(RuleSetBase):
+    """The general, join-introducing rule set (Rules (1), (2), (2a))."""
+
+    name = "RuleSet1"
+    requires_or_self_decomposition = False
+    requires_carrier_exposure = False
+    flatten_relative_spine = True
+
+    # ------------------------------------------------------------------
+    # Rule (2) / (2a): reverse step on the spine of an absolute path
+    # ------------------------------------------------------------------
+    def spine_rule(self, path: LocationPath, index: int) -> RuleApplication:
+        if not path.absolute:
+            raise RewriteError(
+                "RuleSet1 spine rewriting requires an absolute path; relative "
+                "qualifier paths are flattened with Lemma 3.1.5 first")
+        steps = path.steps
+        reverse_step = steps[index]
+        predecessor = steps[index - 1]
+        symmetric = reverse_step.axis.symmetric
+        anchor = _anchor_axis(reverse_step.axis, reverse_step.node_test)
+
+        context_path = LocationPath(absolute=True, steps=steps[:index])
+        join = identity_join(rel(step(symmetric, predecessor.node_test)), context_path)
+        anchor_step = Step(
+            axis=anchor,
+            node_test=reverse_step.node_test,
+            qualifiers=reverse_step.qualifiers + (join,),
+        )
+        result = LocationPath(absolute=True,
+                              steps=(anchor_step,) + steps[index + 1:])
+        rule = "Rule (2a)" if index == 1 else "Rule (2)"
+        note = (f"{reverse_step.axis.xpath_name} removed via the symmetric "
+                f"{symmetric.xpath_name} axis and a node-identity join")
+        return RuleApplication(result, rule, note)
+
+    # ------------------------------------------------------------------
+    # Rule (1): reverse step heading a qualifier (local rewrite)
+    # ------------------------------------------------------------------
+    def local_qualifier_rule(self, qualifier_path: LocationPath
+                             ) -> Tuple[Qualifier, str, str]:
+        head = qualifier_path.steps[0]
+        if not head.is_reverse:
+            raise RewriteError("Rule (1) expects a reverse step heading the qualifier")
+        symmetric = head.axis.symmetric
+        anchor = _anchor_axis(head.axis, head.node_test)
+
+        anchor_qualifiers = list(head.qualifiers)
+        trailing = qualifier_path.steps[1:]
+        if trailing:
+            anchor_qualifiers.append(PathQualifier(rel(*trailing)))
+        anchor_step = Step(axis=anchor, node_test=head.node_test,
+                           qualifiers=tuple(anchor_qualifiers))
+        forward_witness = LocationPath(
+            absolute=True,
+            steps=(anchor_step, Step(axis=symmetric, node_test=NodeTest.node())),
+        )
+        join: Comparison = identity_join(forward_witness, rel(self_node()))
+        note = (f"{head.axis.xpath_name} qualifier replaced by a forward search "
+                f"from the document root joined back to the context node")
+        return join, "Rule (1)", note
+
+    def qualifier_head_rule(self, path: LocationPath, step_index: int,
+                            qual_index: int) -> RuleApplication:
+        """Not used: the driver rewrites RuleSet1 qualifiers locally."""
+        raise RewriteError(
+            "RuleSet1 qualifiers are rewritten locally via local_qualifier_rule")

@@ -1,0 +1,427 @@
+"""RuleSet2 — the specific axis-interaction equivalences (Rules (3)–(42)).
+
+For every reverse axis (``parent``, ``ancestor``, ``preceding-sibling``,
+``preceding``; ``ancestor-or-self`` is first decomposed with Lemma 3.1.6) and
+every forward axis that can precede it (``child``, ``descendant``, ``self``,
+``following-sibling``, ``following``; ``descendant-or-self`` is decomposed
+with Lemma 3.1.7), Propositions 3.2–3.5 of the paper give an equivalence
+that either removes the reverse step outright, pushes it further to the left
+of the path, or — for interactions with ``following`` — replaces it by a
+union of such paths.  Unlike RuleSet1, the rewritten paths contain **no
+joins**, which is what makes them attractive for streaming evaluation; the
+price is a worst-case exponential number of union terms (Theorem 4.2).
+
+The implementation mirrors the paper rule by rule.  Four rules are corrected
+relative to the printed text (errata demonstrated by counterexample in
+``tests/test_errata.py`` and documented in DESIGN.md):
+
+* Rule (30): the printed right-hand side selects sibling nodes instead of the
+  context node; the structurally consistent push-left form
+  ``p[preceding-sibling::m]/self::n`` is used.
+* Rule (32): the third union term is garbled in the paper; the term
+  ``p/ancestor-or-self::m/following-sibling::n`` (mirroring Rule (27)) is used.
+* Rules (33)/(38): the union term starting with ``child::*`` misses matches
+  whose branch point lies below the children of the context node;
+  ``descendant::*`` is used instead.
+* Rules (37)/(42): the printed union misses ``preceding`` nodes that are
+  ancestors of the context node; the terms ``p/ancestor::m[following::n]``
+  and ``p/ancestor::m/following::n`` are added.
+
+Qualifiers of the matched steps are carried along: the qualifiers of the
+forward step stay attached to the ``n`` node test and the qualifiers of the
+reverse step stay attached to the ``m`` node test on every right-hand side.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import RewriteError
+from repro.rewrite.builders import (
+    assemble_union,
+    node_wildcard,
+    rel,
+    self_node,
+    with_appended_qualifier,
+)
+from repro.rewrite.rules import RuleApplication, RuleSetBase
+from repro.xpath.ast import (
+    Bottom,
+    LocationPath,
+    NodeTest,
+    PathExpr,
+    PathQualifier,
+    Qualifier,
+    Step,
+)
+from repro.xpath.axes import Axis
+
+# Shorthands keeping the rule bodies close to the paper's notation.
+_CHILD = Axis.CHILD
+_DESC = Axis.DESCENDANT
+_DOS = Axis.DESCENDANT_OR_SELF
+_SELF = Axis.SELF
+_FOLLOWING = Axis.FOLLOWING
+_FS = Axis.FOLLOWING_SIBLING
+_PARENT = Axis.PARENT
+_ANC = Axis.ANCESTOR
+_AOS = Axis.ANCESTOR_OR_SELF
+_PREC = Axis.PRECEDING
+_PS = Axis.PRECEDING_SIBLING
+
+Variant = Tuple[Step, ...]
+
+
+def _step(axis: Axis, test: NodeTest, *qualifiers: Qualifier) -> Step:
+    return Step(axis=axis, node_test=test, qualifiers=tuple(qualifiers))
+
+
+def _exists(*steps: Step) -> PathQualifier:
+    return PathQualifier(path=rel(*steps))
+
+
+def _push(prefix: Sequence[Step], qualifier: Qualifier) -> Tuple[Step, ...]:
+    """``prefix`` with ``qualifier`` appended to its last step."""
+    return with_appended_qualifier(tuple(prefix), qualifier)
+
+
+class RuleSet2(RuleSetBase):
+    """The specific, join-free rule set (Rules (3)–(42))."""
+
+    name = "RuleSet2"
+    requires_or_self_decomposition = True
+    requires_carrier_exposure = True
+    flatten_relative_spine = False
+
+    # ==================================================================
+    # Case A — reverse step on the spine:  p/Lf/Lr/rest
+    # ==================================================================
+    def spine_rule(self, path: LocationPath, index: int) -> RuleApplication:
+        steps = path.steps
+        reverse_step = steps[index]
+        forward_step = steps[index - 1]
+        rest = steps[index + 1:]
+        prefix = steps[:index - 1]
+        absolute = path.absolute
+        root_prefix = absolute and not prefix
+
+        if root_prefix and forward_step.axis in (_FOLLOWING, _FS):
+            return RuleApplication(
+                Bottom(), "Lemma 3.2",
+                note=f"/{forward_step.axis.xpath_name}::... selects nothing at the root")
+
+        p_push: Tuple[Step, ...] = tuple(prefix) if prefix else (self_node(),)
+        p_append: Tuple[Step, ...] = tuple(prefix)
+
+        builder = {
+            _PARENT: self._parent_spine,
+            _ANC: self._ancestor_spine,
+            _PS: self._preceding_sibling_spine,
+            _PREC: self._preceding_spine,
+        }.get(reverse_step.axis)
+        if builder is None:
+            raise RewriteError(
+                f"unexpected reverse axis {reverse_step.axis.xpath_name} "
+                f"(or-self axes are decomposed before RuleSet2 rules apply)")
+
+        variants, rule, note = builder(p_push, p_append, forward_step,
+                                       reverse_step, root_prefix)
+        result = assemble_union(absolute, variants, rest)
+        return RuleApplication(result, rule, note)
+
+    # -- parent: Rules (3)-(7) -----------------------------------------
+    def _parent_spine(self, p_push: Variant, p: Variant, lf: Step, lr: Step,
+                      root_prefix: bool):
+        n, qf = lf.node_test, lf.qualifiers
+        m, qr = lr.node_test, lr.qualifiers
+        axis = lf.axis
+        if axis is _DESC:
+            variant = p + (_step(_DOS, m, *qr, _exists(_step(_CHILD, n, *qf))),)
+            return [variant], "Rule (3)", "descendant/parent"
+        if axis is _CHILD:
+            variant = p + (_step(_SELF, m, *qr, _exists(_step(_CHILD, n, *qf))),)
+            return [variant], "Rule (4)", "child/parent"
+        if axis is _SELF:
+            variant = _push(p_push, _exists(lf)) + (lr,)
+            return [variant], "Rule (5)", "self predecessor turned into a qualifier"
+        if axis is _FS:
+            variant = _push(p_push, _exists(lf)) + (lr,)
+            return [variant], "Rule (6)", "following-sibling predecessor turned into a qualifier"
+        if axis is _FOLLOWING:
+            v1 = p + (_step(_FOLLOWING, m, *qr, _exists(_step(_CHILD, n, *qf))),)
+            v2 = p + (_step(_AOS, node_wildcard(), _exists(_step(_FS, n, *qf))),
+                      _step(_PARENT, m, *qr))
+            return [v1, v2], "Rule (7)", "following/parent interaction"
+        raise RewriteError(f"unexpected forward predecessor {axis.xpath_name}")
+
+    # -- ancestor: Rules (13)-(17) ---------------------------------------
+    def _ancestor_spine(self, p_push: Variant, p: Variant, lf: Step, lr: Step,
+                        root_prefix: bool):
+        n, qf = lf.node_test, lf.qualifiers
+        m, qr = lr.node_test, lr.qualifiers
+        axis = lf.axis
+        if axis is _DESC:
+            inner = _step(_DOS, m, *qr, _exists(_step(_DESC, n, *qf)))
+            if root_prefix:
+                return [(inner,)], "Rule (13a)", "descendant/ancestor from the root"
+            v1 = _push(p_push, _exists(lf)) + (lr,)
+            v2 = p + (inner,)
+            return [v1, v2], "Rule (13)", "descendant/ancestor"
+        if axis is _CHILD:
+            variant = _push(p_push, _exists(lf)) + (_step(_AOS, m, *qr),)
+            return [variant], "Rule (14)", "child/ancestor"
+        if axis is _SELF:
+            variant = _push(p_push, _exists(lf)) + (lr,)
+            return [variant], "Rule (15)", "self predecessor turned into a qualifier"
+        if axis is _FS:
+            variant = _push(p_push, _exists(lf)) + (lr,)
+            return [variant], "Rule (16)", "following-sibling predecessor turned into a qualifier"
+        if axis is _FOLLOWING:
+            v1 = p + (_step(_FOLLOWING, m, *qr, _exists(_step(_DESC, n, *qf))),)
+            v2 = p + (_step(_AOS, node_wildcard(),
+                            _exists(_step(_FS, node_wildcard()), _step(_DOS, n, *qf))),
+                      _step(_ANC, m, *qr))
+            return [v1, v2], "Rule (17)", "following/ancestor interaction"
+        raise RewriteError(f"unexpected forward predecessor {axis.xpath_name}")
+
+    # -- preceding-sibling: Rules (23)-(27) -------------------------------
+    def _preceding_sibling_spine(self, p_push: Variant, p: Variant, lf: Step,
+                                 lr: Step, root_prefix: bool):
+        n, qf = lf.node_test, lf.qualifiers
+        m, qr = lr.node_test, lr.qualifiers
+        axis = lf.axis
+        if axis is _DESC:
+            variant = p + (_step(_DESC, m, *qr, _exists(_step(_FS, n, *qf))),)
+            return [variant], "Rule (23)", "descendant/preceding-sibling"
+        if axis is _CHILD:
+            variant = p + (_step(_CHILD, m, *qr, _exists(_step(_FS, n, *qf))),)
+            return [variant], "Rule (24)", "child/preceding-sibling"
+        if axis is _SELF:
+            variant = _push(p_push, _exists(lf)) + (lr,)
+            return [variant], "Rule (25)", "self predecessor turned into a qualifier"
+        if axis is _FS:
+            v1 = _push(p_push, _exists(_step(_SELF, m, *qr), _step(_FS, n, *qf)))
+            v2 = _push(p_push, _exists(lf)) + (lr,)
+            v3 = p + (_step(_FS, m, *qr, _exists(_step(_FS, n, *qf))),)
+            return [v1, v2, v3], "Rule (26)", "following-sibling/preceding-sibling interaction"
+        if axis is _FOLLOWING:
+            v1 = p + (_step(_FOLLOWING, m, *qr, _exists(_step(_FS, n, *qf))),)
+            v2 = p + (_step(_AOS, node_wildcard(), _exists(_step(_FS, n, *qf))),
+                      _step(_PS, m, *qr))
+            v3 = p + (_step(_AOS, m, *qr, _exists(_step(_FS, n, *qf))),)
+            return [v1, v2, v3], "Rule (27)", "following/preceding-sibling interaction"
+        raise RewriteError(f"unexpected forward predecessor {axis.xpath_name}")
+
+    # -- preceding: Rules (33)-(37) ----------------------------------------
+    def _preceding_spine(self, p_push: Variant, p: Variant, lf: Step, lr: Step,
+                         root_prefix: bool):
+        n, qf = lf.node_test, lf.qualifiers
+        m, qr = lr.node_test, lr.qualifiers
+        axis = lf.axis
+        if axis is _DESC:
+            if root_prefix:
+                variant = (_step(_DESC, m, *qr, _exists(_step(_FOLLOWING, n, *qf))),)
+                return [variant], "Rule (33a)", "descendant/preceding from the root"
+            v1 = _push(p_push, _exists(lf)) + (lr,)
+            v2 = p + (_step(_DESC, node_wildcard(),
+                            _exists(_step(_FS, node_wildcard()), _step(_DOS, n, *qf))),
+                      _step(_DOS, m, *qr))
+            return [v1, v2], "Rule (33)", (
+                "descendant/preceding; erratum: descendant::* replaces the "
+                "paper's child::* branch-point term")
+        if axis is _CHILD:
+            v1 = _push(p_push, _exists(lf)) + (lr,)
+            v2 = p + (_step(_CHILD, node_wildcard(), _exists(_step(_FS, n, *qf))),
+                      _step(_DOS, m, *qr))
+            return [v1, v2], "Rule (34)", "child/preceding"
+        if axis is _SELF:
+            variant = _push(p_push, _exists(lf)) + (lr,)
+            return [variant], "Rule (35)", "self predecessor turned into a qualifier"
+        if axis is _FS:
+            v1 = _push(p_push, _exists(lf)) + (lr,)
+            v2 = p + (_step(_FS, node_wildcard(), _exists(_step(_FS, n, *qf))),
+                      _step(_DOS, m, *qr))
+            v3 = _push(p_push, _exists(lf)) + (_step(_DOS, m, *qr),)
+            return [v1, v2, v3], "Rule (36)", "following-sibling/preceding interaction"
+        if axis is _FOLLOWING:
+            v1 = _push(p_push, _exists(lf)) + (lr,)
+            v2 = p + (_step(_FOLLOWING, m, *qr, _exists(_step(_FOLLOWING, n, *qf))),)
+            v3 = _push(p_push, _exists(lf)) + (_step(_DOS, m, *qr),)
+            v4 = p + (_step(_ANC, m, *qr, _exists(_step(_FOLLOWING, n, *qf))),)
+            return [v1, v2, v3, v4], "Rule (37)", (
+                "following/preceding interaction; erratum: the ancestor term "
+                "p/ancestor::m[following::n] is added")
+        raise RewriteError(f"unexpected forward predecessor {axis.xpath_name}")
+
+    # ==================================================================
+    # Case B — reverse step heading a qualifier:  p/F::n[Lr]/rest
+    # ==================================================================
+    def qualifier_head_rule(self, path: LocationPath, step_index: int,
+                            qual_index: int) -> RuleApplication:
+        steps = path.steps
+        carrier = steps[step_index]
+        qualifier = carrier.qualifiers[qual_index]
+        if not isinstance(qualifier, PathQualifier):
+            raise RewriteError("qualifier head rules expect a path qualifier")
+        inner = qualifier.path
+        if not isinstance(inner, LocationPath) or inner.absolute or len(inner.steps) != 1:
+            raise RewriteError(
+                "qualifier head rules expect a single-step relative qualifier "
+                "(the driver folds longer paths with Lemma 3.1.5 first)")
+        reverse_step = inner.steps[0]
+
+        other_qualifiers = (carrier.qualifiers[:qual_index]
+                            + carrier.qualifiers[qual_index + 1:])
+        rest = steps[step_index + 1:]
+        prefix = steps[:step_index]
+        absolute = path.absolute
+        root_prefix = absolute and not prefix
+
+        if root_prefix and carrier.axis in (_FOLLOWING, _FS):
+            return RuleApplication(
+                Bottom(), "Lemma 3.2",
+                note=f"/{carrier.axis.xpath_name}::... selects nothing at the root")
+
+        p_push: Tuple[Step, ...] = tuple(prefix) if prefix else (self_node(),)
+        p_append: Tuple[Step, ...] = tuple(prefix)
+
+        builder = {
+            _PARENT: self._parent_qualifier,
+            _ANC: self._ancestor_qualifier,
+            _PS: self._preceding_sibling_qualifier,
+            _PREC: self._preceding_qualifier,
+        }.get(reverse_step.axis)
+        if builder is None:
+            raise RewriteError(
+                f"unexpected reverse axis {reverse_step.axis.xpath_name} "
+                f"(or-self axes are decomposed before RuleSet2 rules apply)")
+
+        variants, rule, note = builder(p_push, p_append, carrier, reverse_step,
+                                       other_qualifiers, root_prefix)
+        result = assemble_union(absolute, variants, rest)
+        return RuleApplication(result, rule, note)
+
+    # -- parent in a qualifier: Rules (8)-(12) -----------------------------
+    def _parent_qualifier(self, p_push: Variant, p: Variant, carrier: Step,
+                          lr: Step, oq: Tuple[Qualifier, ...], root_prefix: bool):
+        n = carrier.node_test
+        m, qr = lr.node_test, lr.qualifiers
+        axis = carrier.axis
+        if axis is _DESC:
+            variant = p + (_step(_DOS, m, *qr), _step(_CHILD, n, *oq))
+            return [variant], "Rule (8)", "descendant[parent]"
+        if axis is _CHILD:
+            variant = p + (_step(_SELF, m, *qr), _step(_CHILD, n, *oq))
+            return [variant], "Rule (9)", "child[parent]"
+        if axis is _SELF:
+            variant = _push(p_push, _exists(lr)) + (_step(_SELF, n, *oq),)
+            return [variant], "Rule (10)", "qualifier moved from a self step to its context"
+        if axis is _FS:
+            variant = _push(p_push, _exists(lr)) + (_step(_FS, n, *oq),)
+            return [variant], "Rule (11)", "following-sibling[parent]"
+        if axis is _FOLLOWING:
+            v1 = p + (_step(_FOLLOWING, m, *qr), _step(_CHILD, n, *oq))
+            v2 = p + (_step(_AOS, node_wildcard(), _exists(lr)), _step(_FS, n, *oq))
+            return [v1, v2], "Rule (12)", "following[parent] interaction"
+        raise RewriteError(f"unexpected carrier axis {axis.xpath_name}")
+
+    # -- ancestor in a qualifier: Rules (18)-(22) ---------------------------
+    def _ancestor_qualifier(self, p_push: Variant, p: Variant, carrier: Step,
+                            lr: Step, oq: Tuple[Qualifier, ...], root_prefix: bool):
+        n = carrier.node_test
+        m, qr = lr.node_test, lr.qualifiers
+        axis = carrier.axis
+        if axis is _DESC:
+            forward = (_step(_DOS, m, *qr), _step(_DESC, n, *oq))
+            if root_prefix:
+                return [forward], "Rule (18a)", "descendant[ancestor] from the root"
+            v1 = _push(p_push, _exists(lr)) + (_step(_DESC, n, *oq),)
+            v2 = p + forward
+            return [v1, v2], "Rule (18)", "descendant[ancestor]"
+        if axis is _CHILD:
+            variant = _push(p_push, _exists(_step(_AOS, m, *qr))) + (_step(_CHILD, n, *oq),)
+            return [variant], "Rule (19)", "child[ancestor]"
+        if axis is _SELF:
+            variant = _push(p_push, _exists(lr)) + (_step(_SELF, n, *oq),)
+            return [variant], "Rule (20)", "qualifier moved from a self step to its context"
+        if axis is _FS:
+            variant = _push(p_push, _exists(lr)) + (_step(_FS, n, *oq),)
+            return [variant], "Rule (21)", "following-sibling[ancestor]"
+        if axis is _FOLLOWING:
+            v1 = p + (_step(_FOLLOWING, m, *qr), _step(_DESC, n, *oq))
+            v2 = p + (_step(_AOS, node_wildcard(), _exists(lr)),
+                      _step(_FS, node_wildcard()), _step(_DOS, n, *oq))
+            return [v1, v2], "Rule (22)", "following[ancestor] interaction"
+        raise RewriteError(f"unexpected carrier axis {axis.xpath_name}")
+
+    # -- preceding-sibling in a qualifier: Rules (28)-(32) -------------------
+    def _preceding_sibling_qualifier(self, p_push: Variant, p: Variant,
+                                     carrier: Step, lr: Step,
+                                     oq: Tuple[Qualifier, ...], root_prefix: bool):
+        n = carrier.node_test
+        m, qr = lr.node_test, lr.qualifiers
+        axis = carrier.axis
+        if axis is _DESC:
+            variant = p + (_step(_DESC, m, *qr), _step(_FS, n, *oq))
+            return [variant], "Rule (28)", "descendant[preceding-sibling]"
+        if axis is _CHILD:
+            variant = p + (_step(_CHILD, m, *qr), _step(_FS, n, *oq))
+            return [variant], "Rule (29)", "child[preceding-sibling]"
+        if axis is _SELF:
+            variant = _push(p_push, _exists(lr)) + (_step(_SELF, n, *oq),)
+            return [variant], "Rule (30)", (
+                "erratum: push-left form p[preceding-sibling::m]/self::n "
+                "(the printed right-hand side selects sibling nodes)")
+        if axis is _FS:
+            v1 = _push(p_push, _exists(_step(_SELF, m, *qr))) + (_step(_FS, n, *oq),)
+            v2 = p + (_step(_FS, m, *qr), _step(_FS, n, *oq))
+            v3 = _push(p_push, _exists(lr)) + (_step(_FS, n, *oq),)
+            return [v1, v2, v3], "Rule (31)", "following-sibling[preceding-sibling] interaction"
+        if axis is _FOLLOWING:
+            v1 = p + (_step(_FOLLOWING, m, *qr), _step(_FS, n, *oq))
+            v2 = p + (_step(_AOS, node_wildcard(), _exists(lr)), _step(_FS, n, *oq))
+            v3 = p + (_step(_AOS, m, *qr), _step(_FS, n, *oq))
+            return [v1, v2, v3], "Rule (32)", (
+                "following[preceding-sibling] interaction; erratum: the garbled "
+                "third term is reconstructed as p/ancestor-or-self::m/following-sibling::n")
+        raise RewriteError(f"unexpected carrier axis {axis.xpath_name}")
+
+    # -- preceding in a qualifier: Rules (38)-(42) ----------------------------
+    def _preceding_qualifier(self, p_push: Variant, p: Variant, carrier: Step,
+                             lr: Step, oq: Tuple[Qualifier, ...], root_prefix: bool):
+        n = carrier.node_test
+        m, qr = lr.node_test, lr.qualifiers
+        axis = carrier.axis
+        if axis is _DESC:
+            if root_prefix:
+                variant = (_step(_DESC, m, *qr), _step(_FOLLOWING, n, *oq))
+                return [variant], "Rule (38a)", "descendant[preceding] from the root"
+            v1 = _push(p_push, _exists(lr)) + (_step(_DESC, n, *oq),)
+            v2 = p + (_step(_DESC, node_wildcard(), _exists(_step(_DOS, m, *qr))),
+                      _step(_FS, node_wildcard()), _step(_DOS, n, *oq))
+            return [v1, v2], "Rule (38)", (
+                "descendant[preceding]; erratum: descendant::* replaces the "
+                "paper's child::* branch-point term")
+        if axis is _CHILD:
+            v1 = _push(p_push, _exists(lr)) + (_step(_CHILD, n, *oq),)
+            v2 = p + (_step(_CHILD, node_wildcard(), _exists(_step(_DOS, m, *qr))),
+                      _step(_FS, n, *oq))
+            return [v1, v2], "Rule (39)", "child[preceding]"
+        if axis is _SELF:
+            variant = _push(p_push, _exists(lr)) + (_step(_SELF, n, *oq),)
+            return [variant], "Rule (40)", "qualifier moved from a self step to its context"
+        if axis is _FS:
+            v1 = _push(p_push, _exists(lr)) + (_step(_FS, n, *oq),)
+            v2 = p + (_step(_FS, node_wildcard(), _exists(_step(_DOS, m, *qr))),
+                      _step(_FS, n, *oq))
+            v3 = _push(p_push, _exists(_step(_DOS, m, *qr))) + (_step(_FS, n, *oq),)
+            return [v1, v2, v3], "Rule (41)", "following-sibling[preceding] interaction"
+        if axis is _FOLLOWING:
+            v1 = _push(p_push, _exists(lr)) + (_step(_FOLLOWING, n, *oq),)
+            v2 = p + (_step(_FOLLOWING, m, *qr), _step(_FOLLOWING, n, *oq))
+            v3 = _push(p_push, _exists(_step(_DOS, m, *qr))) + (_step(_FOLLOWING, n, *oq),)
+            v4 = p + (_step(_ANC, m, *qr), _step(_FOLLOWING, n, *oq))
+            return [v1, v2, v3, v4], "Rule (42)", (
+                "following[preceding] interaction; erratum: the ancestor term "
+                "p/ancestor::m/following::n is added")
+        raise RewriteError(f"unexpected carrier axis {axis.xpath_name}")

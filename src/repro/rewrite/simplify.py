@@ -1,0 +1,120 @@
+"""Optional cosmetic simplifications of rewritten paths.
+
+``rare`` stays faithful to the paper and never simplifies its output beyond
+what the rules produce (Example 3.1 explicitly notes that further
+simplification "is outside the scope of this paper").  The helpers here are
+a small, clearly-sound set of clean-ups used by the examples and the
+comparison benchmark so that reported path sizes are not inflated by
+redundant ``self::node()`` steps introduced when a rule needed an explicit
+context:
+
+* a ``self::node()`` step with no qualifiers is dropped when the path has
+  other steps (``p/self::node()/q ≡ p/q``),
+* qualifiers ``[self::node()]`` (trivially true) are dropped,
+* union members equal to ``⊥`` are dropped and duplicate members merged.
+
+Each transformation preserves path equivalence and is covered by
+property-based tests.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xpath.ast import (
+    AndExpr,
+    Bottom,
+    Comparison,
+    LocationPath,
+    OrExpr,
+    PathExpr,
+    PathQualifier,
+    Qualifier,
+    Step,
+    Union,
+    union_of,
+)
+from repro.xpath.axes import Axis
+
+
+def simplify(path: PathExpr) -> PathExpr:
+    """Apply the cosmetic simplifications described in the module docstring."""
+    if isinstance(path, Bottom):
+        return path
+    if isinstance(path, Union):
+        members = [simplify(member) for member in path.members]
+        unique: List[PathExpr] = []
+        for member in members:
+            if isinstance(member, Bottom):
+                continue
+            if member not in unique:
+                unique.append(member)
+        return union_of(*unique)
+    if isinstance(path, LocationPath):
+        return _simplify_location_path(path)
+    raise TypeError(f"not a path expression: {path!r}")
+
+
+def _is_trivial_self(step: Step) -> bool:
+    return (step.axis is Axis.SELF and step.node_test.is_node
+            and not step.qualifiers)
+
+
+def _simplify_location_path(path: LocationPath) -> PathExpr:
+    steps = [_simplify_step(step) for step in path.steps]
+    kept: List[Step] = []
+    for index, step in enumerate(steps):
+        if _is_trivial_self(step):
+            # self::node() is redundant unless it is the only thing keeping a
+            # relative path non-empty (or the whole path is just "/").
+            remaining = len(steps) - 1
+            if path.absolute and remaining >= 0 and (kept or index + 1 < len(steps)):
+                continue
+            if not path.absolute and (kept or index + 1 < len(steps)):
+                continue
+        kept.append(step)
+    if not kept and not path.absolute:
+        kept = [Step(axis=Axis.SELF, node_test=path.steps[0].node_test
+                     if path.steps else None)]  # pragma: no cover - defensive
+    return LocationPath(absolute=path.absolute, steps=tuple(kept))
+
+
+def _simplify_step(step: Step) -> Step:
+    qualifiers = []
+    for qual in step.qualifiers:
+        simplified = _simplify_qualifier(qual)
+        if simplified is None:
+            continue
+        qualifiers.append(simplified)
+    return step.with_qualifiers(qualifiers)
+
+
+def _simplify_qualifier(qual: Qualifier):
+    """Simplify a qualifier; ``None`` means "trivially true, drop it"."""
+    if isinstance(qual, PathQualifier):
+        inner = simplify(qual.path)
+        if isinstance(inner, LocationPath) and not inner.absolute:
+            if len(inner.steps) == 1 and _is_trivial_self(inner.steps[0]):
+                return None
+        if isinstance(inner, Bottom):
+            return PathQualifier(inner)
+        return PathQualifier(inner)
+    if isinstance(qual, AndExpr):
+        left = _simplify_qualifier(qual.left)
+        right = _simplify_qualifier(qual.right)
+        if left is None:
+            return right
+        if right is None:
+            return left
+        return AndExpr(left=left, right=right)
+    if isinstance(qual, OrExpr):
+        left = _simplify_qualifier(qual.left)
+        right = _simplify_qualifier(qual.right)
+        if left is None or right is None:
+            # one side is trivially true -> the whole disjunction is
+            return None
+        return OrExpr(left=left, right=right)
+    if isinstance(qual, Comparison):
+        return Comparison(left=simplify(qual.left), op=qual.op,
+                          right=simplify(qual.right))
+    raise TypeError(f"not a qualifier: {qual!r}")

@@ -1,0 +1,35 @@
+"""Union flattening (the ``union-flattening`` helper of Figure 2).
+
+The rewriting rules are written so that unions are always distributed over
+the surrounding path when they are produced (see
+:func:`repro.rewrite.builders.assemble_union`), so flattening only has to
+normalize nested top-level unions and drop ``⊥`` members.  Qualifier-internal
+unions are left alone: a union used as an existence qualifier is equivalent
+to the disjunction of its members and needs no hoisting.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xpath.ast import Bottom, PathExpr, Union, union_of
+
+
+def union_terms(path: PathExpr) -> List[PathExpr]:
+    """The top-level union members of ``path``, with ``⊥`` members removed.
+
+    Returns an empty list when ``path`` is ``⊥`` (or a union of ``⊥``s).
+    """
+    if isinstance(path, Bottom):
+        return []
+    if isinstance(path, Union):
+        members: List[PathExpr] = []
+        for member in path.members:
+            members.extend(union_terms(member))
+        return members
+    return [path]
+
+
+def flatten_unions(path: PathExpr) -> PathExpr:
+    """Normalize ``path`` so that unions occur at the top level only."""
+    return union_of(*union_terms(path))

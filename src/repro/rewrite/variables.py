@@ -1,0 +1,299 @@
+"""Variable-based rewriting for relative paths and RR joins (Section 4).
+
+Two classes of location paths are outside the input class of ``rare``:
+relative paths, and paths whose qualifiers contain RR joins
+(Definition 4.2) — in both cases a naive removal of the reverse steps would
+lose the context node.  The paper sketches the solution adopted in the full
+version: *remember the context in a variable* using the ``for`` binding
+construct of XPath 2.0 / XQuery, and then rewrite against that variable.
+
+This module implements that extension:
+
+* :class:`VariableReference` — a path expression ``$x`` (optionally followed
+  by forward steps) anchored at a bound variable rather than at the root,
+* :class:`ForRewrite` — ``for $x in sequence return body``; the ``sequence``
+  is an ordinary (reverse-axis-free) path and the ``body`` may mention
+  ``$x`` inside joins,
+* :func:`rewrite_with_variables` — turns a relative path, or an absolute path
+  with RR joins, into a :class:`ForRewrite` whose sequence and body are
+  reverse-axis free,
+* :func:`evaluate_for` — reference evaluation of a :class:`ForRewrite` on a
+  document, used by the tests to check equivalence with the original path.
+
+The key identity behind the construction is::
+
+    p   ≡   for $x in self::node() return
+            /descendant-or-self::node()[self::node() == $x]/p
+
+for any relative path ``p``: the absolute body re-locates the context node by
+a node-identity join against the variable and continues with ``p`` from
+there.  The body is an *absolute* path whose only unusual feature is the
+``$x`` operand, so the ordinary ``rare`` algorithm applies to it; the join
+``self::node() == $x`` is not an RR join because ``$x`` does not depend on
+the context node of the qualifier.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple, Union as TypingUnion
+
+from repro.errors import UnsupportedPathError
+from repro.rewrite.builders import rel, self_node
+from repro.rewrite.rare import rare
+from repro.semantics.axes_impl import axis_nodes, node_test_matches
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.node import XMLNode
+from repro.xpath import analysis
+from repro.xpath.ast import (
+    AndExpr,
+    Bottom,
+    Comparison,
+    LocationPath,
+    NodeTest,
+    OrExpr,
+    PathExpr,
+    PathQualifier,
+    Qualifier,
+    Step,
+    Union,
+)
+from repro.xpath.axes import Axis
+from repro.xpath.parser import parse_xpath
+from repro.xpath.serializer import to_string
+
+
+@dataclass(frozen=True)
+class VariableReference(LocationPath):
+    """A path anchored at a bound variable: ``$x`` or ``$x/forward-steps``.
+
+    Implemented as an absolute :class:`LocationPath` subclass so that the
+    structural analysis helpers (and the rewriting driver) treat it as an
+    anchored — i.e. context-independent — path; only the dedicated evaluator
+    in this module interprets the variable itself.
+    """
+
+    variable: str = "x"
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return for_to_string(self)
+
+
+@dataclass(frozen=True)
+class ForRewrite:
+    """``for $variable in sequence return body`` (a union over the bindings)."""
+
+    variable: str
+    sequence: PathExpr
+    body: PathExpr
+
+
+_COUNTER = itertools.count(1)
+
+
+def _fresh_variable() -> str:
+    return f"x{next(_COUNTER)}"
+
+
+def _anchor_step(variable: str) -> Step:
+    """``descendant-or-self::node()[self::node() == $variable]``."""
+    join = Comparison(left=rel(self_node()), op="==",
+                      right=VariableReference(absolute=True, steps=(), variable=variable))
+    return Step(axis=Axis.DESCENDANT_OR_SELF, node_test=NodeTest.node(),
+                qualifiers=(join,))
+
+
+def rewrite_with_variables(path: TypingUnion[str, PathExpr],
+                           ruleset: str = "ruleset2") -> ForRewrite:
+    """Rewrite a relative path or an RR-join path using a variable binding.
+
+    Relative paths become ``for $x in self::node() return <anchored body>``;
+    absolute paths with RR joins bind ``$x`` to the nodes selected up to (and
+    including) the step carrying the first RR join and re-express the join
+    against ``$x``.  In both cases the returned ``sequence`` and ``body`` are
+    reverse-axis free.
+    """
+    if isinstance(path, str):
+        path = parse_xpath(path)
+
+    if not analysis.is_absolute(path):
+        if not isinstance(path, LocationPath):
+            raise UnsupportedPathError(
+                "variable rewriting of relative unions is not supported; "
+                "rewrite each member separately")
+        variable = _fresh_variable()
+        anchored = LocationPath(absolute=True,
+                                steps=(_anchor_step(variable),) + path.steps)
+        body = rare(anchored, ruleset=ruleset).result
+        return ForRewrite(variable=variable, sequence=rel(self_node()), body=body)
+
+    if isinstance(path, LocationPath) and analysis.has_rr_joins(path):
+        return _rewrite_rr_join(path, ruleset)
+
+    # Already in the input class of rare: bind the root for uniformity.
+    variable = _fresh_variable()
+    return ForRewrite(variable=variable, sequence=LocationPath(absolute=True, steps=()),
+                      body=rare(path, ruleset=ruleset).result)
+
+
+def _rewrite_rr_join(path: LocationPath, ruleset: str) -> ForRewrite:
+    """Handle an absolute path whose qualifiers contain RR joins."""
+    variable = _fresh_variable()
+    carrier_index = _first_rr_join_step(path)
+    carrier = path.steps[carrier_index]
+
+    # The binding sequence: the path up to the carrier step, with the RR-join
+    # qualifiers removed from the carrier (they are re-checked in the body).
+    kept, rr_joins = [], []
+    for qual in carrier.qualifiers:
+        if isinstance(qual, Comparison) and analysis.is_rr_join(qual):
+            rr_joins.append(qual)
+        else:
+            kept.append(qual)
+    sequence_path = LocationPath(
+        absolute=True,
+        steps=path.steps[:carrier_index] + (carrier.with_qualifiers(kept),),
+    )
+    sequence = rare(sequence_path, ruleset=ruleset).result
+
+    # The body: re-locate $x, re-check the joins against $x, continue with the
+    # rest of the original path.
+    anchored_joins = [
+        Comparison(left=_anchor_operand(join.left, variable), op=join.op,
+                   right=_anchor_operand(join.right, variable))
+        for join in rr_joins
+    ]
+    anchor = _anchor_step(variable)
+    anchor = anchor.add_qualifiers(*anchored_joins)
+    body_path = LocationPath(absolute=True,
+                             steps=(anchor,) + path.steps[carrier_index + 1:])
+    body = rare(body_path, ruleset=ruleset).result
+    return ForRewrite(variable=variable, sequence=sequence, body=body)
+
+
+def _anchor_operand(operand: PathExpr, variable: str) -> PathExpr:
+    """Re-anchor a relative join operand at ``$variable``."""
+    if analysis.is_absolute(operand):
+        return operand
+    if not isinstance(operand, LocationPath):
+        raise UnsupportedPathError(
+            "variable rewriting supports plain relative paths as join operands")
+    return LocationPath(absolute=True,
+                        steps=(_anchor_step(variable),) + operand.steps)
+
+
+def _first_rr_join_step(path: LocationPath) -> int:
+    """Index of the first spine step whose qualifiers contain an RR join."""
+    for index, step in enumerate(path.steps):
+        for qual in step.qualifiers:
+            for comparison in _comparisons_in(qual):
+                if analysis.is_rr_join(comparison):
+                    return index
+    raise UnsupportedPathError("path contains no RR join")
+
+
+def _comparisons_in(qual: Qualifier) -> Iterable[Comparison]:
+    if isinstance(qual, Comparison):
+        yield qual
+    elif isinstance(qual, (AndExpr, OrExpr)):
+        yield from _comparisons_in(qual.left)
+        yield from _comparisons_in(qual.right)
+    elif isinstance(qual, PathQualifier):
+        yield from analysis.iter_comparisons(qual.path)
+
+
+# ---------------------------------------------------------------------------
+# Reference evaluation of ForRewrite (used by tests)
+# ---------------------------------------------------------------------------
+
+def evaluate_for(expr: ForRewrite, document: Document,
+                 context: Optional[XMLNode] = None) -> List[XMLNode]:
+    """Evaluate ``for $x in sequence return body`` on a document."""
+    if context is None:
+        context = document.root
+    bindings = _eval_path(expr.sequence, document, context, {})
+    result: Set[XMLNode] = set()
+    for binding in sorted(bindings, key=lambda node: node.position):
+        result |= _eval_path(expr.body, document, context,
+                             {expr.variable: binding})
+    return document.sorted_in_document_order(result)
+
+
+def _eval_path(path: PathExpr, document: Document, context: XMLNode,
+               env: Dict[str, XMLNode]) -> Set[XMLNode]:
+    if isinstance(path, Bottom):
+        return set()
+    if isinstance(path, Union):
+        result: Set[XMLNode] = set()
+        for member in path.members:
+            result |= _eval_path(member, document, context, env)
+        return result
+    if isinstance(path, VariableReference):
+        try:
+            current: Set[XMLNode] = {env[path.variable]}
+        except KeyError:
+            raise UnsupportedPathError(f"unbound variable ${path.variable}") from None
+    elif isinstance(path, LocationPath):
+        current = {document.root} if path.absolute else {context}
+    else:
+        raise UnsupportedPathError(f"not a path expression: {path!r}")
+    for step in path.steps:
+        next_nodes: Set[XMLNode] = set()
+        for node in current:
+            for candidate in axis_nodes(node, step.axis):
+                if not node_test_matches(step.node_test, candidate):
+                    continue
+                if candidate in next_nodes:
+                    continue
+                if all(_eval_qualifier(q, document, candidate, env)
+                       for q in step.qualifiers):
+                    next_nodes.add(candidate)
+        current = next_nodes
+        if not current:
+            break
+    return current
+
+
+def _eval_qualifier(qual: Qualifier, document: Document, context: XMLNode,
+                    env: Dict[str, XMLNode]) -> bool:
+    if isinstance(qual, PathQualifier):
+        return bool(_eval_path(qual.path, document, context, env))
+    if isinstance(qual, AndExpr):
+        return (_eval_qualifier(qual.left, document, context, env)
+                and _eval_qualifier(qual.right, document, context, env))
+    if isinstance(qual, OrExpr):
+        return (_eval_qualifier(qual.left, document, context, env)
+                or _eval_qualifier(qual.right, document, context, env))
+    if isinstance(qual, Comparison):
+        left = _eval_path(qual.left, document, context, env)
+        right = _eval_path(qual.right, document, context, env)
+        if qual.op == "==":
+            return bool(left & right)
+        return bool({n.text_content() for n in left}
+                    & {n.text_content() for n in right})
+    raise UnsupportedPathError(f"not a qualifier: {qual!r}")
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def for_to_string(expr: TypingUnion[ForRewrite, PathExpr]) -> str:
+    """Render a ForRewrite (or variable-containing path) as XPath 2.0-like text."""
+    if isinstance(expr, ForRewrite):
+        return (f"for ${expr.variable} in {for_to_string(expr.sequence)} "
+                f"return {for_to_string(expr.body)}")
+    if isinstance(expr, VariableReference):
+        suffix = "/".join(
+            f"{step.axis.xpath_name}::{step.node_test}" for step in expr.steps)
+        return f"${expr.variable}" + (f"/{suffix}" if suffix else "")
+    if isinstance(expr, Union):
+        return " | ".join(for_to_string(member) for member in expr.members)
+    if isinstance(expr, LocationPath):
+        # Delegate to the standard serializer for plain paths; it cannot see
+        # VariableReference objects nested inside qualifiers, so render those
+        # by substitution.
+        rendered = to_string(expr)
+        return rendered
+    return to_string(expr)

@@ -1,0 +1,26 @@
+"""Denotational semantics of xPath (System S5 in DESIGN.md).
+
+The evaluator implements the set-of-nodes semantics ``S[[p]]x`` used in the
+paper (Definition 3.1, after Wadler's formal semantics of XPath): the
+meaning of a location path ``p`` relative to a context node ``x`` is the set
+of nodes it selects.  This is the *reference* semantics against which the
+rewrite rules and the streaming evaluator are validated.
+"""
+
+from repro.semantics.evaluator import evaluate, evaluate_qualifier
+from repro.semantics.axes_impl import axis_nodes, node_test_matches
+from repro.semantics.equivalence import (
+    EquivalenceReport,
+    counterexample,
+    paths_equivalent_on,
+)
+
+__all__ = [
+    "evaluate",
+    "evaluate_qualifier",
+    "axis_nodes",
+    "node_test_matches",
+    "paths_equivalent_on",
+    "counterexample",
+    "EquivalenceReport",
+]

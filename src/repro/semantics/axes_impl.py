@@ -1,0 +1,127 @@
+"""Axis navigation and node tests over the in-memory document model.
+
+Each axis function returns the selected nodes in document order.  The
+definitions follow XPath 1.0 restricted to the paper's data model (no
+attributes or namespaces):
+
+* ``self`` — the context node,
+* ``child`` / ``descendant`` / ``descendant-or-self`` — structural downward axes,
+* ``parent`` / ``ancestor`` / ``ancestor-or-self`` — structural upward axes,
+* ``following-sibling`` / ``preceding-sibling`` — siblings after/before the
+  context node,
+* ``following`` — all nodes after the context node in document order,
+  excluding its descendants,
+* ``preceding`` — all nodes before the context node in document order,
+  excluding its ancestors.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import EvaluationError
+from repro.xpath.ast import NodeTest, NodeTestKind
+from repro.xpath.axes import Axis
+from repro.xmlmodel.node import XMLNode
+
+
+def node_test_matches(test: NodeTest, node: XMLNode) -> bool:
+    """Whether ``node`` satisfies the node test.
+
+    Following XPath 1.0: a tag-name test and ``*`` match element nodes only,
+    ``text()`` matches text nodes, ``node()`` matches every node (including
+    the root).
+    """
+    if test.kind is NodeTestKind.NODE:
+        return True
+    if test.kind is NodeTestKind.TEXT:
+        return node.is_text
+    if test.kind is NodeTestKind.WILDCARD:
+        return node.is_element
+    if test.kind is NodeTestKind.NAME:
+        return node.is_element and node.tag == test.name
+    raise EvaluationError(f"unknown node test kind {test.kind!r}")
+
+
+def _self(node: XMLNode) -> List[XMLNode]:
+    return [node]
+
+
+def _child(node: XMLNode) -> List[XMLNode]:
+    return list(node.children)
+
+
+def _descendant(node: XMLNode) -> List[XMLNode]:
+    return list(node.iter_descendants())
+
+
+def _descendant_or_self(node: XMLNode) -> List[XMLNode]:
+    return list(node.iter_descendants_or_self())
+
+
+def _parent(node: XMLNode) -> List[XMLNode]:
+    return [node.parent] if node.parent is not None else []
+
+
+def _ancestor(node: XMLNode) -> List[XMLNode]:
+    ancestors = list(node.iter_ancestors())
+    ancestors.reverse()
+    return ancestors
+
+
+def _ancestor_or_self(node: XMLNode) -> List[XMLNode]:
+    return _ancestor(node) + [node]
+
+
+def _following_sibling(node: XMLNode) -> List[XMLNode]:
+    return list(node.iter_following_siblings())
+
+
+def _preceding_sibling(node: XMLNode) -> List[XMLNode]:
+    siblings = list(node.iter_preceding_siblings())
+    siblings.reverse()
+    return siblings
+
+
+def _following(node: XMLNode) -> List[XMLNode]:
+    if node.document is None:
+        raise EvaluationError("node is not attached to a document")
+    end_of_subtree = node._subtree_end
+    return [
+        other
+        for other in node.document.nodes[end_of_subtree + 1:]
+    ]
+
+
+def _preceding(node: XMLNode) -> List[XMLNode]:
+    if node.document is None:
+        raise EvaluationError("node is not attached to a document")
+    ancestors = set(id(a) for a in node.iter_ancestors())
+    return [
+        other
+        for other in node.document.nodes[: node.position]
+        if id(other) not in ancestors
+    ]
+
+
+_AXIS_FUNCTIONS = {
+    Axis.SELF: _self,
+    Axis.CHILD: _child,
+    Axis.DESCENDANT: _descendant,
+    Axis.DESCENDANT_OR_SELF: _descendant_or_self,
+    Axis.PARENT: _parent,
+    Axis.ANCESTOR: _ancestor,
+    Axis.ANCESTOR_OR_SELF: _ancestor_or_self,
+    Axis.FOLLOWING_SIBLING: _following_sibling,
+    Axis.PRECEDING_SIBLING: _preceding_sibling,
+    Axis.FOLLOWING: _following,
+    Axis.PRECEDING: _preceding,
+}
+
+
+def axis_nodes(node: XMLNode, axis: Axis) -> List[XMLNode]:
+    """All nodes reachable from ``node`` along ``axis``, in document order."""
+    try:
+        return _AXIS_FUNCTIONS[axis](node)
+    except KeyError:  # pragma: no cover - defensive
+        raise EvaluationError(f"unsupported axis {axis!r}") from None

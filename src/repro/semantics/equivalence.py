@@ -1,0 +1,96 @@
+"""Empirical path-equivalence checking (Definition 3.1).
+
+Two location paths are equivalent when they select the same node set for
+*every* document and *every* context node.  Checking that universally is
+undecidable to do by enumeration, but the paper's equivalences are
+*structural*: if a rewrite is wrong it is wrong on small documents already.
+The property-based tests therefore check candidate equivalences on pools of
+randomized documents at every context node, which reliably catches incorrect
+rules (and indeed caught the four paper errata documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.semantics.evaluator import evaluate
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.generator import RandomDocumentPool
+from repro.xmlmodel.node import XMLNode
+from repro.xpath.ast import PathExpr
+from repro.xpath.serializer import to_string
+
+
+@dataclass
+class EquivalenceReport:
+    """Outcome of an empirical equivalence check.
+
+    ``equivalent`` is ``True`` when no counterexample was found.  When a
+    counterexample exists, ``document``, ``context`` and the two differing
+    node-position lists describe it.
+    """
+
+    left: PathExpr
+    right: PathExpr
+    equivalent: bool = True
+    checks: int = 0
+    document: Optional[Document] = None
+    context: Optional[XMLNode] = None
+    left_result: List[int] = field(default_factory=list)
+    right_result: List[int] = field(default_factory=list)
+
+    def describe(self) -> str:
+        """Human-readable summary, used in test failure messages."""
+        if self.equivalent:
+            return (
+                f"{to_string(self.left)}  ≡  {to_string(self.right)}  "
+                f"({self.checks} context checks)"
+            )
+        context_label = self.context.label() if self.context is not None else "?"
+        return (
+            f"NOT equivalent at context {context_label}:\n"
+            f"  left : {to_string(self.left)} -> {self.left_result}\n"
+            f"  right: {to_string(self.right)} -> {self.right_result}"
+        )
+
+
+def paths_equivalent_on(left: PathExpr, right: PathExpr,
+                        documents: Iterable[Document],
+                        contexts: Optional[Sequence[XMLNode]] = None
+                        ) -> EquivalenceReport:
+    """Check ``left ≡ right`` on the given documents.
+
+    When ``contexts`` is ``None`` every node of every document is used as
+    context node (the quantification of Definition 3.1 restricted to the
+    given documents).
+    """
+    report = EquivalenceReport(left=left, right=right)
+    for document in documents:
+        nodes = contexts if contexts is not None else document.nodes
+        for context in nodes:
+            left_result = [n.position for n in evaluate(left, document, context)]
+            right_result = [n.position for n in evaluate(right, document, context)]
+            report.checks += 1
+            if left_result != right_result:
+                report.equivalent = False
+                report.document = document
+                report.context = context
+                report.left_result = left_result
+                report.right_result = right_result
+                return report
+    return report
+
+
+def counterexample(left: PathExpr, right: PathExpr,
+                   documents: Optional[Iterable[Document]] = None
+                   ) -> Optional[EquivalenceReport]:
+    """Search the default document pool for a counterexample to ``left ≡ right``.
+
+    Returns ``None`` when no counterexample is found, otherwise the failing
+    report.  Used both by tests and by the errata demonstrations.
+    """
+    if documents is None:
+        documents = RandomDocumentPool().documents()
+    report = paths_equivalent_on(left, right, documents)
+    return None if report.equivalent else report

@@ -1,0 +1,132 @@
+"""Reference evaluator for xPath: the denotational semantics S[[p]]x.
+
+``evaluate(path, document, context)`` returns the set of nodes selected by
+``path`` from the context node, as a list in document order.  Absolute paths
+ignore the context node and start from the document root; relative paths
+start from the context node (which defaults to the root, matching how the
+paper evaluates absolute queries).
+
+The evaluator is deliberately straightforward — per-step node-set expansion
+with qualifier filtering — because its role is to be an *obviously correct*
+reference against which the rewrite rules (Sections 3 and 4) and the
+streaming evaluator are checked.  Performance-sensitive evaluation is the job
+of :mod:`repro.streaming`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Set
+
+from repro.errors import EvaluationError
+from repro.semantics.axes_impl import axis_nodes, node_test_matches
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.node import XMLNode
+from repro.xpath.ast import (
+    AndExpr,
+    Bottom,
+    Comparison,
+    LocationPath,
+    OrExpr,
+    PathExpr,
+    PathQualifier,
+    Qualifier,
+    Step,
+    Union,
+)
+
+
+def evaluate(path: PathExpr, document: Document,
+             context: Optional[XMLNode] = None) -> List[XMLNode]:
+    """Evaluate ``path`` on ``document`` from ``context`` (default: the root).
+
+    Returns the selected nodes as a list in document order without
+    duplicates — the set ``S[[p]]x`` of the paper.
+    """
+    if context is None:
+        context = document.root
+    if context.document is not document:
+        raise EvaluationError("context node does not belong to the document")
+    result = _evaluate_path(path, document, context)
+    return document.sorted_in_document_order(result)
+
+
+def _evaluate_path(path: PathExpr, document: Document,
+                   context: XMLNode) -> Set[XMLNode]:
+    if isinstance(path, Bottom):
+        return set()
+    if isinstance(path, Union):
+        result: Set[XMLNode] = set()
+        for member in path.members:
+            result |= _evaluate_path(member, document, context)
+        return result
+    if isinstance(path, LocationPath):
+        if path.absolute:
+            current: Set[XMLNode] = {document.root}
+        else:
+            current = {context}
+        for step in path.steps:
+            current = _evaluate_step(step, document, current)
+            if not current:
+                break
+        return current
+    raise EvaluationError(f"not a path expression: {path!r}")
+
+
+def _evaluate_step(step: Step, document: Document,
+                   context_nodes: Iterable[XMLNode]) -> Set[XMLNode]:
+    """Apply one location step to a set of context nodes."""
+    selected: Set[XMLNode] = set()
+    for context in context_nodes:
+        for candidate in axis_nodes(context, step.axis):
+            if not node_test_matches(step.node_test, candidate):
+                continue
+            if candidate in selected:
+                continue
+            if all(
+                evaluate_qualifier(qual, document, candidate)
+                for qual in step.qualifiers
+            ):
+                selected.add(candidate)
+    return selected
+
+
+def evaluate_qualifier(qual: Qualifier, document: Document,
+                       context: XMLNode) -> bool:
+    """Evaluate a qualifier (predicate) at a context node.
+
+    * a path qualifier is true iff the path selects at least one node,
+    * ``and`` / ``or`` combine qualifiers,
+    * ``p1 == p2`` is true iff the two paths select a common node
+      (node-identity join),
+    * ``p1 = p2`` is true iff some node selected by ``p1`` and some node
+      selected by ``p2`` have equal string values (XPath 1.0 general
+      comparison restricted to node sets).
+    """
+    if isinstance(qual, PathQualifier):
+        return bool(_evaluate_path(qual.path, document, context))
+    if isinstance(qual, AndExpr):
+        return (evaluate_qualifier(qual.left, document, context)
+                and evaluate_qualifier(qual.right, document, context))
+    if isinstance(qual, OrExpr):
+        return (evaluate_qualifier(qual.left, document, context)
+                or evaluate_qualifier(qual.right, document, context))
+    if isinstance(qual, Comparison):
+        left = _evaluate_path(qual.left, document, context)
+        right = _evaluate_path(qual.right, document, context)
+        if qual.op == "==":
+            return bool(left & right)
+        left_values = {node.text_content() for node in left}
+        right_values = {node.text_content() for node in right}
+        return bool(left_values & right_values)
+    raise EvaluationError(f"not a qualifier: {qual!r}")
+
+
+def select_positions(path: PathExpr, document: Document,
+                     context: Optional[XMLNode] = None) -> List[int]:
+    """Like :func:`evaluate` but returning document-order positions.
+
+    Positions are what the streaming evaluator reports (it never materializes
+    node objects), so comparisons between the two evaluators go through this
+    helper.
+    """
+    return [node.position for node in evaluate(path, document, context)]

@@ -1,0 +1,31 @@
+"""Streaming (progressive) evaluation of reverse-axis-free paths (S11/S12).
+
+The point of the paper's rewriting is that a location path without reverse
+axes can be answered in a *single pass* over a SAX event stream, buffering
+only pending candidate matches instead of the whole document.  This package
+provides:
+
+* :mod:`repro.streaming.matcher` — the single-pass matching engine,
+* :mod:`repro.streaming.evaluator` — the public ``stream_evaluate`` /
+  ``stream_matches`` API and the :class:`StreamResult` record,
+* :mod:`repro.streaming.dom_baseline` — the in-memory (DOM) baseline the
+  paper's introduction argues against for large documents,
+* :mod:`repro.streaming.buffered` — the "buffer enough of the document to
+  answer reverse axes" baseline (first of the three options in Section 1),
+* :mod:`repro.streaming.stats` — memory/latency accounting shared by all of
+  them, used by the benchmarks of experiment E9.
+"""
+
+from repro.streaming.stats import StreamStats
+from repro.streaming.evaluator import StreamResult, stream_evaluate, stream_matches
+from repro.streaming.dom_baseline import dom_evaluate
+from repro.streaming.buffered import buffered_evaluate
+
+__all__ = [
+    "StreamStats",
+    "StreamResult",
+    "stream_evaluate",
+    "stream_matches",
+    "dom_evaluate",
+    "buffered_evaluate",
+]

@@ -1,0 +1,53 @@
+"""The DOM baseline: materialize the document, then evaluate.
+
+This is the processing model the paper's introduction starts from ("the
+widespread use of the W3C document object model (DOM), where an in-memory
+representation of the entire XML data is used") and whose memory behaviour
+the streaming evaluator is meant to avoid.  The baseline accepts *any* path
+— including reverse axes — because once the whole tree is in memory every
+axis is cheap; its cost is that ``nodes_stored`` equals the document size.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple, Union as TypingUnion
+
+from repro.semantics.evaluator import evaluate
+from repro.streaming.evaluator import StreamResult
+from repro.streaming.stats import StreamStats
+from repro.xmlmodel.builder import build_document
+from repro.xmlmodel.events import EndDocument, EndElement, Event, StartDocument
+from repro.xpath.ast import PathExpr
+from repro.xpath.parser import parse_xpath
+
+
+def dom_evaluate(path: TypingUnion[str, PathExpr],
+                 events: Iterable[Event]) -> StreamResult:
+    """Evaluate ``path`` by building the full document first.
+
+    Returns the same :class:`StreamResult` shape as the streaming evaluator
+    so benchmark reports can put the two side by side; ``nodes_stored``
+    reflects the in-memory tree.
+    """
+    if isinstance(path, str):
+        path = parse_xpath(path)
+    stats = StreamStats()
+    buffered = []
+    depth = 0
+    for event in events:
+        stats.events += 1
+        if isinstance(event, EndElement):
+            depth -= 1
+        elif not isinstance(event, (StartDocument, EndDocument)):
+            depth += 1
+            stats.max_depth = max(stats.max_depth, depth)
+            if not hasattr(event, "tag"):
+                depth -= 1  # text events are leaves, they do not nest
+        buffered.append(event)
+    document = build_document(buffered)
+    stats.nodes_seen = len(document)
+    stats.nodes_stored = len(document)
+    nodes = evaluate(path, document)
+    node_ids: List[int] = [node.position for node in nodes]
+    stats.results = len(node_ids)
+    return StreamResult(node_ids=node_ids, stats=stats)

@@ -1,0 +1,644 @@
+"""Single-pass streaming matcher for reverse-axis-free location paths.
+
+The engine consumes a stream of SAX-like events exactly once and reports the
+document-order ids of the nodes selected by a forward-only location path.
+It is the kind of progressive processor the paper's conclusion announces
+("we are designing and implementing a progressive XPath processor" [12]) —
+a compact cousin of the authors' later SPEX system.
+
+How it works
+------------
+
+* The engine keeps the stack of currently open elements (the only structural
+  state a SAX consumer has for free).
+* For every location step that still has to be matched, an *expectation*
+  describes which future nodes can match it: nodes related to an *anchor*
+  node (the match of the previous step) by the step's forward axis.  Because
+  all axes are forward, an expectation only ever has to look at nodes whose
+  start event has not arrived yet:
+
+  ========================  =====================================================
+  axis                      nodes that can still match once the anchor is known
+  ========================  =====================================================
+  ``self``                  the anchor itself (resolved immediately)
+  ``child``                 nodes starting while the anchor is open, one level deeper
+  ``descendant``            nodes starting while the anchor is open
+  ``descendant-or-self``    the anchor itself plus descendants
+  ``following-sibling``     nodes at the anchor's depth after the anchor closes,
+                            while the anchor's parent is open
+  ``following``             any node starting after the anchor closes
+  ========================  =====================================================
+
+* Qualifiers and joins become *conditions* attached to candidate matches.
+  Existence qualifiers spawn sub-expectations anchored at the candidate;
+  ``==`` joins collect node ids on both sides; ``=`` joins additionally
+  buffer string values.  Absolute sub-paths (introduced by RuleSet1's
+  rewriting) are matched once from the document root into sinks shared by
+  all conditions that mention them.
+* At the end of the stream every condition can be decided and the candidates
+  whose conditions hold are reported.  Memory therefore scales with the
+  number of *pending candidates and conditions* — not with the document —
+  which is the property the benchmarks of experiment E9 measure.
+
+Reverse axes are rejected: remove them first with
+:func:`repro.rewrite.remove_reverse_axes`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.errors import ReverseAxisStreamingError, StreamingError
+from repro.streaming.stats import StreamStats
+from repro.xmlmodel.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from repro.xpath import analysis
+from repro.xpath.ast import (
+    AndExpr,
+    Bottom,
+    Comparison,
+    LocationPath,
+    NodeTestKind,
+    OrExpr,
+    PathExpr,
+    PathQualifier,
+    Qualifier,
+    Step,
+    Union,
+    iter_union_members,
+)
+from repro.xpath.axes import Axis
+from repro.xpath.serializer import to_string
+
+
+# ---------------------------------------------------------------------------
+# Conditions: booleans decided by the end of the stream
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Entry:
+    """One buffered candidate produced by a sink: node id, optional value,
+    and the conditions that must hold for it to count."""
+
+    node_id: int
+    conditions: Tuple["_Condition", ...]
+    value: Optional[str] = None
+
+    def holds(self) -> bool:
+        return all(condition.result() for condition in self.conditions)
+
+
+class _Sink:
+    """Collects the final-step matches of one (sub-)path.
+
+    Sinks that only feed an existence condition (``exists_only``) resolve
+    eagerly: as soon as one match with no pending conditions arrives, the
+    sink is *satisfied*, later matches are not buffered, and the engine stops
+    feeding the expectations that point at it.  This keeps the memory of
+    streaming evaluation proportional to the number of genuinely undecided
+    candidates rather than to the number of witnesses in the document.
+    """
+
+    __slots__ = ("entries", "collect_values", "exists_only", "satisfied")
+
+    def __init__(self, collect_values: bool = False, exists_only: bool = False):
+        self.entries: List[_Entry] = []
+        self.collect_values = collect_values
+        self.exists_only = exists_only
+        self.satisfied = False
+
+    def add(self, entry: _Entry) -> bool:
+        """Record a match; returns whether the entry had to be buffered."""
+        if self.satisfied:
+            return False
+        if self.exists_only and not entry.conditions:
+            self.satisfied = True
+            self.entries.clear()
+            return False
+        self.entries.append(entry)
+        return True
+
+    def surviving(self) -> List[_Entry]:
+        return [entry for entry in self.entries if entry.holds()]
+
+    def nonempty(self) -> bool:
+        return self.satisfied or bool(self.surviving())
+
+
+class _Condition:
+    """Base class of deferred boolean conditions."""
+
+    __slots__ = ()
+
+    def result(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class _ExistsCondition(_Condition):
+    """True iff the attached sink ends up with at least one surviving entry."""
+
+    __slots__ = ("sink",)
+
+    def __init__(self, sink: _Sink):
+        self.sink = sink
+
+    def result(self) -> bool:
+        return self.sink.nonempty()
+
+
+class _FalseCondition(_Condition):
+    """Constant false (e.g. a ``⊥`` qualifier)."""
+
+    __slots__ = ()
+
+    def result(self) -> bool:
+        return False
+
+
+class _AndCondition(_Condition):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[_Condition]):
+        self.parts = tuple(parts)
+
+    def result(self) -> bool:
+        return all(part.result() for part in self.parts)
+
+
+class _OrCondition(_Condition):
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Iterable[_Condition]):
+        self.parts = tuple(parts)
+
+    def result(self) -> bool:
+        return any(part.result() for part in self.parts)
+
+
+class _JoinCondition(_Condition):
+    """A join ``left θ right``: node identity (``==``) or value equality (``=``)."""
+
+    __slots__ = ("left", "right", "op")
+
+    def __init__(self, left: _Sink, right: _Sink, op: str):
+        self.left = left
+        self.right = right
+        self.op = op
+
+    def result(self) -> bool:
+        left_entries = self.left.surviving()
+        right_entries = self.right.surviving()
+        if not left_entries or not right_entries:
+            return False
+        if self.op == "==":
+            left_ids = {entry.node_id for entry in left_entries}
+            right_ids = {entry.node_id for entry in right_entries}
+            return bool(left_ids & right_ids)
+        left_values = {entry.value or "" for entry in left_entries}
+        right_values = {entry.value or "" for entry in right_entries}
+        return bool(left_values & right_values)
+
+
+# ---------------------------------------------------------------------------
+# Expectations: pending step matches
+# ---------------------------------------------------------------------------
+
+#: Expectation lifecycle: waiting for the anchor to close (sibling/following
+#: axes), actively matching, or expired.
+_WAITING, _ACTIVE, _EXPIRED = "waiting", "active", "expired"
+
+
+class _Expectation:
+    """Waiting for future nodes related to ``anchor`` by ``step.axis``."""
+
+    __slots__ = ("step", "remaining", "anchor_id", "anchor_depth",
+                 "conditions", "sink", "state", "collect_values")
+
+    def __init__(self, step: Step, remaining: Tuple[Step, ...], anchor_id: int,
+                 anchor_depth: int, conditions: Tuple[_Condition, ...],
+                 sink: _Sink, state: str, collect_values: bool):
+        self.step = step
+        self.remaining = remaining
+        self.anchor_id = anchor_id
+        self.anchor_depth = anchor_depth
+        self.conditions = conditions
+        self.sink = sink
+        self.state = state
+        self.collect_values = collect_values
+
+    def matches(self, depth: int, is_element: bool, tag: Optional[str]) -> bool:
+        if self.state is not _ACTIVE:
+            return False
+        axis = self.step.axis
+        if axis is Axis.CHILD and depth != self.anchor_depth + 1:
+            return False
+        if axis is Axis.FOLLOWING_SIBLING and depth != self.anchor_depth:
+            return False
+        # DESCENDANT / DESCENDANT_OR_SELF / FOLLOWING match any depth in the
+        # active window.
+        return _test_matches(self.step, is_element, tag)
+
+
+def _test_matches(step: Step, is_element: bool, tag: Optional[str]) -> bool:
+    kind = step.node_test.kind
+    if kind is NodeTestKind.NODE:
+        return True
+    if kind is NodeTestKind.TEXT:
+        return not is_element
+    if kind is NodeTestKind.WILDCARD:
+        return is_element
+    return is_element and tag == step.node_test.name
+
+
+class _ValueCollector:
+    """Accumulates the string value of a matched element for ``=`` joins."""
+
+    __slots__ = ("entry", "anchor_depth", "parts")
+
+    def __init__(self, entry: _Entry, anchor_depth: int):
+        self.entry = entry
+        self.anchor_depth = anchor_depth
+        self.parts: List[str] = []
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _OpenElement:
+    node_id: int
+    tag: Optional[str]
+    depth: int
+
+
+class StreamingMatcher:
+    """Single-pass matcher for one reverse-axis-free path expression."""
+
+    def __init__(self, path: PathExpr):
+        if analysis.has_reverse_steps(path):
+            raise ReverseAxisStreamingError(
+                f"path {to_string(path)} contains reverse axes; rewrite it with "
+                f"repro.rewrite.remove_reverse_axes first")
+        self.path = path
+        self.stats = StreamStats()
+        self._stack: List[_OpenElement] = []
+        self._expectations: List[_Expectation] = []
+        self._value_collectors: List[_ValueCollector] = []
+        self._result_sink = _Sink()
+        self._absolute_sinks: Dict[PathExpr, _Sink] = {}
+        self._absolute_value_sinks: Dict[PathExpr, _Sink] = {}
+        self._finished = False
+        self._register_absolute_subpaths(self.path)
+
+    # -- setup -----------------------------------------------------------
+    def _register_absolute_subpaths(self, expr: PathExpr) -> None:
+        """Find absolute sub-paths used inside qualifiers and joins.
+
+        They must be matched from the document root over the *whole* stream
+        (a candidate discovered mid-stream could not see earlier matches), so
+        they are registered once and shared by every condition that mentions
+        them.
+        """
+        for member in iter_union_members(expr):
+            if isinstance(member, Bottom):
+                continue
+            if not isinstance(member, LocationPath):
+                continue
+            for step in member.steps:
+                for qual in step.qualifiers:
+                    self._register_absolute_in_qualifier(qual)
+
+    def _register_absolute_in_qualifier(self, qual: Qualifier) -> None:
+        if isinstance(qual, PathQualifier):
+            self._register_absolute_operand(qual.path, collect_values=False)
+        elif isinstance(qual, (AndExpr, OrExpr)):
+            self._register_absolute_in_qualifier(qual.left)
+            self._register_absolute_in_qualifier(qual.right)
+        elif isinstance(qual, Comparison):
+            collect = qual.op == "="
+            self._register_absolute_operand(qual.left, collect_values=collect)
+            self._register_absolute_operand(qual.right, collect_values=collect)
+
+    def _register_absolute_operand(self, operand: PathExpr,
+                                   collect_values: bool) -> None:
+        if not analysis.is_absolute(operand):
+            # A relative operand is matched from its carrier when the carrier
+            # is discovered; but it may itself mention absolute sub-paths in
+            # its own qualifiers.
+            for member in iter_union_members(operand):
+                if isinstance(member, LocationPath):
+                    for step in member.steps:
+                        for qual in step.qualifiers:
+                            self._register_absolute_in_qualifier(qual)
+            return
+        registry = (self._absolute_value_sinks if collect_values
+                    else self._absolute_sinks)
+        if operand in registry:
+            return
+        registry[operand] = _Sink(collect_values=collect_values)
+        # Absolute sub-paths can themselves mention further absolute paths.
+        self._register_absolute_subpaths(operand)
+
+    def _absolute_sink(self, operand: PathExpr, collect_values: bool) -> _Sink:
+        registry = (self._absolute_value_sinks if collect_values
+                    else self._absolute_sinks)
+        return registry[operand]
+
+    # -- event loop --------------------------------------------------------
+    def process(self, events: Iterable[Event]) -> List[int]:
+        """Consume the whole event stream and return the selected node ids."""
+        for event in events:
+            self.feed(event)
+        return self.results()
+
+    def feed(self, event: Event) -> None:
+        """Consume one event."""
+        self.stats.events += 1
+        if isinstance(event, StartDocument):
+            self._start_document(event)
+        elif isinstance(event, StartElement):
+            self._start_node(event.node_id, True, event.tag, None)
+            self._stack.append(_OpenElement(event.node_id, event.tag,
+                                            len(self._stack)))
+            # Element nesting depth, not counting the document root entry.
+            self.stats.max_depth = max(self.stats.max_depth, len(self._stack) - 1)
+        elif isinstance(event, Text):
+            self._start_node(event.node_id, False, None, event.value)
+            for collector in self._value_collectors:
+                collector.parts.append(event.value)
+                self.stats.buffered_value_chars += len(event.value)
+        elif isinstance(event, EndElement):
+            self._end_node()
+        elif isinstance(event, EndDocument):
+            self._finish()
+        else:  # pragma: no cover - defensive
+            raise StreamingError(f"unknown event {event!r}")
+
+    def results(self) -> List[int]:
+        """Node ids selected by the path (requires the stream to be finished)."""
+        if not self._finished:
+            raise StreamingError("results() called before the end of the stream")
+        selected: Set[int] = set()
+        for entry in self._result_sink.entries:
+            if entry.node_id in selected:
+                continue
+            if entry.holds():
+                selected.add(entry.node_id)
+        self.stats.results = len(selected)
+        return sorted(selected)
+
+    # -- internals ---------------------------------------------------------
+    def _start_document(self, event: StartDocument) -> None:
+        self._stack = [_OpenElement(event.node_id, None, 0)]
+        self.stats.nodes_seen += 1
+        # Spawn the top-level union members from the root.
+        for member in iter_union_members(self.path):
+            if isinstance(member, Bottom):
+                continue
+            if not isinstance(member, LocationPath) or not member.absolute:
+                raise StreamingError(
+                    "the streaming evaluator expects absolute paths "
+                    f"(got {to_string(member)})")
+            if not member.steps:
+                # The path "/" selects the root itself.
+                self._result_sink.add(_Entry(node_id=event.node_id, conditions=()))
+                continue
+            self._spawn_path(member.steps, anchor_id=event.node_id,
+                             anchor_depth=0, anchor_is_element=False,
+                             anchor_tag=None, anchor_value=None,
+                             conditions=(), sink=self._result_sink,
+                             collect_values=False)
+        # Spawn the shared absolute sub-paths.
+        for registry in (self._absolute_sinks, self._absolute_value_sinks):
+            for operand, sink in registry.items():
+                for member in iter_union_members(operand):
+                    if isinstance(member, Bottom) or not isinstance(member, LocationPath):
+                        continue
+                    if not member.steps:
+                        sink.add(_Entry(node_id=event.node_id, conditions=()))
+                        continue
+                    self._spawn_path(member.steps, anchor_id=event.node_id,
+                                     anchor_depth=0, anchor_is_element=False,
+                                     anchor_tag=None, anchor_value=None,
+                                     conditions=(), sink=sink,
+                                     collect_values=sink.collect_values)
+
+    def _start_node(self, node_id: int, is_element: bool, tag: Optional[str],
+                    value: Optional[str]) -> None:
+        self.stats.nodes_seen += 1
+        depth = len(self._stack)
+        # Iterate over a snapshot: matching may spawn new expectations, which
+        # must not be matched against the node that created them.
+        for expectation in list(self._expectations):
+            if expectation.sink.satisfied:
+                continue
+            if expectation.matches(depth, is_element, tag):
+                self._node_matched(expectation.step, expectation.remaining,
+                                   node_id, depth, is_element, tag, value,
+                                   expectation.conditions, expectation.sink,
+                                   expectation.collect_values)
+
+    def _end_node(self) -> None:
+        closed = self._stack.pop()
+        still_alive: List[_Expectation] = []
+        for expectation in self._expectations:
+            if expectation.sink.satisfied:
+                continue
+            axis = expectation.step.axis
+            if expectation.anchor_id == closed.node_id:
+                if axis in (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+                    expectation.state = _EXPIRED
+                elif axis in (Axis.FOLLOWING, Axis.FOLLOWING_SIBLING):
+                    if expectation.state is _WAITING:
+                        expectation.state = _ACTIVE
+            if (axis is Axis.FOLLOWING_SIBLING
+                    and expectation.state is _ACTIVE
+                    and expectation.anchor_depth == closed.depth + 1
+                    and self._parent_of_depth_closed(expectation, closed)):
+                expectation.state = _EXPIRED
+            if expectation.state is not _EXPIRED:
+                still_alive.append(expectation)
+        self._expectations = still_alive
+        # Finalize value collectors anchored at the closed element.
+        remaining_collectors: List[_ValueCollector] = []
+        for collector in self._value_collectors:
+            if collector.entry.node_id == closed.node_id:
+                collector.entry.value = "".join(collector.parts)
+            else:
+                remaining_collectors.append(collector)
+        self._value_collectors = remaining_collectors
+
+    def _parent_of_depth_closed(self, expectation: _Expectation,
+                                closed: _OpenElement) -> bool:
+        """A following-sibling window closes when the siblings' parent closes."""
+        return closed.depth == expectation.anchor_depth - 1
+
+    def _finish(self) -> None:
+        self._finished = True
+        self._expectations = []
+        for collector in self._value_collectors:
+            collector.entry.value = "".join(collector.parts)
+        self._value_collectors = []
+
+    # -- spawning ----------------------------------------------------------
+    def _spawn_path(self, steps: Tuple[Step, ...], anchor_id: int,
+                    anchor_depth: int, anchor_is_element: bool,
+                    anchor_tag: Optional[str], anchor_value: Optional[str],
+                    conditions: Tuple[_Condition, ...], sink: _Sink,
+                    collect_values: bool) -> None:
+        """Start matching ``steps`` from the given anchor node."""
+        step = steps[0]
+        remaining = steps[1:]
+        axis = step.axis
+        # The anchor is a text leaf when it is not an element but carries a
+        # value; the document root is "not an element, no value".
+        anchor_is_text = (not anchor_is_element) and anchor_value is not None
+
+        if axis in (Axis.SELF, Axis.DESCENDANT_OR_SELF):
+            # The anchor itself may match the first step.
+            if self._anchor_matches_test(step, anchor_is_element, anchor_tag,
+                                         anchor_is_text):
+                self._node_matched(step, remaining, anchor_id, anchor_depth,
+                                   anchor_is_element, anchor_tag, anchor_value,
+                                   conditions, sink, collect_values,
+                                   anchor_is_self_match=True)
+            if axis is Axis.SELF:
+                return
+
+        if axis in (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+            if anchor_is_text:
+                # Text leaves have no descendants; nothing can ever match.
+                return
+
+        state = _ACTIVE
+        if axis in (Axis.FOLLOWING, Axis.FOLLOWING_SIBLING):
+            # Wait for the anchor to close before the window opens.  Text
+            # anchors are already closed when spawned; the document root
+            # never closes before the end of the stream, so nothing follows it.
+            state = _ACTIVE if anchor_is_text else _WAITING
+        expectation = _Expectation(step=step, remaining=remaining,
+                                   anchor_id=anchor_id, anchor_depth=anchor_depth,
+                                   conditions=conditions, sink=sink, state=state,
+                                   collect_values=collect_values)
+        self._expectations.append(expectation)
+        self.stats.expectations_created += 1
+        self.stats.max_live_expectations = max(self.stats.max_live_expectations,
+                                               len(self._expectations))
+
+    @staticmethod
+    def _anchor_matches_test(step: Step, anchor_is_element: bool,
+                             anchor_tag: Optional[str],
+                             anchor_is_text: bool) -> bool:
+        """Node-test check for the anchor itself (``self``/``-or-self`` axes).
+
+        The document root only matches ``node()``; text anchors match
+        ``text()`` and ``node()``; elements match by tag.
+        """
+        kind = step.node_test.kind
+        if kind is NodeTestKind.NODE:
+            return True
+        if kind is NodeTestKind.TEXT:
+            return anchor_is_text
+        if kind is NodeTestKind.WILDCARD:
+            return anchor_is_element
+        return anchor_is_element and anchor_tag == step.node_test.name
+
+    def _node_matched(self, step: Step, remaining: Tuple[Step, ...], node_id: int,
+                      depth: int, is_element: bool, tag: Optional[str],
+                      value: Optional[str], inherited: Tuple[_Condition, ...],
+                      sink: _Sink, collect_values: bool,
+                      anchor_is_self_match: bool = False) -> None:
+        """A node matched ``step``; evaluate its qualifiers and continue."""
+        conditions = list(inherited)
+        for qual in step.qualifiers:
+            conditions.append(self._build_condition(qual, node_id, depth,
+                                                    is_element, tag, value))
+        conditions_tuple = tuple(conditions)
+
+        if remaining:
+            self._spawn_path(remaining, anchor_id=node_id, anchor_depth=depth,
+                             anchor_is_element=is_element, anchor_tag=tag,
+                             anchor_value=value, conditions=conditions_tuple,
+                             sink=sink, collect_values=collect_values)
+            return
+
+        entry = _Entry(node_id=node_id, conditions=conditions_tuple)
+        retained = sink.add(entry)
+        if retained:
+            self.stats.candidates_buffered += 1
+            if collect_values or sink.collect_values:
+                if is_element:
+                    self._value_collectors.append(_ValueCollector(entry, depth))
+                else:
+                    entry.value = value or ""
+
+    # -- conditions ---------------------------------------------------------
+    def _build_condition(self, qual: Qualifier, node_id: int, depth: int,
+                         is_element: bool, tag: Optional[str],
+                         value: Optional[str]) -> _Condition:
+        self.stats.conditions_created += 1
+        if isinstance(qual, PathQualifier):
+            return self._existence_condition(qual.path, node_id, depth,
+                                             is_element, tag, value,
+                                             collect_values=False)
+        if isinstance(qual, AndExpr):
+            return _AndCondition([
+                self._build_condition(qual.left, node_id, depth, is_element, tag, value),
+                self._build_condition(qual.right, node_id, depth, is_element, tag, value),
+            ])
+        if isinstance(qual, OrExpr):
+            return _OrCondition([
+                self._build_condition(qual.left, node_id, depth, is_element, tag, value),
+                self._build_condition(qual.right, node_id, depth, is_element, tag, value),
+            ])
+        if isinstance(qual, Comparison):
+            collect = qual.op == "="
+            left = self._operand_sink(qual.left, node_id, depth, is_element,
+                                      tag, value, collect)
+            right = self._operand_sink(qual.right, node_id, depth, is_element,
+                                       tag, value, collect)
+            return _JoinCondition(left, right, qual.op)
+        raise StreamingError(f"not a qualifier: {qual!r}")
+
+    def _existence_condition(self, path: PathExpr, node_id: int, depth: int,
+                             is_element: bool, tag: Optional[str],
+                             value: Optional[str],
+                             collect_values: bool) -> _Condition:
+        if isinstance(path, Bottom):
+            return _FalseCondition()
+        if analysis.is_absolute(path):
+            return _ExistsCondition(self._absolute_sink(path, collect_values))
+        sink = _Sink(collect_values=collect_values, exists_only=True)
+        for member in iter_union_members(path):
+            if isinstance(member, Bottom):
+                continue
+            assert isinstance(member, LocationPath)
+            self._spawn_path(member.steps, anchor_id=node_id, anchor_depth=depth,
+                             anchor_is_element=is_element, anchor_tag=tag,
+                             anchor_value=value, conditions=(), sink=sink,
+                             collect_values=collect_values)
+        return _ExistsCondition(sink)
+
+    def _operand_sink(self, operand: PathExpr, node_id: int, depth: int,
+                      is_element: bool, tag: Optional[str],
+                      value: Optional[str], collect_values: bool) -> _Sink:
+        if analysis.is_absolute(operand):
+            return self._absolute_sink(operand, collect_values)
+        sink = _Sink(collect_values=collect_values)
+        for member in iter_union_members(operand):
+            if isinstance(member, Bottom):
+                continue
+            assert isinstance(member, LocationPath)
+            self._spawn_path(member.steps, anchor_id=node_id, anchor_depth=depth,
+                             anchor_is_element=is_element, anchor_tag=tag,
+                             anchor_value=value, conditions=(), sink=sink,
+                             collect_values=collect_values)
+        return sink

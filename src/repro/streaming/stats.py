@@ -1,0 +1,63 @@
+"""Accounting of streaming-evaluation resource usage.
+
+The benchmarks of experiment E9 compare the streaming evaluator against the
+DOM baseline in terms of *what has to be kept in memory*, which is the
+quantity the paper's introduction cares about ("documents too large to be
+processed in memory").  :class:`StreamStats` records the relevant counters in
+an engine-independent way so the three evaluators (streaming, DOM,
+buffering) can be reported side by side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class StreamStats:
+    """Resource counters of one evaluation run."""
+
+    #: Number of SAX-like events processed.
+    events: int = 0
+    #: Number of document nodes seen on the stream (elements + texts + root).
+    nodes_seen: int = 0
+    #: Maximum element nesting depth observed.
+    max_depth: int = 0
+    #: Document nodes materialized in memory (the whole document for DOM,
+    #: zero for the pure streaming engine).
+    nodes_stored: int = 0
+    #: Pending-match expectations created / maximum simultaneously alive.
+    expectations_created: int = 0
+    max_live_expectations: int = 0
+    #: Qualifier/join conditions created during the run.
+    conditions_created: int = 0
+    #: Candidate matches buffered awaiting qualifier/join resolution.
+    candidates_buffered: int = 0
+    #: Characters of text buffered for value (``=``) joins.
+    buffered_value_chars: int = 0
+    #: Number of result nodes reported.
+    results: int = 0
+
+    @property
+    def memory_units(self) -> int:
+        """A single machine-independent "things held in memory" figure.
+
+        Counts stored nodes, buffered candidates and live expectations —
+        the quantities that grow with the document for a DOM evaluator but
+        stay bounded by query selectivity for the streaming evaluator.
+        """
+        return (self.nodes_stored + self.candidates_buffered
+                + self.max_live_expectations)
+
+    def as_row(self) -> dict:
+        """Flat dictionary used by the benchmark reports."""
+        return {
+            "events": self.events,
+            "nodes_seen": self.nodes_seen,
+            "nodes_stored": self.nodes_stored,
+            "candidates_buffered": self.candidates_buffered,
+            "max_live_expectations": self.max_live_expectations,
+            "buffered_value_chars": self.buffered_value_chars,
+            "memory_units": self.memory_units,
+            "results": self.results,
+        }

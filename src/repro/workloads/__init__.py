@@ -1,0 +1,33 @@
+"""Query and document workloads used by the benchmarks (System S3/S13)."""
+
+from repro.workloads.queries import (
+    PAPER_QUERIES,
+    PaperQuery,
+    ancestor_chain,
+    following_reverse_chain,
+    mixed_reverse_path,
+    parent_chain,
+    preceding_chain,
+    random_reverse_path,
+    reverse_chain,
+)
+from repro.workloads.documents import (
+    STREAMING_DOCUMENTS,
+    WorkloadDocument,
+    streaming_documents,
+)
+
+__all__ = [
+    "PAPER_QUERIES",
+    "PaperQuery",
+    "reverse_chain",
+    "parent_chain",
+    "ancestor_chain",
+    "preceding_chain",
+    "following_reverse_chain",
+    "mixed_reverse_path",
+    "random_reverse_path",
+    "WorkloadDocument",
+    "STREAMING_DOCUMENTS",
+    "streaming_documents",
+]

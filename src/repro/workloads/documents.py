@@ -1,0 +1,43 @@
+"""Document workloads for the streaming experiments (E9).
+
+The paper motivates streaming with data-centric documents that are too large
+for an in-memory representation; the workloads scale the Figure 1 journal
+catalogue from a few hundred nodes to hundreds of thousands so that the
+memory gap between the DOM baseline and the streaming evaluator is visible,
+while staying fast enough for a benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.generator import DocumentSpec, journal_document
+
+
+@dataclass(frozen=True)
+class WorkloadDocument:
+    """A named, lazily-built benchmark document."""
+
+    name: str
+    spec: DocumentSpec
+
+    def build(self) -> Document:
+        """Materialize the document (deterministic for a given spec)."""
+        return journal_document(self.spec)
+
+
+STREAMING_DOCUMENTS: List[WorkloadDocument] = [
+    WorkloadDocument("catalogue-small", DocumentSpec(journals=20, articles_per_journal=4,
+                                                     authors_per_article=2)),
+    WorkloadDocument("catalogue-medium", DocumentSpec(journals=100, articles_per_journal=6,
+                                                      authors_per_article=3)),
+    WorkloadDocument("catalogue-large", DocumentSpec(journals=400, articles_per_journal=8,
+                                                     authors_per_article=3)),
+]
+
+
+def streaming_documents() -> List[WorkloadDocument]:
+    """The document scale ladder used by experiment E9."""
+    return list(STREAMING_DOCUMENTS)

@@ -1,0 +1,162 @@
+"""Query workloads: the paper's queries plus parametric families.
+
+Three kinds of queries drive the experiments:
+
+* :data:`PAPER_QUERIES` — every location path that appears in the paper
+  (Examples 3.1–3.3, Figure 3/4, the equivalence illustrations), with the
+  rewriting the paper reports where it gives one,
+* *chains* — parametric families of growing length used for the complexity
+  experiments: reverse-step chains for Theorem 4.1 (RuleSet1 linear) and
+  ``following``/reverse interaction chains for Theorem 4.2 (RuleSet2
+  worst-case exponential),
+* *random paths* — randomized reverse-axis paths over the journal document
+  vocabulary, used for coverage-style validation (experiment E10).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+JOURNAL_TAGS = ("journal", "title", "editor", "authors", "name", "article", "price")
+
+REVERSE_AXES = ("parent", "ancestor", "ancestor-or-self", "preceding",
+                "preceding-sibling")
+FORWARD_AXES = ("child", "descendant", "descendant-or-self", "self",
+                "following", "following-sibling")
+
+
+@dataclass(frozen=True)
+class PaperQuery:
+    """A location path taken verbatim from the paper."""
+
+    label: str
+    xpath: str
+    #: The rewriting reported by the paper, when it gives one (per rule set).
+    expected_ruleset1: Optional[str] = None
+    expected_ruleset2: Optional[str] = None
+    description: str = ""
+
+
+PAPER_QUERIES: List[PaperQuery] = [
+    PaperQuery(
+        label="example-3.1",
+        xpath="/descendant::price/preceding::name",
+        expected_ruleset1=(
+            "/descendant::name[following::price == /descendant::price]"),
+        expected_ruleset2="/descendant::name[following::price]",
+        description="all names that appear before a price (Examples 3.1 and 3.3)",
+    ),
+    PaperQuery(
+        label="example-3.1-variant",
+        xpath="/descendant::journal[child::title]/descendant::price/preceding::name",
+        expected_ruleset1=(
+            "/descendant::name[following::price == "
+            "/descendant::journal[child::title]/descendant::price]"),
+        description="names before a price inside a journal with a title",
+    ),
+    PaperQuery(
+        label="example-3.2",
+        xpath="/descendant::editor[parent::journal]",
+        expected_ruleset2="/descendant-or-self::journal/child::editor",
+        description="all editors of journals (Rule (8))",
+    ),
+    PaperQuery(
+        label="figure-3-4",
+        xpath="/descendant::name/preceding::title[ancestor::journal]",
+        expected_ruleset1=(
+            "/descendant::title"
+            "[/descendant::journal/descendant::node() == self::node()]"
+            "[following::name == /descendant::name]"),
+        expected_ruleset2=(
+            "/descendant-or-self::journal/descendant::title[following::name]"),
+        description="titles before a name and inside a journal (Figures 3 and 4)",
+    ),
+]
+
+
+def reverse_chain(length: int, axis: str = "parent",
+                  tags: Sequence[str] = JOURNAL_TAGS) -> str:
+    """``/descendant::t0/axis::t1/axis::t2/...`` with ``length`` reverse steps.
+
+    The workload for Theorem 4.1: RuleSet1 removes each reverse step with one
+    rule application, so output size and rewrite time grow linearly.
+    """
+    if length < 1:
+        raise ValueError("need at least one reverse step")
+    steps = [f"descendant::{tags[0]}"]
+    for index in range(length):
+        steps.append(f"{axis}::{tags[(index + 1) % len(tags)]}")
+    return "/" + "/".join(steps)
+
+
+def parent_chain(length: int) -> str:
+    """A chain of ``parent`` steps (special case of :func:`reverse_chain`)."""
+    return reverse_chain(length, axis="parent")
+
+
+def ancestor_chain(length: int) -> str:
+    """A chain of ``ancestor`` steps."""
+    return reverse_chain(length, axis="ancestor")
+
+
+def preceding_chain(length: int) -> str:
+    """A chain of ``preceding`` steps."""
+    return reverse_chain(length, axis="preceding")
+
+
+def following_reverse_chain(length: int, reverse_axis: str = "preceding",
+                            tags: Sequence[str] = JOURNAL_TAGS) -> str:
+    """``/descendant::t/(following::t/reverse::t)^length`` interaction chains.
+
+    This is the worst case of Theorem 4.2: every ``following``/reverse
+    interaction multiplies the number of union terms, so RuleSet2's output
+    grows exponentially with ``length`` while RuleSet1's stays linear.
+    """
+    if length < 1:
+        raise ValueError("need at least one interaction")
+    steps = [f"descendant::{tags[0]}"]
+    for index in range(length):
+        steps.append(f"following::{tags[(2 * index + 1) % len(tags)]}")
+        steps.append(f"{reverse_axis}::{tags[(2 * index + 2) % len(tags)]}")
+    return "/" + "/".join(steps)
+
+
+def mixed_reverse_path(length: int, seed: int = 11,
+                       tags: Sequence[str] = JOURNAL_TAGS) -> str:
+    """A pseudo-random alternation of forward and reverse steps of given length."""
+    rng = random.Random(seed + length)
+    steps = [f"descendant::{rng.choice(tags)}"]
+    for _ in range(length - 1):
+        if rng.random() < 0.5:
+            axis = rng.choice(REVERSE_AXES)
+        else:
+            axis = rng.choice(("child", "descendant", "following",
+                               "following-sibling"))
+        steps.append(f"{axis}::{rng.choice(tags)}")
+    return "/" + "/".join(steps)
+
+
+def random_reverse_path(seed: int, max_steps: int = 4,
+                        qualifier_probability: float = 0.4,
+                        tags: Sequence[str] = JOURNAL_TAGS) -> str:
+    """A random absolute path with reverse axes and optional qualifiers.
+
+    Used by the coverage experiment (E10): the generated paths exercise every
+    reverse axis both on the spine and inside qualifiers.
+    """
+    rng = random.Random(seed)
+    count = rng.randint(2, max_steps)
+    steps = [f"descendant::{rng.choice(tags)}"]
+    for index in range(count - 1):
+        axis = rng.choice(REVERSE_AXES + ("child", "descendant", "following",
+                                          "following-sibling", "self"))
+        test = rng.choice(tags + ("*", "node()"))
+        step = f"{axis}::{test}"
+        if rng.random() < qualifier_probability:
+            inner_axis = rng.choice(REVERSE_AXES + ("child", "descendant"))
+            inner_test = rng.choice(tags + ("*",))
+            step += f"[{inner_axis}::{inner_test}]"
+        steps.append(step)
+    return "/" + "/".join(steps)

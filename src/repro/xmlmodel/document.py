@@ -1,0 +1,166 @@
+"""The :class:`Document` container and a literal-style document builder.
+
+A document owns its nodes and assigns document-order positions.  The
+``element``/``text`` helpers let tests and examples write documents as nested
+Python expressions that read almost like the XML they stand for::
+
+    doc = Document.from_tree(
+        element(
+            "journal",
+            element("title", text("databases")),
+            element("editor", text("anna")),
+            element(
+                "authors",
+                element("name", text("anna")),
+                element("name", text("bob")),
+            ),
+            element("price"),
+        )
+    )
+
+which is exactly the document of Figure 1 in the paper (see
+:mod:`repro.datasets`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.xmlmodel.node import NodeKind, XMLNode
+
+TreeSpec = Union[XMLNode, str]
+
+
+def element(tag: str, *children: TreeSpec) -> XMLNode:
+    """Create a detached element node with the given children.
+
+    Children may be :class:`XMLNode` instances or plain strings (which are
+    converted to text nodes), mirroring how XML nests elements and character
+    data.
+    """
+    node = XMLNode(NodeKind.ELEMENT, tag=tag)
+    for child in children:
+        if isinstance(child, str):
+            child = text(child)
+        node.append_child(child)
+    return node
+
+
+def text(value: str) -> XMLNode:
+    """Create a detached text node."""
+    return XMLNode(NodeKind.TEXT, value=value)
+
+
+class Document:
+    """An immutable XML document with a global document order.
+
+    The document root corresponds to the *document node*: it is not an
+    element itself and has the outermost element as its single element child
+    (Section 2 of the paper).
+    """
+
+    def __init__(self, root: XMLNode):
+        if not root.is_root:
+            raise ValueError("Document requires a root node of kind ROOT")
+        self.root = root
+        self._nodes: List[XMLNode] = []
+        self._finalize()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_tree(cls, *top_level: TreeSpec) -> "Document":
+        """Build a document whose root has the given top-level children.
+
+        Typically a single element (the document element) is passed, but the
+        model also tolerates text at top level for synthetic corner cases in
+        tests.
+        """
+        root = XMLNode(NodeKind.ROOT)
+        for item in top_level:
+            if isinstance(item, str):
+                item = text(item)
+            root.append_child(item)
+        return cls(root)
+
+    def _finalize(self) -> None:
+        """Assign document-order positions and subtree intervals."""
+        position = 0
+        order: List[XMLNode] = []
+
+        def visit(node: XMLNode) -> int:
+            nonlocal position
+            node.position = position
+            node.document = self
+            order.append(node)
+            position += 1
+            last = node.position
+            for index, child in enumerate(node.children):
+                child._sibling_index = index
+                last = visit(child)
+            node._subtree_end = last
+            return last
+
+        visit(self.root)
+        self._nodes = order
+
+    # ------------------------------------------------------------------
+    # Access
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[XMLNode]:
+        return iter(self._nodes)
+
+    @property
+    def nodes(self) -> Sequence[XMLNode]:
+        """All nodes in document order (root first)."""
+        return tuple(self._nodes)
+
+    @property
+    def document_element(self) -> Optional[XMLNode]:
+        """The outermost element, or ``None`` for an empty document."""
+        for child in self.root.children:
+            if child.is_element:
+                return child
+        return None
+
+    def node_at(self, position: int) -> XMLNode:
+        """Return the node with the given document-order position."""
+        return self._nodes[position]
+
+    def elements(self, tag: Optional[str] = None) -> Iterator[XMLNode]:
+        """Iterate over element nodes, optionally restricted to one tag."""
+        for node in self._nodes:
+            if node.is_element and (tag is None or node.tag == tag):
+                yield node
+
+    def sorted_in_document_order(self, nodes: Iterable[XMLNode]) -> List[XMLNode]:
+        """Return ``nodes`` as a list sorted by document order, deduplicated."""
+        unique = {node.position: node for node in nodes}
+        return [unique[pos] for pos in sorted(unique)]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Simple size statistics used by benchmarks and reports."""
+        element_count = sum(1 for node in self._nodes if node.is_element)
+        text_count = sum(1 for node in self._nodes if node.is_text)
+        depth = 0
+        for node in self._nodes:
+            node_depth = sum(1 for _ in node.iter_ancestors())
+            depth = max(depth, node_depth)
+        return {
+            "nodes": len(self._nodes),
+            "elements": element_count,
+            "texts": text_count,
+            "max_depth": depth,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        doc_elem = self.document_element
+        tag = doc_elem.tag if doc_elem is not None else "<empty>"
+        return f"Document(<{tag}>, {len(self._nodes)} nodes)"

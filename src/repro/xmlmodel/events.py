@@ -1,0 +1,74 @@
+"""SAX-like events used by the streaming substrate (System S2).
+
+The streaming evaluator of :mod:`repro.streaming` consumes a flat sequence of
+these events instead of a materialized tree, which is the whole point of the
+paper: once a location path is reverse-axis-free it can be answered while the
+events fly by.
+
+Every structural event carries the *document-order position* of the node it
+opens (``node_id``), assigned incrementally by whatever produces the stream.
+Positions are what query answers refer to, and they allow checking that the
+streaming evaluator selects exactly the same nodes as the in-memory
+evaluator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+
+@dataclass(frozen=True)
+class StartDocument:
+    """Marks the beginning of the stream; opens the root node (id 0)."""
+
+    node_id: int = 0
+
+
+@dataclass(frozen=True)
+class EndDocument:
+    """Marks the end of the stream; closes the root node."""
+
+    node_id: int = 0
+
+
+@dataclass(frozen=True)
+class StartElement:
+    """Opens an element node."""
+
+    tag: str
+    node_id: int
+
+
+@dataclass(frozen=True)
+class EndElement:
+    """Closes the element node opened by the matching :class:`StartElement`."""
+
+    tag: str
+    node_id: int
+
+
+@dataclass(frozen=True)
+class Text:
+    """A text node.  Text nodes are leaves, so a single event suffices."""
+
+    value: str
+    node_id: int
+
+
+Event = Union[StartDocument, EndDocument, StartElement, EndElement, Text]
+
+
+def describe(event: Event) -> str:
+    """One-line rendering of an event, used in traces and error messages."""
+    if isinstance(event, StartDocument):
+        return "start-document"
+    if isinstance(event, EndDocument):
+        return "end-document"
+    if isinstance(event, StartElement):
+        return f"<{event.tag}> (node {event.node_id})"
+    if isinstance(event, EndElement):
+        return f"</{event.tag}> (node {event.node_id})"
+    if isinstance(event, Text):
+        return f"text {event.value!r} (node {event.node_id})"
+    raise TypeError(f"not an event: {event!r}")

@@ -1,0 +1,180 @@
+"""Synthetic document generators (System S3).
+
+The paper motivates streamed processing with large, data-centric documents
+(natural-language corpora, biological and astronomical data, SDI message
+streams).  None of those corpora ship with the paper, so the benchmarks use
+synthetic documents with controllable size and shape:
+
+* :func:`journal_document` — the Figure 1 journal catalogue scaled up to an
+  arbitrary number of journals; this is the workload used for the worked
+  examples and the streaming benchmarks,
+* :func:`random_document` — random trees over a small tag alphabet, used by
+  the property-based equivalence tests,
+* :func:`deep_chain_document` / :func:`wide_document` — extreme shapes used
+  to probe buffering behaviour of the streaming evaluator.
+
+All generators are deterministic given their ``seed`` so experiments are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.xmlmodel.document import Document, element, text
+from repro.xmlmodel.node import XMLNode
+
+DEFAULT_TAGS = ("a", "b", "c", "d")
+FIRST_NAMES = (
+    "anna", "bob", "carla", "dan", "eve", "frank", "grete", "holger",
+    "ines", "jan", "klara", "lars", "mona", "nils",
+)
+TOPICS = (
+    "databases", "streams", "xml", "xpath", "xquery", "optimization",
+    "semistructured data", "information retrieval", "query rewriting",
+)
+
+
+@dataclass
+class DocumentSpec:
+    """Parameters of a generated journal catalogue document.
+
+    Attributes
+    ----------
+    journals:
+        Number of ``journal`` elements under the catalogue root.
+    articles_per_journal:
+        Number of ``article`` children per journal.
+    authors_per_article:
+        Number of ``name`` entries inside each article's ``authors`` element.
+    with_price:
+        Whether journals carry an empty ``price`` element (needed by the
+        worked examples of the paper, which query names preceding a price).
+    seed:
+        Random seed used for names/topics, making documents reproducible.
+    """
+
+    journals: int = 10
+    articles_per_journal: int = 5
+    authors_per_article: int = 3
+    with_price: bool = True
+    seed: int = 7
+
+
+def journal_document(spec: Optional[DocumentSpec] = None, **overrides) -> Document:
+    """Generate a journal catalogue shaped like Figure 1, scaled by ``spec``.
+
+    Keyword overrides are applied on top of the spec, so callers can write
+    ``journal_document(journals=100)``.
+    """
+    if spec is None:
+        spec = DocumentSpec()
+    if overrides:
+        spec = DocumentSpec(**{**spec.__dict__, **overrides})
+    rng = random.Random(spec.seed)
+    journals: List[XMLNode] = []
+    for j in range(spec.journals):
+        children: List[XMLNode] = [
+            element("title", text(rng.choice(TOPICS))),
+            element("editor", text(rng.choice(FIRST_NAMES))),
+        ]
+        for _ in range(spec.articles_per_journal):
+            authors = element(
+                "authors",
+                *[element("name", text(rng.choice(FIRST_NAMES)))
+                  for _ in range(spec.authors_per_article)],
+            )
+            children.append(
+                element(
+                    "article",
+                    element("title", text(rng.choice(TOPICS))),
+                    authors,
+                )
+            )
+        if spec.with_price:
+            children.append(element("price"))
+        journals.append(element("journal", *children))
+    return Document.from_tree(element("catalogue", *journals))
+
+
+def random_document(max_depth: int = 4, max_children: int = 4,
+                    tags: Sequence[str] = DEFAULT_TAGS,
+                    text_probability: float = 0.2,
+                    seed: int = 0) -> Document:
+    """Generate a random document over a small tag alphabet.
+
+    The property-based tests evaluate both sides of each paper equivalence on
+    many such documents; small alphabets maximize the chance of node-test
+    matches while random shapes exercise all axis relationships.
+    """
+    rng = random.Random(seed)
+
+    def build(depth: int) -> XMLNode:
+        tag = rng.choice(list(tags))
+        if depth >= max_depth:
+            return element(tag)
+        children: List[XMLNode] = []
+        for _ in range(rng.randint(0, max_children)):
+            if rng.random() < text_probability:
+                children.append(text(rng.choice(FIRST_NAMES)))
+            else:
+                children.append(build(depth + 1))
+        return element(tag, *children)
+
+    return Document.from_tree(build(0))
+
+
+def deep_chain_document(depth: int = 50, tag_cycle: Sequence[str] = DEFAULT_TAGS,
+                        leaf_text: str = "leaf") -> Document:
+    """A single path of nested elements: depth-heavy, breadth-1.
+
+    Useful for stressing ancestor/descendant relationships and the stack
+    depth of the streaming evaluator.
+    """
+    node = element(tag_cycle[(depth - 1) % len(tag_cycle)], text(leaf_text))
+    for level in range(depth - 2, -1, -1):
+        node = element(tag_cycle[level % len(tag_cycle)], node)
+    return Document.from_tree(node)
+
+
+def wide_document(width: int = 1000, tag: str = "item",
+                  child_tag: str = "value") -> Document:
+    """A root with ``width`` flat children: breadth-heavy, depth-2.
+
+    Useful for stressing sibling axes and the candidate buffers of the
+    streaming evaluator.
+    """
+    items = [element(tag, element(child_tag, text(str(i)))) for i in range(width)]
+    return Document.from_tree(element("collection", *items))
+
+
+@dataclass
+class RandomDocumentPool:
+    """A reproducible pool of random documents for equivalence testing.
+
+    The equivalence checker evaluates candidate paths on every document in
+    the pool; a modest pool of varied shapes catches essentially all
+    erroneous rewrites while keeping tests fast.
+    """
+
+    seeds: Sequence[int] = field(default_factory=lambda: tuple(range(8)))
+    max_depth: int = 4
+    max_children: int = 4
+    tags: Sequence[str] = DEFAULT_TAGS
+
+    def documents(self) -> List[Document]:
+        """Materialize the pool (documents are rebuilt on every call)."""
+        docs = [
+            random_document(
+                max_depth=self.max_depth,
+                max_children=self.max_children,
+                tags=self.tags,
+                seed=seed,
+            )
+            for seed in self.seeds
+        ]
+        docs.append(deep_chain_document(depth=6, tag_cycle=self.tags))
+        docs.append(wide_document(width=5, tag=self.tags[0], child_tag=self.tags[1]))
+        return docs

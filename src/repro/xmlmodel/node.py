@@ -1,0 +1,200 @@
+"""Node model for the simplified XML documents of the paper (Section 2).
+
+The paper leaves out namespaces, comments, processing instructions,
+attributes, references and whitespace handling, so a document consists of
+
+* exactly one *root* node (the document node of DOM / the XQuery data model,
+  which is **not** the outermost element),
+* *element* nodes with a tag name, and
+* *text* nodes (leaves).
+
+Every node carries a ``position``: its index in document order (pre-order,
+root = 0).  Document order is the basis of the ``preceding``/``following``
+axes and of node identity comparisons in the streaming evaluator.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterator, List, Optional
+
+
+class NodeKind(enum.Enum):
+    """The three node kinds of the simplified data model."""
+
+    ROOT = "root"
+    ELEMENT = "element"
+    TEXT = "text"
+
+
+class XMLNode:
+    """A node of a :class:`repro.xmlmodel.document.Document`.
+
+    Nodes are created by the document builder and are immutable from the
+    point of view of library users: the tree structure and document order are
+    fixed once the document is finalized.
+
+    Attributes
+    ----------
+    kind:
+        One of :class:`NodeKind`.
+    tag:
+        The element tag name (``None`` for root and text nodes).
+    value:
+        The character content (``None`` for root and element nodes).
+    parent:
+        The parent node, or ``None`` for the root.
+    children:
+        List of child nodes in document order.
+    position:
+        Pre-order index of this node within its document (root is 0).
+    """
+
+    __slots__ = (
+        "kind",
+        "tag",
+        "value",
+        "parent",
+        "children",
+        "position",
+        "_subtree_end",
+        "_sibling_index",
+        "document",
+    )
+
+    def __init__(self, kind: NodeKind, tag: Optional[str] = None,
+                 value: Optional[str] = None):
+        if kind is NodeKind.ELEMENT and not tag:
+            raise ValueError("element nodes require a tag name")
+        if kind is NodeKind.TEXT and value is None:
+            raise ValueError("text nodes require a value")
+        if kind is NodeKind.ROOT and (tag or value):
+            raise ValueError("the root node carries no tag and no value")
+        self.kind = kind
+        self.tag = tag
+        self.value = value
+        self.parent: Optional[XMLNode] = None
+        self.children: List[XMLNode] = []
+        self.position: int = -1
+        # Index of the last position in this node's subtree; filled in when
+        # the document is finalized.  Used for O(1) descendant checks.
+        self._subtree_end: int = -1
+        self._sibling_index: int = -1
+        self.document = None
+
+    # ------------------------------------------------------------------
+    # Basic structure
+    # ------------------------------------------------------------------
+    @property
+    def is_root(self) -> bool:
+        """``True`` for the document root node."""
+        return self.kind is NodeKind.ROOT
+
+    @property
+    def is_element(self) -> bool:
+        """``True`` for element nodes."""
+        return self.kind is NodeKind.ELEMENT
+
+    @property
+    def is_text(self) -> bool:
+        """``True`` for text nodes."""
+        return self.kind is NodeKind.TEXT
+
+    @property
+    def is_leaf(self) -> bool:
+        """``True`` when the node has no children (empty element or text)."""
+        return not self.children
+
+    @property
+    def sibling_index(self) -> int:
+        """Index of this node among its parent's children (root is 0)."""
+        return self._sibling_index
+
+    def append_child(self, child: "XMLNode") -> "XMLNode":
+        """Attach ``child`` as the last child of this node and return it."""
+        if self.is_text:
+            raise ValueError("text nodes cannot have children")
+        child.parent = self
+        child._sibling_index = len(self.children)
+        self.children.append(child)
+        return child
+
+    # ------------------------------------------------------------------
+    # Document-order relationships (used by the axis implementations)
+    # ------------------------------------------------------------------
+    def is_ancestor_of(self, other: "XMLNode") -> bool:
+        """Whether ``self`` is a proper ancestor of ``other``.
+
+        Runs in O(1) using the pre-order interval of the subtree.
+        """
+        return self.position < other.position <= self._subtree_end
+
+    def is_descendant_of(self, other: "XMLNode") -> bool:
+        """Whether ``self`` is a proper descendant of ``other``."""
+        return other.is_ancestor_of(self)
+
+    def precedes(self, other: "XMLNode") -> bool:
+        """Whether ``self`` comes strictly before ``other`` in document order."""
+        return self.position < other.position
+
+    # ------------------------------------------------------------------
+    # Traversal helpers
+    # ------------------------------------------------------------------
+    def iter_descendants(self) -> Iterator["XMLNode"]:
+        """Yield all proper descendants in document order."""
+        stack = list(reversed(self.children))
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def iter_descendants_or_self(self) -> Iterator["XMLNode"]:
+        """Yield this node followed by all its descendants in document order."""
+        yield self
+        yield from self.iter_descendants()
+
+    def iter_ancestors(self) -> Iterator["XMLNode"]:
+        """Yield proper ancestors from the parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def iter_following_siblings(self) -> Iterator["XMLNode"]:
+        """Yield siblings after this node, in document order."""
+        if self.parent is None:
+            return
+        yield from self.parent.children[self._sibling_index + 1:]
+
+    def iter_preceding_siblings(self) -> Iterator["XMLNode"]:
+        """Yield siblings before this node, in **reverse** document order.
+
+        XPath reverse axes enumerate nodes in reverse document order; the
+        evaluator turns results back into document-ordered sets, so the
+        iteration order here only matters for readability of traces.
+        """
+        if self.parent is None:
+            return
+        for child in reversed(self.parent.children[: self._sibling_index]):
+            yield child
+
+    def text_content(self) -> str:
+        """Concatenated character data of the subtree (string value)."""
+        if self.is_text:
+            return self.value or ""
+        return "".join(child.text_content() for child in self.children)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def label(self) -> str:
+        """A short human-readable label for traces and error messages."""
+        if self.is_root:
+            return "#root"
+        if self.is_text:
+            preview = (self.value or "")[:20]
+            return f"#text({preview!r})"
+        return f"<{self.tag}>@{self.position}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"XMLNode({self.label()})"

@@ -1,0 +1,56 @@
+"""Serialization of documents back to XML text."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.node import XMLNode
+
+_ESCAPES = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for inclusion in XML text."""
+    out = value
+    for char, entity in _ESCAPES.items():
+        out = out.replace(char, entity)
+    return out
+
+
+def to_xml(document: Document, indent: int = 2) -> str:
+    """Serialize ``document`` to XML text.
+
+    ``indent`` controls pretty printing; pass 0 for compact output (useful
+    when the serialized text is re-parsed in round-trip tests, because the
+    model drops whitespace-only text nodes either way).
+    """
+    lines: List[str] = []
+
+    def render(node: XMLNode, depth: int) -> None:
+        pad = " " * (indent * depth) if indent else ""
+        if node.is_text:
+            lines.append(f"{pad}{escape_text(node.value or '')}")
+            return
+        tag = node.tag or ""
+        if not node.children:
+            lines.append(f"{pad}<{tag} />")
+            return
+        only_text = all(child.is_text for child in node.children)
+        if only_text:
+            content = "".join(escape_text(child.value or "") for child in node.children)
+            lines.append(f"{pad}<{tag}>{content}</{tag}>")
+            return
+        lines.append(f"{pad}<{tag}>")
+        for child in node.children:
+            render(child, depth + 1)
+        lines.append(f"{pad}</{tag}>")
+
+    for child in document.root.children:
+        render(child, 0)
+    joiner = "\n" if indent else ""
+    return joiner.join(lines)

@@ -1,0 +1,46 @@
+"""xPath language front end (System S4 in DESIGN.md).
+
+Implements the location path language of Section 2.1 of the paper: abstract
+syntax, a lexer and recursive-descent parser accepting both abbreviated and
+unabbreviated XPath syntax, a serializer producing unabbreviated syntax, and
+structural analysis helpers (path length, reverse-step detection, RR-join
+detection).
+"""
+
+from repro.xpath.axes import Axis
+from repro.xpath.ast import (
+    AndExpr,
+    Bottom,
+    Comparison,
+    LocationPath,
+    NodeTest,
+    NodeTestKind,
+    OrExpr,
+    PathExpr,
+    PathQualifier,
+    Qualifier,
+    Step,
+    Union,
+)
+from repro.xpath.parser import parse_xpath
+from repro.xpath.serializer import to_string
+from repro.xpath import analysis
+
+__all__ = [
+    "Axis",
+    "NodeTest",
+    "NodeTestKind",
+    "Step",
+    "LocationPath",
+    "Union",
+    "Bottom",
+    "PathExpr",
+    "Qualifier",
+    "PathQualifier",
+    "AndExpr",
+    "OrExpr",
+    "Comparison",
+    "parse_xpath",
+    "to_string",
+    "analysis",
+]

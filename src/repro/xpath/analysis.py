@@ -1,0 +1,241 @@
+"""Structural analysis of xPath expressions.
+
+These helpers implement the definitions of Sections 2.1 and 4 that the
+rewriting algorithm and the benchmarks rely on:
+
+* the *length* of a path — the number of location steps it contains outside
+  and inside qualifiers (Section 2.1),
+* detection of *reverse steps* and where the first one occurs,
+* detection of *RR joins* (Definition 4.2) which delimit the input class of
+  ``rare``,
+* join counting and other size metrics used by the RuleSet1/RuleSet2
+  comparison experiment (E8).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.xpath.ast import (
+    AndExpr,
+    Bottom,
+    Comparison,
+    LocationPath,
+    OrExpr,
+    PathExpr,
+    PathQualifier,
+    Qualifier,
+    Step,
+    Union,
+)
+
+
+# ---------------------------------------------------------------------------
+# Iteration over every step of an expression (spine and qualifiers)
+# ---------------------------------------------------------------------------
+
+def iter_steps(path: PathExpr) -> Iterator[Step]:
+    """Yield every step of ``path``, including steps inside qualifiers.
+
+    Steps are yielded in left-to-right reading order: for each spine step,
+    the step itself first, then the steps of its qualifiers.  This is the
+    order in which ``rare`` eliminates reverse steps.
+    """
+    if isinstance(path, Bottom):
+        return
+    if isinstance(path, Union):
+        for member in path.members:
+            yield from iter_steps(member)
+        return
+    if isinstance(path, LocationPath):
+        for spine_step in path.steps:
+            yield spine_step
+            for qual in spine_step.qualifiers:
+                yield from _iter_qualifier_steps(qual)
+        return
+    raise TypeError(f"not a path expression: {path!r}")
+
+
+def _iter_qualifier_steps(qual: Qualifier) -> Iterator[Step]:
+    if isinstance(qual, PathQualifier):
+        yield from iter_steps(qual.path)
+    elif isinstance(qual, (AndExpr, OrExpr)):
+        yield from _iter_qualifier_steps(qual.left)
+        yield from _iter_qualifier_steps(qual.right)
+    elif isinstance(qual, Comparison):
+        yield from iter_steps(qual.left)
+        yield from iter_steps(qual.right)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"not a qualifier: {qual!r}")
+
+
+# ---------------------------------------------------------------------------
+# Size metrics
+# ---------------------------------------------------------------------------
+
+def path_length(path: PathExpr) -> int:
+    """The length of a location path (Section 2.1).
+
+    The number of location steps it contains outside and inside qualifiers,
+    summed over all union members.
+    """
+    return sum(1 for _ in iter_steps(path))
+
+
+def spine_length(path: PathExpr) -> int:
+    """Number of steps on the main spine only (maximum over union members)."""
+    if isinstance(path, Bottom):
+        return 0
+    if isinstance(path, Union):
+        return max(spine_length(member) for member in path.members)
+    if isinstance(path, LocationPath):
+        return len(path.steps)
+    raise TypeError(f"not a path expression: {path!r}")
+
+
+def union_term_count(path: PathExpr) -> int:
+    """Number of top-level union members (1 for a plain path, 0 for ⊥)."""
+    if isinstance(path, Bottom):
+        return 0
+    if isinstance(path, Union):
+        return sum(union_term_count(member) or 1 for member in path.members)
+    return 1
+
+
+def count_reverse_steps(path: PathExpr) -> int:
+    """Number of reverse steps anywhere in the expression."""
+    return sum(1 for step in iter_steps(path) if step.is_reverse)
+
+
+def count_forward_steps(path: PathExpr) -> int:
+    """Number of forward steps anywhere in the expression."""
+    return sum(1 for step in iter_steps(path) if step.is_forward)
+
+
+def has_reverse_steps(path: PathExpr) -> bool:
+    """Whether any reverse step occurs in the expression."""
+    return any(step.is_reverse for step in iter_steps(path))
+
+
+def count_joins(path: PathExpr) -> int:
+    """Number of join comparisons (``=`` or ``==``) anywhere in the expression.
+
+    The Section 4 "Comparison" paragraph observes that RuleSet1 output
+    contains as many joins as the input had reverse steps while RuleSet2
+    output contains none; experiment E8 reproduces that observation with this
+    counter.
+    """
+    count = 0
+    if isinstance(path, Bottom):
+        return 0
+    if isinstance(path, Union):
+        return sum(count_joins(member) for member in path.members)
+    if isinstance(path, LocationPath):
+        for spine_step in path.steps:
+            for qual in spine_step.qualifiers:
+                count += _count_joins_in_qualifier(qual)
+        return count
+    raise TypeError(f"not a path expression: {path!r}")
+
+
+def _count_joins_in_qualifier(qual: Qualifier) -> int:
+    if isinstance(qual, PathQualifier):
+        return count_joins(qual.path)
+    if isinstance(qual, (AndExpr, OrExpr)):
+        return _count_joins_in_qualifier(qual.left) + _count_joins_in_qualifier(qual.right)
+    if isinstance(qual, Comparison):
+        return 1 + count_joins(qual.left) + count_joins(qual.right)
+    raise TypeError(f"not a qualifier: {qual!r}")
+
+
+# ---------------------------------------------------------------------------
+# Absolute / relative, RR joins (Definition 4.2)
+# ---------------------------------------------------------------------------
+
+def is_absolute(path: PathExpr) -> bool:
+    """Whether the path is absolute in the sense of Section 2.1.
+
+    A union is absolute iff all of its members are; ⊥ is treated as absolute
+    (it is the canonical equivalent of absolute paths selecting nothing).
+    """
+    if isinstance(path, Bottom):
+        return True
+    if isinstance(path, Union):
+        return all(is_absolute(member) for member in path.members)
+    if isinstance(path, LocationPath):
+        return path.absolute
+    raise TypeError(f"not a path expression: {path!r}")
+
+
+def is_rr_join(comparison: Comparison) -> bool:
+    """Whether a comparison is an RR join (Definition 4.2).
+
+    ``p1 θ p2`` is an RR join when both operands are *relative* paths and at
+    least one of them contains a reverse step.
+    """
+    left_relative = not is_absolute(comparison.left)
+    right_relative = not is_absolute(comparison.right)
+    if not (left_relative and right_relative):
+        return False
+    return has_reverse_steps(comparison.left) or has_reverse_steps(comparison.right)
+
+
+def iter_comparisons(path: PathExpr) -> Iterator[Comparison]:
+    """Yield every comparison qualifier anywhere in the expression."""
+    if isinstance(path, Bottom):
+        return
+    if isinstance(path, Union):
+        for member in path.members:
+            yield from iter_comparisons(member)
+        return
+    if isinstance(path, LocationPath):
+        for spine_step in path.steps:
+            for qual in spine_step.qualifiers:
+                yield from _iter_comparisons_in_qualifier(qual)
+        return
+    raise TypeError(f"not a path expression: {path!r}")
+
+
+def _iter_comparisons_in_qualifier(qual: Qualifier) -> Iterator[Comparison]:
+    if isinstance(qual, PathQualifier):
+        yield from iter_comparisons(qual.path)
+    elif isinstance(qual, (AndExpr, OrExpr)):
+        yield from _iter_comparisons_in_qualifier(qual.left)
+        yield from _iter_comparisons_in_qualifier(qual.right)
+    elif isinstance(qual, Comparison):
+        yield qual
+        yield from iter_comparisons(qual.left)
+        yield from iter_comparisons(qual.right)
+    else:  # pragma: no cover - defensive
+        raise TypeError(f"not a qualifier: {qual!r}")
+
+
+def has_rr_joins(path: PathExpr) -> bool:
+    """Whether any qualifier of the expression contains an RR join."""
+    return any(is_rr_join(comparison) for comparison in iter_comparisons(path))
+
+
+def is_rare_input(path: PathExpr) -> Tuple[bool, Optional[str]]:
+    """Check whether ``path`` is in the input class of ``rare``.
+
+    Returns ``(True, None)`` if the path is absolute and free of RR joins,
+    otherwise ``(False, reason)`` with a human-readable reason.
+    """
+    if not is_absolute(path):
+        return False, "rare requires an absolute location path"
+    if has_rr_joins(path):
+        return False, "qualifiers contain an RR join (Definition 4.2)"
+    return True, None
+
+
+def summarize(path: PathExpr) -> dict:
+    """Size summary used by benchmark reports."""
+    return {
+        "length": path_length(path),
+        "spine_length": spine_length(path),
+        "union_terms": union_term_count(path),
+        "reverse_steps": count_reverse_steps(path),
+        "forward_steps": count_forward_steps(path),
+        "joins": count_joins(path),
+        "absolute": is_absolute(path),
+    }

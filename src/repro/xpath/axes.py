@@ -1,0 +1,109 @@
+"""The thirteen XPath axes restricted to the eleven used by the paper.
+
+The paper (Section 2.1) partitions axes into *reverse* axes, which select
+nodes occurring before the context node in document order (or ancestors), and
+*forward* axes.  It also relies on the notion of *symmetry* between axes
+(parent/child, ancestor/descendant, preceding/following, ...), which is the
+engine behind the general equivalences of Section 3.1.
+
+Attribute and namespace axes are outside the data model of the paper and are
+therefore not represented.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Axis(enum.Enum):
+    """Navigation axes of xPath."""
+
+    # Forward axes
+    SELF = "self"
+    CHILD = "child"
+    DESCENDANT = "descendant"
+    DESCENDANT_OR_SELF = "descendant-or-self"
+    FOLLOWING = "following"
+    FOLLOWING_SIBLING = "following-sibling"
+    # Reverse axes
+    PARENT = "parent"
+    ANCESTOR = "ancestor"
+    ANCESTOR_OR_SELF = "ancestor-or-self"
+    PRECEDING = "preceding"
+    PRECEDING_SIBLING = "preceding-sibling"
+
+    # ------------------------------------------------------------------
+    @property
+    def is_forward(self) -> bool:
+        """Whether the axis only selects nodes at or after the context node."""
+        return self in _FORWARD_AXES
+
+    @property
+    def is_reverse(self) -> bool:
+        """Whether the axis selects nodes before the context node (or ancestors)."""
+        return self in _REVERSE_AXES
+
+    @property
+    def symmetric(self) -> "Axis":
+        """The symmetric axis in the sense of Section 2.1.
+
+        parent ↔ child, ancestor ↔ descendant, ancestor-or-self ↔
+        descendant-or-self, preceding ↔ following, preceding-sibling ↔
+        following-sibling, self ↔ self.
+        """
+        return _SYMMETRY[self]
+
+    @property
+    def xpath_name(self) -> str:
+        """The axis name as written in XPath expressions."""
+        return self.value
+
+    @classmethod
+    def from_name(cls, name: str) -> "Axis":
+        """Look an axis up by its XPath name.
+
+        Raises :class:`KeyError` for names outside the paper's language
+        (``attribute``, ``namespace``) — the parser converts this into an
+        :class:`repro.errors.XPathSyntaxError` with position information.
+        """
+        return _BY_NAME[name]
+
+
+_FORWARD_AXES = frozenset({
+    Axis.SELF,
+    Axis.CHILD,
+    Axis.DESCENDANT,
+    Axis.DESCENDANT_OR_SELF,
+    Axis.FOLLOWING,
+    Axis.FOLLOWING_SIBLING,
+})
+
+_REVERSE_AXES = frozenset({
+    Axis.PARENT,
+    Axis.ANCESTOR,
+    Axis.ANCESTOR_OR_SELF,
+    Axis.PRECEDING,
+    Axis.PRECEDING_SIBLING,
+})
+
+_SYMMETRY = {
+    Axis.SELF: Axis.SELF,
+    Axis.CHILD: Axis.PARENT,
+    Axis.PARENT: Axis.CHILD,
+    Axis.DESCENDANT: Axis.ANCESTOR,
+    Axis.ANCESTOR: Axis.DESCENDANT,
+    Axis.DESCENDANT_OR_SELF: Axis.ANCESTOR_OR_SELF,
+    Axis.ANCESTOR_OR_SELF: Axis.DESCENDANT_OR_SELF,
+    Axis.FOLLOWING: Axis.PRECEDING,
+    Axis.PRECEDING: Axis.FOLLOWING,
+    Axis.FOLLOWING_SIBLING: Axis.PRECEDING_SIBLING,
+    Axis.PRECEDING_SIBLING: Axis.FOLLOWING_SIBLING,
+}
+
+_BY_NAME = {axis.value: axis for axis in Axis}
+
+#: Axes in the order they appear in the paper's grammar, handy for tests
+#: that want to enumerate "every reverse axis interacts with every forward
+#: axis".
+FORWARD_AXES = tuple(sorted(_FORWARD_AXES, key=lambda a: a.value))
+REVERSE_AXES = tuple(sorted(_REVERSE_AXES, key=lambda a: a.value))

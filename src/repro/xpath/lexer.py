@@ -1,0 +1,140 @@
+"""Tokenizer for xPath expressions.
+
+The lexer recognizes the tokens of the paper's grammar plus the abbreviated
+XPath syntax (``//``, ``.``, ``..``) which the parser expands into
+unabbreviated steps, as the paper assumes ("every abbreviated XPath
+expression can easily be translated into an unabbreviated XPath expression").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.errors import XPathSyntaxError
+
+
+class TokenType(enum.Enum):
+    """Token categories produced by the lexer."""
+
+    SLASH = "/"
+    DOUBLE_SLASH = "//"
+    LBRACKET = "["
+    RBRACKET = "]"
+    LPAREN = "("
+    RPAREN = ")"
+    PIPE = "|"
+    AXIS_SEP = "::"
+    EQUALS = "="
+    NODE_EQUALS = "=="
+    DOT = "."
+    DOTDOT = ".."
+    STAR = "*"
+    AT = "@"
+    NAME = "name"
+    BOTTOM = "bottom"
+    END = "end"
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single token with its position in the source expression."""
+
+    type: TokenType
+    value: str
+    position: int
+
+
+_SIMPLE_TOKENS = {
+    "[": TokenType.LBRACKET,
+    "]": TokenType.RBRACKET,
+    "(": TokenType.LPAREN,
+    ")": TokenType.RPAREN,
+    "|": TokenType.PIPE,
+    "*": TokenType.STAR,
+    "@": TokenType.AT,
+}
+
+
+def _is_name_start(char: str) -> bool:
+    return char.isalpha() or char == "_"
+
+
+def _is_name_char(char: str) -> bool:
+    return char.isalnum() or char in "_-."
+
+
+def tokenize(expression: str) -> List[Token]:
+    """Tokenize ``expression`` into a list ending with an END token.
+
+    Raises
+    ------
+    XPathSyntaxError
+        On characters outside the language (e.g. quotes — literals are not
+        part of the paper's fragment).
+    """
+    tokens: List[Token] = []
+    i = 0
+    length = len(expression)
+    while i < length:
+        char = expression[i]
+        if char.isspace():
+            i += 1
+            continue
+        if char == "/":
+            if expression.startswith("//", i):
+                tokens.append(Token(TokenType.DOUBLE_SLASH, "//", i))
+                i += 2
+            else:
+                tokens.append(Token(TokenType.SLASH, "/", i))
+                i += 1
+            continue
+        if char == ":":
+            if expression.startswith("::", i):
+                tokens.append(Token(TokenType.AXIS_SEP, "::", i))
+                i += 2
+                continue
+            raise XPathSyntaxError("single ':' is not valid", i, expression)
+        if char == "=":
+            if expression.startswith("==", i):
+                tokens.append(Token(TokenType.NODE_EQUALS, "==", i))
+                i += 2
+            else:
+                tokens.append(Token(TokenType.EQUALS, "=", i))
+                i += 1
+            continue
+        if char == ".":
+            if expression.startswith("..", i):
+                tokens.append(Token(TokenType.DOTDOT, "..", i))
+                i += 2
+            else:
+                tokens.append(Token(TokenType.DOT, ".", i))
+                i += 1
+            continue
+        if char in _SIMPLE_TOKENS:
+            tokens.append(Token(_SIMPLE_TOKENS[char], char, i))
+            i += 1
+            continue
+        if char == "⊥":  # ⊥
+            tokens.append(Token(TokenType.BOTTOM, char, i))
+            i += 1
+            continue
+        if char == "#" and expression.startswith("#bottom", i):
+            tokens.append(Token(TokenType.BOTTOM, "#bottom", i))
+            i += len("#bottom")
+            continue
+        if _is_name_start(char):
+            start = i
+            while i < length and _is_name_char(expression[i]):
+                i += 1
+            tokens.append(Token(TokenType.NAME, expression[start:i], start))
+            continue
+        raise XPathSyntaxError(f"unexpected character {char!r}", i, expression)
+    tokens.append(Token(TokenType.END, "", length))
+    return tokens
+
+
+def iter_tokens(expression: str) -> Iterator[Token]:
+    """Iterator variant of :func:`tokenize` (mainly for tests)."""
+    return iter(tokenize(expression))

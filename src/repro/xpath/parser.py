@@ -1,0 +1,231 @@
+"""Recursive-descent parser for xPath expressions.
+
+The parser accepts both the unabbreviated syntax used throughout the paper
+(``/descendant::price/preceding::name``) and the common abbreviated syntax
+(``//price``, ``.``, ``..``, bare tag names for ``child::``).  Abbreviations
+are expanded during parsing, so the AST only ever contains explicit axes.
+
+The attribute axis (``@``) is outside the paper's data model and is rejected
+with a clear error message.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    AndExpr,
+    Bottom,
+    Comparison,
+    LocationPath,
+    NodeTest,
+    OrExpr,
+    PathExpr,
+    PathQualifier,
+    Qualifier,
+    Step,
+    Union,
+    union_of,
+)
+from repro.xpath.axes import Axis
+from repro.xpath.lexer import Token, TokenType, tokenize
+
+_STEP_START_TOKENS = {
+    TokenType.NAME,
+    TokenType.STAR,
+    TokenType.DOT,
+    TokenType.DOTDOT,
+    TokenType.AT,
+}
+
+
+def _descendant_or_self_node() -> Step:
+    """The step ``descendant-or-self::node()`` that ``//`` abbreviates."""
+    return Step(axis=Axis.DESCENDANT_OR_SELF, node_test=NodeTest.node())
+
+
+class _Parser:
+    """Single-use recursive-descent parser over a token list."""
+
+    def __init__(self, expression: str):
+        self.expression = expression
+        self.tokens: List[Token] = tokenize(expression)
+        self.index = 0
+
+    # Token helpers ----------------------------------------------------------
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.index]
+
+    def peek(self, offset: int = 1) -> Token:
+        index = min(self.index + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.type is not TokenType.END:
+            self.index += 1
+        return token
+
+    def expect(self, token_type: TokenType) -> Token:
+        if self.current.type is not token_type:
+            raise self.error(f"expected {token_type.value!r}, found {self.current.value!r}")
+        return self.advance()
+
+    def error(self, message: str) -> XPathSyntaxError:
+        return XPathSyntaxError(message, self.current.position, self.expression)
+
+    # Grammar ----------------------------------------------------------------
+    def parse(self) -> PathExpr:
+        path = self.parse_union()
+        if self.current.type is not TokenType.END:
+            raise self.error(f"unexpected trailing input {self.current.value!r}")
+        return path
+
+    def parse_union(self) -> PathExpr:
+        members = [self.parse_path()]
+        while self.current.type is TokenType.PIPE:
+            self.advance()
+            members.append(self.parse_path())
+        if len(members) == 1:
+            return members[0]
+        return Union(members=tuple(members))
+
+    def parse_path(self) -> PathExpr:
+        if self.current.type is TokenType.BOTTOM:
+            self.advance()
+            return Bottom()
+        if self.current.type is TokenType.SLASH:
+            self.advance()
+            if self.current.type in _STEP_START_TOKENS:
+                steps = self.parse_step_sequence()
+                return LocationPath(absolute=True, steps=tuple(steps))
+            return LocationPath(absolute=True, steps=())
+        if self.current.type is TokenType.DOUBLE_SLASH:
+            self.advance()
+            steps = [_descendant_or_self_node()]
+            steps.extend(self.parse_step_sequence())
+            return LocationPath(absolute=True, steps=tuple(steps))
+        if self.current.type in _STEP_START_TOKENS:
+            steps = self.parse_step_sequence()
+            return LocationPath(absolute=False, steps=tuple(steps))
+        raise self.error(f"expected a location path, found {self.current.value!r}")
+
+    def parse_step_sequence(self) -> List[Step]:
+        steps = [self.parse_step()]
+        while self.current.type in (TokenType.SLASH, TokenType.DOUBLE_SLASH):
+            separator = self.advance()
+            if separator.type is TokenType.DOUBLE_SLASH:
+                steps.append(_descendant_or_self_node())
+            steps.append(self.parse_step())
+        return steps
+
+    def parse_step(self) -> Step:
+        token = self.current
+        if token.type is TokenType.AT:
+            raise self.error("the attribute axis is outside the paper's language")
+        if token.type is TokenType.DOT:
+            self.advance()
+            return self._with_predicates(Step(axis=Axis.SELF, node_test=NodeTest.node()))
+        if token.type is TokenType.DOTDOT:
+            self.advance()
+            return self._with_predicates(Step(axis=Axis.PARENT, node_test=NodeTest.node()))
+        axis = Axis.CHILD
+        if token.type is TokenType.NAME and self.peek().type is TokenType.AXIS_SEP:
+            try:
+                axis = Axis.from_name(token.value)
+            except KeyError:
+                raise self.error(f"unknown axis {token.value!r}") from None
+            self.advance()
+            self.advance()  # '::'
+        node_test = self.parse_node_test()
+        return self._with_predicates(Step(axis=axis, node_test=node_test))
+
+    def parse_node_test(self) -> NodeTest:
+        token = self.current
+        if token.type is TokenType.STAR:
+            self.advance()
+            return NodeTest.any_element()
+        if token.type is TokenType.NAME:
+            name = token.value
+            if self.peek().type is TokenType.LPAREN:
+                if name not in ("node", "text"):
+                    raise self.error(
+                        f"unsupported node test or function {name!r} (only node() and text())"
+                    )
+                self.advance()  # name
+                self.expect(TokenType.LPAREN)
+                self.expect(TokenType.RPAREN)
+                return NodeTest.node() if name == "node" else NodeTest.text()
+            self.advance()
+            return NodeTest.tag(name)
+        raise self.error(f"expected a node test, found {token.value!r}")
+
+    def _with_predicates(self, step: Step) -> Step:
+        qualifiers = []
+        while self.current.type is TokenType.LBRACKET:
+            self.advance()
+            qualifiers.append(self.parse_qualifier())
+            self.expect(TokenType.RBRACKET)
+        if qualifiers:
+            return step.with_qualifiers(qualifiers)
+        return step
+
+    # Qualifiers --------------------------------------------------------------
+    def parse_qualifier(self) -> Qualifier:
+        return self.parse_or()
+
+    def parse_or(self) -> Qualifier:
+        left = self.parse_and()
+        while self.current.type is TokenType.NAME and self.current.value == "or":
+            self.advance()
+            right = self.parse_and()
+            left = OrExpr(left=left, right=right)
+        return left
+
+    def parse_and(self) -> Qualifier:
+        left = self.parse_comparison()
+        while self.current.type is TokenType.NAME and self.current.value == "and":
+            self.advance()
+            right = self.parse_comparison()
+            left = AndExpr(left=left, right=right)
+        return left
+
+    def parse_comparison(self) -> Qualifier:
+        if self.current.type is TokenType.LPAREN:
+            self.advance()
+            inner = self.parse_qualifier()
+            self.expect(TokenType.RPAREN)
+            # "(p1 | p2) == p3": a parenthesized *path* may still be the left
+            # operand of a comparison.
+            if (self.current.type in (TokenType.EQUALS, TokenType.NODE_EQUALS)
+                    and isinstance(inner, PathQualifier)):
+                op = "==" if self.current.type is TokenType.NODE_EQUALS else "="
+                self.advance()
+                right = self.parse_union()
+                return Comparison(left=inner.path, op=op, right=right)
+            return inner
+        left = self.parse_union()
+        if self.current.type in (TokenType.EQUALS, TokenType.NODE_EQUALS):
+            op = "==" if self.current.type is TokenType.NODE_EQUALS else "="
+            self.advance()
+            right = self.parse_union()
+            return Comparison(left=left, op=op, right=right)
+        return PathQualifier(path=left)
+
+
+def parse_xpath(expression: str) -> PathExpr:
+    """Parse an xPath expression into its AST.
+
+    Examples
+    --------
+    >>> from repro.xpath.serializer import to_string
+    >>> to_string(parse_xpath("//price"))
+    '/descendant-or-self::node()/child::price'
+    >>> to_string(parse_xpath("/descendant::editor[parent::journal]"))
+    '/descendant::editor[parent::journal]'
+    """
+    if not expression or not expression.strip():
+        raise XPathSyntaxError("empty xPath expression", 0, expression)
+    return _Parser(expression).parse()

@@ -1,0 +1,80 @@
+"""Serialization of xPath ASTs back to (unabbreviated) expression text.
+
+The output uses the exact notation of the paper: explicit axes, ``[...]``
+qualifiers, ``|`` unions, ``==`` node-identity joins and ``⊥`` for the empty
+path.  ``parse_xpath(to_string(p))`` always reproduces ``p`` (round-trip
+property tested in ``tests/property/test_parser_roundtrip.py``).
+"""
+
+from __future__ import annotations
+
+from repro.xpath.ast import (
+    AndExpr,
+    Bottom,
+    Comparison,
+    LocationPath,
+    OrExpr,
+    PathExpr,
+    PathQualifier,
+    Qualifier,
+    Step,
+    Union,
+)
+
+BOTTOM_SYMBOL = "⊥"
+
+
+def to_string(path: PathExpr) -> str:
+    """Render a path expression as unabbreviated xPath text."""
+    if isinstance(path, Bottom):
+        return BOTTOM_SYMBOL
+    if isinstance(path, Union):
+        return " | ".join(to_string(member) for member in path.members)
+    if isinstance(path, LocationPath):
+        return _location_path(path)
+    raise TypeError(f"not a path expression: {path!r}")
+
+
+def step_to_string(step: Step) -> str:
+    """Render a single location step."""
+    rendered = f"{step.axis.xpath_name}::{step.node_test}"
+    for qual in step.qualifiers:
+        rendered += f"[{qualifier_to_string(qual)}]"
+    return rendered
+
+
+def qualifier_to_string(qual: Qualifier) -> str:
+    """Render a qualifier expression."""
+    if isinstance(qual, PathQualifier):
+        return to_string(qual.path)
+    if isinstance(qual, AndExpr):
+        return f"{_operand(qual.left)} and {_operand(qual.right)}"
+    if isinstance(qual, OrExpr):
+        return f"{_operand(qual.left)} or {_operand(qual.right)}"
+    if isinstance(qual, Comparison):
+        return (f"{_comparison_operand(qual.left)} {qual.op} "
+                f"{_comparison_operand(qual.right)}")
+    raise TypeError(f"not a qualifier: {qual!r}")
+
+
+def _comparison_operand(path: PathExpr) -> str:
+    """Render a join operand, parenthesizing unions to keep precedence."""
+    rendered = to_string(path)
+    if isinstance(path, Union):
+        return f"({rendered})"
+    return rendered
+
+
+def _operand(qual: Qualifier) -> str:
+    """Render an and/or operand, parenthesizing nested boolean operators."""
+    rendered = qualifier_to_string(qual)
+    if isinstance(qual, (AndExpr, OrExpr)):
+        return f"({rendered})"
+    return rendered
+
+
+def _location_path(path: LocationPath) -> str:
+    if path.is_root_only:
+        return "/"
+    body = "/".join(step_to_string(step) for step in path.steps)
+    return f"/{body}" if path.absolute else body

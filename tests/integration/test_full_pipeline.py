@@ -1,0 +1,86 @@
+"""Full-pipeline integration tests: XML text → events → rewrite → answers.
+
+These tests exercise the complete public workflow a downstream user follows:
+parse real XML text, parse queries written in abbreviated XPath, rewrite them
+with both rule sets, evaluate in-memory and over the stream, and cross-check
+all answers against each other.
+"""
+
+import pytest
+
+from repro import (
+    buffered_evaluate,
+    dom_evaluate,
+    evaluate,
+    iter_events,
+    parse_xml,
+    parse_xpath,
+    rare,
+    remove_reverse_axes,
+    stream_evaluate,
+    to_xml,
+)
+from repro.semantics.evaluator import select_positions
+from repro.xmlmodel.generator import journal_document
+from repro.xpath import analysis
+
+QUERIES = [
+    # abbreviated syntax, reverse axes, qualifiers, joins
+    "//price/preceding::name",
+    "//name/../preceding-sibling::editor",
+    "//journal[title]/descendant::name[preceding::editor]",
+    "//article/title[ancestor::journal[child::price]]",
+    "/descendant::name[following::price == /descendant::price]",
+]
+
+
+@pytest.fixture(scope="module")
+def catalogue_xml():
+    document = journal_document(journals=8, articles_per_journal=3,
+                                authors_per_article=2, seed=42)
+    return to_xml(document)
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize("ruleset", ["ruleset1", "ruleset2"])
+def test_xml_text_pipeline(catalogue_xml, query, ruleset):
+    document = parse_xml(catalogue_xml)
+    original = parse_xpath(query)
+    expected = select_positions(original, document)
+
+    result = rare(original, ruleset=ruleset)
+    assert analysis.count_reverse_steps(result.result) == 0
+
+    streamed = stream_evaluate(result.result, iter_events(catalogue_xml))
+    assert streamed.node_ids == expected
+
+    dom = dom_evaluate(original, iter_events(catalogue_xml))
+    assert dom.node_ids == expected
+
+    buffered = buffered_evaluate(original, iter_events(catalogue_xml))
+    assert buffered.node_ids == expected
+
+
+def test_answers_are_stable_across_serialization(catalogue_xml):
+    document = parse_xml(catalogue_xml)
+    reparsed = parse_xml(to_xml(document))
+    query = parse_xpath("//journal[title]/editor")
+    assert select_positions(query, document) == select_positions(query, reparsed)
+
+
+def test_rewrite_is_idempotent_on_forward_output():
+    for query in QUERIES:
+        forward = remove_reverse_axes(query, ruleset="ruleset2")
+        again = remove_reverse_axes(forward, ruleset="ruleset2")
+        assert again == forward
+
+
+def test_large_document_pipeline_smoke():
+    document = journal_document(journals=150, articles_per_journal=4,
+                                authors_per_article=2)
+    forward = remove_reverse_axes("//price/preceding::name", ruleset="ruleset2")
+    from repro import document_events
+    streamed = stream_evaluate(forward, document_events(document))
+    in_memory = evaluate(parse_xpath("//price/preceding::name"), document)
+    assert streamed.node_ids == [node.position for node in in_memory]
+    assert streamed.stats.nodes_stored == 0

@@ -1,0 +1,66 @@
+"""Properties of the axis implementations and of document construction.
+
+These are the structural invariants the rewrite rules silently rely on:
+axis symmetry (``y ∈ axis(x)`` iff ``x ∈ symmetric(axis)(y)``), the
+partition of a document into self/ancestors/descendants/preceding/following,
+and stability of the event-stream round trip.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.semantics.axes_impl import axis_nodes
+from repro.xmlmodel.builder import build_document, document_events
+from repro.xpath.axes import Axis
+
+from tests.property.strategies import documents
+
+SETTINGS = dict(max_examples=60, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@given(document=documents(), axis=st.sampled_from(list(Axis)))
+@settings(**SETTINGS)
+def test_axis_symmetry(document, axis):
+    """Section 2.1: the axes of each pair are symmetrical of each other."""
+    for x in document.nodes:
+        for y in axis_nodes(x, axis):
+            assert x in axis_nodes(y, axis.symmetric), (
+                f"{axis.xpath_name} not symmetric to "
+                f"{axis.symmetric.xpath_name} for {x.label()} / {y.label()}")
+
+
+@given(document=documents())
+@settings(**SETTINGS)
+def test_axes_partition_the_document(document):
+    everything = set(range(len(document)))
+    for node in document.nodes:
+        parts = [
+            {n.position for n in axis_nodes(node, Axis.PRECEDING)},
+            {n.position for n in axis_nodes(node, Axis.FOLLOWING)},
+            {n.position for n in axis_nodes(node, Axis.ANCESTOR)},
+            {n.position for n in axis_nodes(node, Axis.DESCENDANT)},
+            {node.position},
+        ]
+        union = set().union(*parts)
+        assert union == everything
+        total = sum(len(part) for part in parts)
+        assert total == len(everything), "axes must be pairwise disjoint"
+
+
+@given(document=documents())
+@settings(**SETTINGS)
+def test_axis_results_are_in_document_order(document):
+    for node in document.nodes:
+        for axis in Axis:
+            positions = [n.position for n in axis_nodes(node, axis)]
+            assert positions == sorted(positions)
+
+
+@given(document=documents())
+@settings(**SETTINGS)
+def test_event_round_trip_preserves_structure(document):
+    rebuilt = build_document(document_events(document))
+    assert [(n.kind, n.tag, n.value) for n in document] == \
+           [(n.kind, n.tag, n.value) for n in rebuilt]
+    assert [n.position for n in document] == [n.position for n in rebuilt]

@@ -1,0 +1,93 @@
+"""Properties of the driver's congruence lemmas and of the simplifier.
+
+The lemmas the driver applies on demand (and-splitting, or-splitting, union
+qualifiers, self-hoisting, Lemma 3.1.5/3.1.8) are schematic; the unit tests
+in ``tests/test_lemmas.py`` validate fixed instances, while these properties
+validate them with randomly generated sub-paths plugged into the schema.
+"""
+
+from hypothesis import HealthCheck, given, settings
+
+from repro.rewrite.simplify import simplify
+from repro.semantics.evaluator import evaluate
+from repro.xpath.parser import parse_xpath
+
+from tests.property.strategies import documents, relative_paths, FORWARD_AXIS_NAMES
+
+SETTINGS = dict(max_examples=50, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def assert_equivalent_on(document, left, right):
+    left_path, right_path = parse_xpath(left), parse_xpath(right)
+    for context in document.nodes:
+        left_result = [n.position for n in evaluate(left_path, document, context)]
+        right_result = [n.position for n in evaluate(right_path, document, context)]
+        assert left_result == right_result, f"{left}  vs  {right}"
+
+
+@given(document=documents(), q1=relative_paths(FORWARD_AXIS_NAMES, max_steps=2),
+       q2=relative_paths(FORWARD_AXIS_NAMES, max_steps=2))
+@settings(**SETTINGS)
+def test_and_split(document, q1, q2):
+    assert_equivalent_on(document,
+                         f"/descendant::a[{q1} and {q2}]",
+                         f"/descendant::a[{q1}][{q2}]")
+
+
+@given(document=documents(), q1=relative_paths(FORWARD_AXIS_NAMES, max_steps=2),
+       q2=relative_paths(FORWARD_AXIS_NAMES, max_steps=2))
+@settings(**SETTINGS)
+def test_or_split(document, q1, q2):
+    assert_equivalent_on(
+        document,
+        f"/descendant::a/child::b[{q1} or {q2}]/child::c",
+        f"/descendant::a/child::b[{q1}]/child::c"
+        f" | /descendant::a/child::b[{q2}]/child::c")
+
+
+@given(document=documents(), q1=relative_paths(FORWARD_AXIS_NAMES, max_steps=2),
+       q2=relative_paths(FORWARD_AXIS_NAMES, max_steps=2))
+@settings(**SETTINGS)
+def test_union_qualifier_is_disjunction(document, q1, q2):
+    assert_equivalent_on(document,
+                         f"/descendant::a[{q1} | {q2}]",
+                         f"/descendant::a[{q1} or {q2}]")
+
+
+@given(document=documents(), inner=relative_paths(FORWARD_AXIS_NAMES, max_steps=2),
+       rest=relative_paths(FORWARD_AXIS_NAMES, max_steps=2))
+@settings(**SETTINGS)
+def test_self_headed_qualifier_hoisting(document, inner, rest):
+    assert_equivalent_on(document,
+                         f"/descendant::a[self::a[{inner}]/{rest}]",
+                         f"/descendant::a[self::a][{inner}][{rest}]")
+
+
+@given(document=documents(), p1=relative_paths(FORWARD_AXIS_NAMES, max_steps=2),
+       p2=relative_paths(FORWARD_AXIS_NAMES, max_steps=2))
+@settings(**SETTINGS)
+def test_qualifier_flattening(document, p1, p2):
+    assert_equivalent_on(document,
+                         f"/descendant::a[{p1}/{p2}]",
+                         f"/descendant::a[{p1}[{p2}]]")
+
+
+@given(document=documents(), p1=relative_paths(FORWARD_AXIS_NAMES, max_steps=2),
+       p2=relative_paths(FORWARD_AXIS_NAMES, max_steps=2))
+@settings(**SETTINGS)
+def test_lemma_3_1_8_join_pushdown(document, p1, p2):
+    assert_equivalent_on(
+        document,
+        f"/descendant::a[{p1} == /{p2}]",
+        f"/descendant::a[{p1}[self::node() == /{p2}]]")
+
+
+@given(document=documents(), expression=relative_paths(FORWARD_AXIS_NAMES, max_steps=3))
+@settings(**SETTINGS)
+def test_simplify_preserves_meaning(document, expression):
+    path = parse_xpath("/" + expression)
+    simplified = simplify(path)
+    for context in document.nodes:
+        assert [n.position for n in evaluate(path, document, context)] == \
+               [n.position for n in evaluate(simplified, document, context)]

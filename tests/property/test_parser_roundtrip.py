@@ -1,0 +1,26 @@
+"""Property: parsing and serialization are mutually inverse."""
+
+from hypothesis import given, settings
+
+from repro.xpath.parser import parse_xpath
+from repro.xpath.serializer import to_string
+
+from tests.property.strategies import forward_absolute_paths, reverse_absolute_paths
+
+
+@given(expression=forward_absolute_paths())
+@settings(max_examples=150, deadline=None)
+def test_forward_paths_round_trip(expression):
+    parsed = parse_xpath(expression)
+    rendered = to_string(parsed)
+    assert parse_xpath(rendered) == parsed
+    # Unabbreviated output is a fixed point of parse∘serialize.
+    assert to_string(parse_xpath(rendered)) == rendered
+
+
+@given(expression=reverse_absolute_paths())
+@settings(max_examples=150, deadline=None)
+def test_reverse_paths_round_trip(expression):
+    parsed = parse_xpath(expression)
+    rendered = to_string(parsed)
+    assert parse_xpath(rendered) == parsed

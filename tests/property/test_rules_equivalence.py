@@ -1,0 +1,85 @@
+"""Property: every rewriting produced by ``rare`` is equivalent to its input.
+
+This is the central correctness property of the paper (Lemma 4.1.3 /
+Theorems 4.1 and 4.2): for random absolute paths with reverse axes, the
+output of ``rare`` with either rule set selects exactly the same nodes as the
+input, for every document and every context node — checked here on randomized
+documents.  The output must also be reverse-axis free.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.errors import RRJoinError
+from repro.rewrite import rare
+from repro.semantics.evaluator import evaluate
+from repro.xpath import analysis
+from repro.xpath.parser import parse_xpath
+from repro.xpath.serializer import to_string
+
+from tests.property.strategies import documents, reverse_absolute_paths
+
+SETTINGS = dict(max_examples=60, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+def assert_rewrite_equivalent(expression, document, ruleset):
+    original = parse_xpath(expression)
+    try:
+        result = rare(original, ruleset=ruleset)
+    except RRJoinError:
+        pytest.skip("randomly generated path contains an RR join")
+    rewritten = result.result
+    assert analysis.count_reverse_steps(rewritten) == 0, to_string(rewritten)
+    for context in document.nodes:
+        expected = [n.position for n in evaluate(original, document, context)]
+        actual = [n.position for n in evaluate(rewritten, document, context)]
+        assert actual == expected, (
+            f"{ruleset}: {expression}\n  rewritten: {to_string(rewritten)}\n"
+            f"  context {context.label()}: {actual} != {expected}")
+
+
+@given(expression=reverse_absolute_paths(), document=documents())
+@settings(**SETTINGS)
+def test_ruleset1_rewriting_is_equivalent(expression, document):
+    assert_rewrite_equivalent(expression, document, "ruleset1")
+
+
+@given(expression=reverse_absolute_paths(), document=documents())
+@settings(**SETTINGS)
+def test_ruleset2_rewriting_is_equivalent(expression, document):
+    assert_rewrite_equivalent(expression, document, "ruleset2")
+
+
+@given(expression=reverse_absolute_paths())
+@settings(**SETTINGS)
+def test_ruleset1_output_is_linear_and_join_counting(expression):
+    """Theorem 4.1's size bound: one join per reverse step, no unions."""
+    original = parse_xpath(expression)
+    try:
+        result = rare(original, ruleset="ruleset1")
+    except RRJoinError:
+        pytest.skip("randomly generated path contains an RR join")
+    reverse_steps = analysis.count_reverse_steps(original)
+    # At most one join is introduced per removed reverse step (exactly one
+    # unless a Lemma 3.2 root simplification collapses part of the path to ⊥
+    # before Rule (1)/(2) has to fire).
+    assert analysis.count_joins(result.result) \
+        <= analysis.count_joins(original) + reverse_steps
+    assert analysis.union_term_count(result.result) <= max(
+        1, analysis.union_term_count(original))
+    # The linear size bound of Theorem 4.1: each application adds at most two
+    # forward steps, so the output length is linearly bounded by the input.
+    assert analysis.path_length(result.result) <= 3 * analysis.path_length(original)
+
+
+@given(expression=reverse_absolute_paths())
+@settings(**SETTINGS)
+def test_ruleset2_output_is_join_free(expression):
+    """Section 4: RuleSet2 never introduces joins."""
+    original = parse_xpath(expression)
+    try:
+        result = rare(original, ruleset="ruleset2")
+    except RRJoinError:
+        pytest.skip("randomly generated path contains an RR join")
+    assert analysis.count_joins(result.result) == analysis.count_joins(original)

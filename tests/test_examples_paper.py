@@ -1,0 +1,96 @@
+"""The worked examples of the paper, end to end (experiments E2/E3).
+
+Every location path the paper discusses is rewritten with both rule sets,
+compared against the rewriting the paper reports (where it reports one), and
+checked for equivalence on the Figure 1 document plus randomized documents.
+"""
+
+import pytest
+
+from repro.datasets import figure1_document
+from repro.rewrite import rare
+from repro.semantics.equivalence import paths_equivalent_on
+from repro.semantics.evaluator import select_positions
+from repro.workloads.queries import PAPER_QUERIES
+from repro.xpath import analysis
+from repro.xpath.parser import parse_xpath
+from repro.xpath.serializer import to_string
+
+
+@pytest.mark.parametrize("query", PAPER_QUERIES, ids=lambda q: q.label)
+class TestPaperQueries:
+    def test_expected_ruleset1_output(self, query):
+        if query.expected_ruleset1 is None:
+            pytest.skip("paper does not give the RuleSet1 rewriting")
+        result = rare(query.xpath, ruleset="ruleset1")
+        assert to_string(result.result) == query.expected_ruleset1
+
+    def test_expected_ruleset2_output(self, query):
+        if query.expected_ruleset2 is None:
+            pytest.skip("paper does not give the RuleSet2 rewriting")
+        result = rare(query.xpath, ruleset="ruleset2")
+        assert to_string(result.result) == query.expected_ruleset2
+
+    @pytest.mark.parametrize("ruleset", ["ruleset1", "ruleset2"])
+    def test_rewriting_is_equivalent_on_documents(self, query, ruleset,
+                                                  document_pool):
+        original = parse_xpath(query.xpath)
+        result = rare(query.xpath, ruleset=ruleset)
+        documents = list(document_pool) + [figure1_document()]
+        report = paths_equivalent_on(original, result.result, documents)
+        assert report.equivalent, report.describe()
+
+    @pytest.mark.parametrize("ruleset", ["ruleset1", "ruleset2"])
+    def test_rewriting_is_reverse_axis_free(self, query, ruleset):
+        result = rare(query.xpath, ruleset=ruleset)
+        assert analysis.count_reverse_steps(result.result) == 0
+
+
+class TestExample31Selection:
+    """Example 3.1: names appearing before a price on the Figure 1 document."""
+
+    def test_original_selects_both_names(self):
+        doc = figure1_document()
+        assert select_positions(parse_xpath("/descendant::price/preceding::name"),
+                                doc) == [7, 9]
+
+    def test_rewritings_select_the_same_names(self):
+        doc = figure1_document()
+        for ruleset in ("ruleset1", "ruleset2"):
+            rewritten = rare("/descendant::price/preceding::name",
+                             ruleset=ruleset).result
+            assert select_positions(rewritten, doc) == [7, 9]
+
+    def test_join_is_needed_for_the_variant_query(self, two_journals):
+        # The variant restricts prices to journals with a title; on the
+        # two-journal document the second journal has no title, so its
+        # author is excluded.
+        restricted = parse_xpath(
+            "/descendant::journal[child::title]/descendant::price/preceding::name")
+        unrestricted = parse_xpath("/descendant::price/preceding::name")
+        assert len(select_positions(restricted, two_journals)) < \
+            len(select_positions(unrestricted, two_journals))
+
+
+class TestExample32Selection:
+    def test_editor_of_journal(self):
+        doc = figure1_document()
+        original = parse_xpath("/descendant::editor[parent::journal]")
+        rewritten = parse_xpath("/descendant-or-self::journal/child::editor")
+        assert select_positions(original, doc) == select_positions(rewritten, doc) == [4]
+
+
+class TestSection4Comparison:
+    """The qualitative comparison of the two rule sets (Section 4)."""
+
+    @pytest.mark.parametrize("query", PAPER_QUERIES, ids=lambda q: q.label)
+    def test_ruleset1_join_count_equals_reverse_steps(self, query):
+        original = parse_xpath(query.xpath)
+        result = rare(query.xpath, ruleset="ruleset1")
+        assert analysis.count_joins(result.result) == \
+            analysis.count_reverse_steps(original)
+
+    @pytest.mark.parametrize("query", PAPER_QUERIES, ids=lambda q: q.label)
+    def test_ruleset2_output_is_join_free(self, query):
+        result = rare(query.xpath, ruleset="ruleset2")
+        assert analysis.count_joins(result.result) == 0

@@ -1,0 +1,58 @@
+"""Empirical validation of Lemma 3.1 / Lemma 3.2 and the driver congruences."""
+
+import pytest
+
+from repro.datasets import figure1_document
+from repro.rewrite.lemmas import (
+    all_equivalences,
+    driver_lemma_equivalences,
+    lemma_3_1_equivalences,
+    lemma_3_2_equivalences,
+)
+from repro.semantics.equivalence import paths_equivalent_on
+from repro.xmlmodel.generator import journal_document, random_document
+
+LEMMA_31 = lemma_3_1_equivalences()
+LEMMA_32 = lemma_3_2_equivalences()
+DRIVER = driver_lemma_equivalences()
+
+
+def single_rooted_documents():
+    """Documents with a single document element (well-formed XML)."""
+    return [
+        figure1_document(),
+        journal_document(journals=3, articles_per_journal=2, authors_per_article=2),
+        random_document(max_depth=4, max_children=3, seed=13),
+        random_document(max_depth=3, max_children=4, seed=14),
+    ]
+
+
+@pytest.mark.parametrize("equivalence", LEMMA_31, ids=lambda e: e.name)
+def test_lemma_3_1_holds_on_random_documents(equivalence, document_pool):
+    report = paths_equivalent_on(equivalence.left, equivalence.right, document_pool)
+    assert report.equivalent, report.describe()
+
+
+@pytest.mark.parametrize("equivalence", LEMMA_32, ids=lambda e: e.name)
+def test_lemma_3_2_holds(equivalence, document_pool):
+    if equivalence.requires_single_document_element:
+        documents = single_rooted_documents()
+    else:
+        documents = list(document_pool) + single_rooted_documents()
+    report = paths_equivalent_on(equivalence.left, equivalence.right, documents)
+    assert report.equivalent, report.describe()
+
+
+@pytest.mark.parametrize("equivalence", DRIVER, ids=lambda e: e.name)
+def test_driver_congruences_hold(equivalence, document_pool):
+    report = paths_equivalent_on(equivalence.left, equivalence.right, document_pool)
+    assert report.equivalent, report.describe()
+
+
+def test_catalogue_is_complete():
+    names = [equivalence.name for equivalence in all_equivalences()]
+    assert len(names) == len(set(names))
+    assert any("3.1.5" in name for name in names)
+    assert any("3.1.8" in name for name in names)
+    assert any("Lemma 3.2" in name for name in names)
+    assert len(names) >= 30

@@ -1,0 +1,85 @@
+"""Tests of the top-level package surface (datasets, errors, __init__ exports)."""
+
+import pytest
+
+import repro
+from repro import (
+    FIGURE1_XML,
+    RRJoinError,
+    ReproError,
+    figure1_document,
+    parse_xml,
+    two_journal_document,
+)
+from repro.errors import (
+    EvaluationError,
+    ReverseAxisStreamingError,
+    RewriteError,
+    RewriteLimitExceeded,
+    UnsupportedPathError,
+    XMLSyntaxError,
+    XPathSyntaxError,
+)
+
+
+class TestDatasets:
+    def test_figure1_document_matches_the_xml_listing(self):
+        built = figure1_document()
+        parsed = parse_xml(FIGURE1_XML)
+        assert [(n.kind, n.tag, n.value) for n in built] == \
+               [(n.kind, n.tag, n.value) for n in parsed]
+
+    def test_figure1_shape(self):
+        doc = figure1_document()
+        assert doc.document_element.tag == "journal"
+        assert len(doc) == 12
+        assert [n.tag for n in doc.elements()] == \
+            ["journal", "title", "editor", "authors", "name", "name", "price"]
+
+    def test_two_journal_document(self):
+        doc = two_journal_document()
+        journals = list(doc.elements("journal"))
+        assert len(journals) == 2
+        titles = list(doc.elements("title"))
+        assert len(titles) == 1  # the second journal has no title
+
+
+class TestErrorsHierarchy:
+    @pytest.mark.parametrize("exception_type", [
+        XMLSyntaxError, XPathSyntaxError, EvaluationError, RewriteError,
+        UnsupportedPathError, RRJoinError, RewriteLimitExceeded,
+        ReverseAxisStreamingError,
+    ])
+    def test_all_errors_derive_from_repro_error(self, exception_type):
+        assert issubclass(exception_type, ReproError)
+
+    def test_rr_join_error_is_an_unsupported_path_error(self):
+        assert issubclass(RRJoinError, UnsupportedPathError)
+
+    def test_xml_error_carries_position(self):
+        error = XMLSyntaxError("broken", position=12)
+        assert error.position == 12
+        assert "12" in str(error)
+
+    def test_xpath_error_renders_pointer(self):
+        error = XPathSyntaxError("unexpected", position=3, expression="/a/b/c")
+        assert "/a/b/c" in str(error)
+        assert "^" in str(error)
+
+
+class TestPackageSurface:
+    def test_version_is_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_snippet_from_the_docstring(self):
+        path = repro.parse_xpath("/descendant::price/preceding::name")
+        forward = repro.remove_reverse_axes(path, ruleset="ruleset2")
+        assert repro.to_string(forward) == "/descendant::name[following::price]"
+        document = repro.journal_document(journals=3)
+        result = repro.stream_evaluate(forward, repro.document_events(document))
+        assert result.stats.memory_units > 0
+        assert len(result) == len(repro.evaluate(path, document))

@@ -1,0 +1,84 @@
+"""Reproduction of Figures 3 and 4: traced rare runs on the paper's query.
+
+The query is ``/descendant::name/preceding::title[ancestor::journal]`` ("all
+titles that appear before a name and are inside journals").  Figure 3 shows
+the RuleSet1 run, Figure 4 the RuleSet2 run; both the applied rules and the
+final outputs are checked verbatim against the paper.
+"""
+
+from repro.rewrite import rare
+from repro.xpath.serializer import to_string
+
+FIGURE_QUERY = "/descendant::name/preceding::title[ancestor::journal]"
+
+
+class TestFigure3RuleSet1Trace:
+    def test_final_output_matches_paper(self):
+        result = rare(FIGURE_QUERY, ruleset="ruleset1", collect_trace=True)
+        assert to_string(result.result) == (
+            "/descendant::title"
+            "[/descendant::journal/descendant::node() == self::node()]"
+            "[following::name == /descendant::name]")
+
+    def test_rule_sequence_matches_paper(self):
+        # Figure 3 applies Rule (2) (step 7) and then Rule (1) (step 10).
+        result = rare(FIGURE_QUERY, ruleset="ruleset1", collect_trace=True)
+        assert result.trace.rules_applied() == ["Rule (2a)", "Rule (1)"]
+
+    def test_intermediate_state_after_rule_2(self):
+        result = rare(FIGURE_QUERY, ruleset="ruleset1", collect_trace=True)
+        matches = [entry for entry in result.trace.entries if entry.action == "match"]
+        assert matches[0].detail == (
+            "/descendant::title[ancestor::journal]"
+            "[following::name == /descendant::name]")
+
+    def test_trace_describes_all_steps(self):
+        result = rare(FIGURE_QUERY, ruleset="ruleset1", collect_trace=True)
+        rendered = result.trace.describe()
+        assert "rare run with RuleSet1" in rendered
+        assert "match(U)" in rendered
+        assert "input" in rendered and "output" in rendered
+
+
+class TestFigure4RuleSet2Trace:
+    def test_final_output_matches_paper(self):
+        result = rare(FIGURE_QUERY, ruleset="ruleset2", collect_trace=True)
+        assert to_string(result.result) == \
+            "/descendant-or-self::journal/descendant::title[following::name]"
+
+    def test_rule_sequence_matches_paper(self):
+        # Figure 4 applies Rule (33a) (step 7) and then Rule (18a) (step 9).
+        result = rare(FIGURE_QUERY, ruleset="ruleset2", collect_trace=True)
+        assert result.trace.rules_applied() == ["Rule (33a)", "Rule (18a)"]
+
+    def test_intermediate_state_after_rule_33a(self):
+        result = rare(FIGURE_QUERY, ruleset="ruleset2", collect_trace=True)
+        matches = [entry for entry in result.trace.entries if entry.action == "match"]
+        assert matches[0].detail == \
+            "/descendant::title[ancestor::journal][following::name]"
+
+    def test_no_joins_in_output(self):
+        from repro.xpath import analysis
+        result = rare(FIGURE_QUERY, ruleset="ruleset2")
+        assert analysis.count_joins(result.result) == 0
+
+
+class TestTraceMechanics:
+    def test_trace_entries_have_input_and_output(self):
+        result = rare(FIGURE_QUERY, ruleset="ruleset2", collect_trace=True)
+        actions = [entry.action for entry in result.trace.entries]
+        assert actions[0] == "input"
+        assert actions[-1] == "output"
+        assert "pop" in actions and "emit" in actions
+
+    def test_push_entries_appear_for_union_producing_rules(self):
+        result = rare("/descendant::a/following::b/parent::c",
+                      ruleset="ruleset2", collect_trace=True)
+        actions = [entry.action for entry in result.trace.entries]
+        assert "push" in actions
+
+    def test_trace_entry_describe_variants(self):
+        result = rare(FIGURE_QUERY, ruleset="ruleset1", collect_trace=True)
+        described = [entry.describe() for entry in result.trace.entries]
+        assert any(text.startswith("U ← pop(S)") for text in described)
+        assert any(text.startswith("p′ ← p′ |") for text in described)

@@ -1,0 +1,117 @@
+"""Unit tests for the rewriting driver itself (repro.rewrite.rewriter).
+
+The driver is exercised indirectly by every rare test; these tests pin down
+the behaviours that are easy to get wrong in isolation: which lemma fires for
+which structural situation, single-step application semantics
+(Definition 4.1), and the error paths.
+"""
+
+import pytest
+
+from repro.errors import RewriteError, RRJoinError
+from repro.rewrite import RuleSet1, RuleSet2, apply_once
+from repro.rewrite.rules import RuleApplication, rule_label
+from repro.semantics.equivalence import paths_equivalent_on
+from repro.xpath import analysis
+from repro.xpath.ast import Bottom
+from repro.xpath.parser import parse_xpath
+from repro.xpath.serializer import to_string
+
+
+def apply(expression, ruleset):
+    return apply_once(parse_xpath(expression), ruleset)
+
+
+class TestSingleApplications:
+    def test_no_reverse_step_returns_none(self):
+        assert apply("/descendant::a/child::b", RuleSet2()) is None
+        assert apply("⊥", RuleSet1()) is None
+
+    def test_each_application_is_an_equivalence(self, document_pool):
+        expression = "/descendant::a/following::b/parent::c"
+        path = parse_xpath(expression)
+        for ruleset in (RuleSet1(), RuleSet2()):
+            application = apply_once(path, ruleset)
+            assert isinstance(application, RuleApplication)
+            report = paths_equivalent_on(path, application.result, document_pool)
+            assert report.equivalent, f"{ruleset.name}: {report.describe()}"
+
+    def test_application_targets_the_first_reverse_step(self):
+        application = apply("/descendant::a/parent::b/preceding::c", RuleSet2())
+        # The parent step is removed first; the preceding step survives.
+        assert analysis.count_reverse_steps(application.result) == 1
+        assert "preceding::c" in to_string(application.result)
+
+    def test_union_members_are_rewritten_left_to_right(self):
+        application = apply("/descendant::a/parent::b | /descendant::c/parent::d",
+                            RuleSet2())
+        rendered = to_string(application.result)
+        assert "parent::b" not in rendered
+        assert "parent::d" in rendered
+
+
+class TestLemmaSelection:
+    def test_root_reverse_step_collapses(self):
+        application = apply("/ancestor::a", RuleSet1())
+        assert isinstance(application.result, Bottom)
+        assert application.rule == "Lemma 3.2"
+
+    def test_ancestor_or_self_at_root_decomposes(self):
+        application = apply("/ancestor-or-self::node()", RuleSet1())
+        assert application.rule == "Lemma 3.1.6"
+
+    def test_and_qualifier_split_for_ruleset2(self):
+        application = apply("/descendant::a[child::b and parent::c]", RuleSet2())
+        assert application.rule == "Lemma (complex qualifiers)"
+        assert "and" not in to_string(application.result)
+
+    def test_and_qualifier_descended_for_ruleset1(self):
+        application = apply("/descendant::a[child::b and parent::c]", RuleSet1())
+        assert application.rule == "Rule (1)"
+        assert " and " in to_string(application.result)
+
+    def test_or_qualifier_split_into_union_for_ruleset2(self):
+        application = apply("/descendant::a[parent::b or child::c]/child::d",
+                            RuleSet2())
+        assert analysis.union_term_count(application.result) == 2
+
+    def test_union_qualifier_normalized(self):
+        application = apply("/descendant::a[child::b | parent::c]", RuleSet2())
+        assert application.rule == "Lemma (complex qualifiers)"
+        assert " or " in to_string(application.result)
+
+    def test_join_with_absolute_operand_pushed_inside(self):
+        application = apply("/descendant::a[parent::b = /descendant::c]", RuleSet2())
+        assert application.rule == "Lemma 3.1.8"
+
+    def test_reverse_step_inside_absolute_join_operand_descended(self):
+        application = apply(
+            "/descendant::a[child::b == /descendant::c/parent::d]", RuleSet2())
+        assert application.rule.startswith("Rule")
+        assert analysis.count_reverse_steps(application.result) == 0
+
+    def test_self_headed_qualifier_hoisted_for_ruleset2(self):
+        application = apply("/descendant::a[self::a/parent::b]", RuleSet2())
+        assert application.rule == "Lemma (complex qualifiers)"
+
+    def test_qualifier_flattening_for_ruleset1(self):
+        application = apply("/descendant::a[child::b/parent::c]", RuleSet1())
+        assert application.rule == "Lemma 3.1.5"
+
+    def test_trailing_steps_folded_for_ruleset2_qualifier(self):
+        application = apply("/descendant::a[parent::b/child::c]", RuleSet2())
+        assert application.rule == "Lemma 3.1.5"
+
+
+class TestErrorPaths:
+    def test_rr_join_raises(self):
+        with pytest.raises(RRJoinError):
+            apply("/descendant::a[child::b == preceding::c]", RuleSet2())
+
+    def test_relative_reverse_head_raises(self):
+        with pytest.raises(RewriteError):
+            apply_once(parse_xpath("parent::a/child::b"), RuleSet2())
+
+    def test_rule_label_helper(self):
+        assert rule_label(8) == "Rule (8)"
+        assert rule_label("2a") == "Rule (2a)"

@@ -1,0 +1,137 @@
+"""Unit tests for the rare algorithm driver (repro.rewrite.rare)."""
+
+import pytest
+
+from repro.errors import RewriteLimitExceeded, RRJoinError, UnsupportedPathError
+from repro.rewrite import (
+    DEFAULT_MAX_APPLICATIONS,
+    RuleSet1,
+    RuleSet2,
+    flatten_unions,
+    rare,
+    remove_reverse_axes,
+    resolve_ruleset,
+    union_terms,
+)
+from repro.xpath import analysis
+from repro.xpath.ast import Bottom, Union
+from repro.xpath.parser import parse_xpath
+from repro.xpath.serializer import to_string
+
+
+class TestInputValidation:
+    def test_relative_path_rejected(self):
+        with pytest.raises(UnsupportedPathError):
+            rare("descendant::a/parent::b")
+
+    def test_rr_join_rejected(self):
+        with pytest.raises(RRJoinError):
+            rare("/descendant::a[self::* = preceding::*]")
+
+    def test_rr_join_with_node_identity_rejected(self):
+        with pytest.raises(RRJoinError):
+            rare("/descendant::a[child::b == preceding::c]")
+
+    def test_join_against_absolute_path_accepted(self):
+        result = rare("/descendant::a[preceding::b == /descendant::b]")
+        assert analysis.count_reverse_steps(result.result) == 0
+
+    def test_unknown_ruleset_name_rejected(self):
+        with pytest.raises(UnsupportedPathError):
+            rare("/descendant::a/parent::b", ruleset="ruleset3")
+
+    def test_string_and_ast_inputs_agree(self):
+        from_string = rare("/descendant::a/parent::b").result
+        from_ast = rare(parse_xpath("/descendant::a/parent::b")).result
+        assert from_string == from_ast
+
+
+class TestResultMetadata:
+    def test_forward_only_input_is_returned_unchanged(self):
+        result = rare("/descendant::a/child::b")
+        assert to_string(result.result) == "/descendant::a/child::b"
+        assert result.applications == 0
+
+    def test_result_metrics(self):
+        result = rare("/descendant::a/parent::b", ruleset="ruleset1")
+        assert result.input_length == 2
+        assert result.output_length >= 2
+        assert result.output_joins == 1
+        assert result.elapsed_seconds >= 0
+        assert str(result) == to_string(result.result)
+
+    def test_ruleset_recorded(self):
+        assert rare("/descendant::a/parent::b", ruleset="ruleset1").ruleset == "RuleSet1"
+        assert rare("/descendant::a/parent::b", ruleset="ruleset2").ruleset == "RuleSet2"
+
+    def test_ruleset_instances_accepted(self):
+        assert resolve_ruleset(RuleSet1()).name == "RuleSet1"
+        assert resolve_ruleset("RULESET2").name == "RuleSet2"
+
+    def test_application_budget_enforced(self):
+        with pytest.raises(RewriteLimitExceeded):
+            rare("/descendant::a/following::b/preceding::c/following::d/preceding::e",
+                 ruleset="ruleset2", max_applications=2)
+
+    def test_default_budget_is_generous(self):
+        assert DEFAULT_MAX_APPLICATIONS >= 10_000
+
+
+class TestUnionHandling:
+    def test_union_input_rewritten_member_wise(self):
+        result = rare("/descendant::a/parent::b | /descendant::c/parent::d")
+        assert analysis.count_reverse_steps(result.result) == 0
+        assert analysis.union_term_count(result.result) >= 2
+
+    def test_bottom_members_are_dropped(self):
+        result = rare("/parent::a | /descendant::b")
+        assert to_string(result.result) == "/descendant::b"
+
+    def test_all_bottom_members_yield_bottom(self):
+        result = rare("/parent::a | /preceding::b")
+        assert isinstance(result.result, Bottom)
+
+    def test_union_terms_helper(self):
+        path = parse_xpath("/a | /b | ⊥")
+        terms = union_terms(path)
+        assert [to_string(term) for term in terms] == ["/child::a", "/child::b"]
+
+    def test_flatten_unions_idempotent(self):
+        path = parse_xpath("/a | /b")
+        assert flatten_unions(path) == flatten_unions(flatten_unions(path))
+
+    def test_flatten_unions_on_plain_path(self):
+        path = parse_xpath("/a")
+        assert flatten_unions(path) == path
+
+
+class TestEndToEndProperties:
+    EXPRESSIONS = [
+        "/descendant::price/preceding::name",
+        "/descendant::name/preceding::title[ancestor::journal]",
+        "/descendant::a/parent::*/parent::*",
+        "/descendant::a[descendant::b/preceding::c or child::d]",
+        "/descendant::a/following::b/ancestor::c",
+        "//name[../preceding-sibling::editor]",
+        "/descendant::a[child::b and preceding::c]",
+    ]
+
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    @pytest.mark.parametrize("ruleset", ["ruleset1", "ruleset2"])
+    def test_output_is_reverse_free(self, expression, ruleset):
+        result = rare(expression, ruleset=ruleset)
+        assert analysis.count_reverse_steps(result.result) == 0
+
+    @pytest.mark.parametrize("expression", EXPRESSIONS)
+    @pytest.mark.parametrize("ruleset", ["ruleset1", "ruleset2"])
+    def test_output_is_equivalent_on_documents(self, expression, ruleset,
+                                               document_pool):
+        from repro.semantics.equivalence import paths_equivalent_on
+        original = parse_xpath(expression)
+        result = rare(expression, ruleset=ruleset)
+        report = paths_equivalent_on(original, result.result, document_pool)
+        assert report.equivalent, report.describe()
+
+    def test_remove_reverse_axes_wrapper(self):
+        rewritten = remove_reverse_axes("/descendant::a/parent::b")
+        assert analysis.count_reverse_steps(rewritten) == 0

@@ -1,0 +1,129 @@
+"""Unit tests for RuleSet1 (repro.rewrite.ruleset1)."""
+
+import pytest
+
+from repro.errors import RewriteError
+from repro.rewrite import rare, remove_reverse_axes
+from repro.rewrite.ruleset1 import RuleSet1, _anchor_axis
+from repro.semantics.equivalence import paths_equivalent_on
+from repro.xpath import analysis
+from repro.xpath.ast import NodeTest
+from repro.xpath.axes import Axis
+from repro.xpath.parser import parse_xpath
+from repro.xpath.serializer import to_string
+
+
+def rewrite(expression):
+    return rare(expression, ruleset="ruleset1")
+
+
+class TestRule2:
+    def test_spine_reverse_step_becomes_join(self):
+        result = rewrite("/descendant::price/preceding::name")
+        assert to_string(result.result) == \
+            "/descendant::name[following::price == /descendant::price]"
+        assert result.trace is None
+        assert result.applications == 1
+
+    def test_rule_2a_label_for_single_step_prefix(self):
+        result = rare("/descendant::price/preceding::name", ruleset="ruleset1",
+                      collect_trace=True)
+        assert result.trace.rules_applied() == ["Rule (2a)"]
+
+    def test_rule_2_label_for_longer_prefix(self):
+        result = rare("/descendant::journal/child::price/preceding::name",
+                      ruleset="ruleset1", collect_trace=True)
+        assert "Rule (2)" in result.trace.rules_applied()
+
+    def test_join_context_path_repeats_prefix_with_qualifiers(self):
+        result = rewrite(
+            "/descendant::journal[child::title]/descendant::price/preceding::name")
+        assert to_string(result.result) == (
+            "/descendant::name[following::price == "
+            "/descendant::journal[child::title]/descendant::price]")
+
+    def test_symmetric_axis_is_used(self):
+        result = rewrite("/descendant::name/ancestor::journal")
+        rendered = to_string(result.result)
+        assert "descendant::name" in rendered
+        assert "ancestor" not in rendered
+
+    def test_output_has_one_join_per_reverse_step(self):
+        result = rewrite("/descendant::a/parent::b/preceding::c")
+        assert analysis.count_joins(result.result) == 2
+        assert analysis.count_reverse_steps(result.result) == 0
+
+
+class TestRule1:
+    def test_qualifier_reverse_head_becomes_join_on_self(self):
+        result = rewrite("/descendant::editor[parent::journal]")
+        assert to_string(result.result) == \
+            "/descendant::editor[/descendant::journal/child::node() == self::node()]"
+
+    def test_trailing_steps_become_nested_qualifier(self):
+        result = rewrite("/descendant::a[parent::b/child::c]")
+        rendered = to_string(result.result)
+        assert "/descendant::b[child::c]/child::node() == self::node()" in rendered
+
+    def test_figure_3_output(self):
+        result = rewrite("/descendant::name/preceding::title[ancestor::journal]")
+        assert to_string(result.result) == (
+            "/descendant::title"
+            "[/descendant::journal/descendant::node() == self::node()]"
+            "[following::name == /descendant::name]")
+
+
+class TestRootAnchorRefinement:
+    def test_anchor_widened_when_root_can_match(self):
+        assert _anchor_axis(Axis.PARENT, NodeTest.node()) is Axis.DESCENDANT_OR_SELF
+        assert _anchor_axis(Axis.ANCESTOR, NodeTest.node()) is Axis.DESCENDANT_OR_SELF
+
+    def test_anchor_not_widened_for_named_tests(self):
+        assert _anchor_axis(Axis.PARENT, NodeTest.tag("a")) is Axis.DESCENDANT
+        assert _anchor_axis(Axis.PRECEDING, NodeTest.node()) is Axis.DESCENDANT
+
+    def test_parent_node_test_selects_root_correctly(self, document_pool):
+        original = parse_xpath("/descendant::a/parent::node()")
+        rewritten = remove_reverse_axes(original, ruleset="ruleset1")
+        report = paths_equivalent_on(original, rewritten, document_pool)
+        assert report.equivalent, report.describe()
+
+    def test_ancestor_or_self_handled_without_decomposition(self, document_pool):
+        original = parse_xpath("/descendant::a/ancestor-or-self::node()")
+        result = rare(original, ruleset="ruleset1", collect_trace=True)
+        assert "Lemma 3.1.6" not in result.trace.rules_applied()
+        report = paths_equivalent_on(original, result.result, document_pool)
+        assert report.equivalent, report.describe()
+
+
+class TestLinearBehaviour:
+    def test_output_length_linear_in_reverse_chain(self):
+        lengths = []
+        for size in (1, 2, 3, 4, 5):
+            path = "/descendant::a" + "/parent::b" * size
+            result = rewrite(path)
+            lengths.append(analysis.path_length(result.result))
+            assert result.applications == size
+        differences = [b - a for a, b in zip(lengths, lengths[1:])]
+        assert len(set(differences)) == 1  # constant growth per step
+
+    def test_no_union_terms_are_produced(self):
+        result = rewrite("/descendant::a/parent::b/ancestor::c/preceding::d")
+        assert analysis.union_term_count(result.result) == 1
+
+
+class TestGuards:
+    def test_spine_rule_requires_absolute_path(self):
+        ruleset = RuleSet1()
+        with pytest.raises(RewriteError):
+            ruleset.spine_rule(parse_xpath("child::a/parent::b"), 1)
+
+    def test_local_rule_requires_reverse_head(self):
+        ruleset = RuleSet1()
+        with pytest.raises(RewriteError):
+            ruleset.local_qualifier_rule(parse_xpath("child::a/parent::b"))
+
+    def test_qualifier_head_rule_not_used(self):
+        ruleset = RuleSet1()
+        with pytest.raises(RewriteError):
+            ruleset.qualifier_head_rule(parse_xpath("/descendant::a[parent::b]"), 0, 0)

@@ -1,0 +1,165 @@
+"""Unit tests for RuleSet2 (repro.rewrite.ruleset2).
+
+The exhaustive per-rule equivalence validation lives in
+``tests/property/test_rules_equivalence.py``; the tests here check the
+structural properties the paper states for specific rules (which rule fires,
+join-freeness, the shapes of the worked examples).
+"""
+
+import itertools
+
+import pytest
+
+from repro.rewrite import rare, remove_reverse_axes
+from repro.semantics.equivalence import paths_equivalent_on
+from repro.xpath import analysis
+from repro.xpath.parser import parse_xpath
+from repro.xpath.serializer import to_string
+
+
+def rules_fired(expression):
+    return rare(expression, ruleset="ruleset2", collect_trace=True).trace.rules_applied()
+
+
+class TestSingleRuleShapes:
+    def test_rule_3(self):
+        assert to_string(remove_reverse_axes("/child::r/descendant::n/parent::m")) == \
+            "/child::r/descendant-or-self::m[child::n]"
+
+    def test_rule_4(self):
+        assert to_string(remove_reverse_axes("/child::r/child::n/parent::m")) == \
+            "/child::r/self::m[child::n]"
+
+    def test_rule_8_example_3_2(self):
+        assert to_string(remove_reverse_axes("/descendant::editor[parent::journal]")) == \
+            "/descendant-or-self::journal/child::editor"
+
+    def test_rule_9(self):
+        assert to_string(remove_reverse_axes("/child::r/child::n[parent::m]")) == \
+            "/child::r/self::m/child::n"
+
+    def test_rule_13a(self):
+        assert to_string(remove_reverse_axes("/descendant::n/ancestor::m")) == \
+            "/descendant-or-self::m[descendant::n]"
+
+    def test_rule_18a(self):
+        assert to_string(remove_reverse_axes("/descendant::n[ancestor::m]")) == \
+            "/descendant-or-self::m/descendant::n"
+
+    def test_rule_23(self):
+        assert to_string(remove_reverse_axes("/child::r/descendant::n/preceding-sibling::m")) == \
+            "/child::r/descendant::m[following-sibling::n]"
+
+    def test_rule_28(self):
+        assert to_string(remove_reverse_axes("/child::r/descendant::n[preceding-sibling::m]")) == \
+            "/child::r/descendant::m/following-sibling::n"
+
+    def test_rule_33a_example_3_3(self):
+        assert to_string(remove_reverse_axes("/descendant::price/preceding::name")) == \
+            "/descendant::name[following::price]"
+
+    def test_rule_38a(self):
+        assert to_string(remove_reverse_axes("/descendant::n[preceding::m]")) == \
+            "/descendant::m/following::n"
+
+    def test_expected_rule_labels(self):
+        assert rules_fired("/descendant::editor[parent::journal]") == ["Rule (8)"]
+        assert rules_fired("/descendant::price/preceding::name") == ["Rule (33a)"]
+        assert rules_fired("/descendant::n/ancestor::m") == ["Rule (13a)"]
+        assert rules_fired("/child::r/child::n/parent::m") == ["Rule (4)"]
+
+
+class TestQualifierCarrying:
+    def test_qualifiers_of_both_steps_are_preserved(self, document_pool):
+        original = parse_xpath(
+            "/child::r/descendant::n[child::x]/parent::m[child::y]")
+        rewritten = remove_reverse_axes(original)
+        rendered = to_string(rewritten)
+        assert "child::x" in rendered and "child::y" in rendered
+        report = paths_equivalent_on(original, rewritten, document_pool)
+        assert report.equivalent, report.describe()
+
+    def test_other_qualifiers_stay_on_the_carrier(self, document_pool):
+        original = parse_xpath(
+            "/descendant::n[child::x][parent::m][child::y]")
+        rewritten = remove_reverse_axes(original)
+        report = paths_equivalent_on(original, rewritten, document_pool)
+        assert report.equivalent, report.describe()
+
+    def test_rest_of_path_is_appended(self, document_pool):
+        original = parse_xpath("/descendant::n/parent::m/child::k")
+        rewritten = remove_reverse_axes(original)
+        assert to_string(rewritten).endswith("/child::k")
+        report = paths_equivalent_on(original, rewritten, document_pool)
+        assert report.equivalent, report.describe()
+
+
+class TestJoinFreeness:
+    @pytest.mark.parametrize("expression", [
+        "/descendant::price/preceding::name",
+        "/descendant::name/preceding::title[ancestor::journal]",
+        "/descendant::a/following::b/parent::c",
+        "/descendant::a/following::b[preceding::c]",
+        "/descendant::a/ancestor-or-self::b/preceding-sibling::c",
+        "/descendant::a[child::b/ancestor::c]",
+    ])
+    def test_ruleset2_output_contains_no_joins(self, expression):
+        rewritten = remove_reverse_axes(expression, ruleset="ruleset2")
+        assert analysis.count_joins(rewritten) == 0
+        assert analysis.count_reverse_steps(rewritten) == 0
+
+
+class TestUnions:
+    def test_following_interactions_produce_unions(self):
+        result = rare("/descendant::a/following::b/parent::c", ruleset="ruleset2")
+        assert analysis.union_term_count(result.result) >= 2
+
+    def test_or_self_decomposition_is_traced(self):
+        result = rare("/descendant::a/ancestor-or-self::b", ruleset="ruleset2",
+                      collect_trace=True)
+        assert "Lemma 3.1.6" in result.trace.rules_applied()
+
+    def test_descendant_or_self_predecessor_decomposed(self):
+        result = rare("/descendant-or-self::a/parent::b", ruleset="ruleset2",
+                      collect_trace=True)
+        assert "Lemma 3.1.7" in result.trace.rules_applied()
+
+
+class TestRootPrefixCases:
+    def test_reverse_first_step_is_bottom(self):
+        assert to_string(remove_reverse_axes("/parent::a")) == "⊥"
+        assert to_string(remove_reverse_axes("/preceding::a/child::b")) == "⊥"
+
+    def test_following_prefix_at_root_is_bottom(self):
+        assert to_string(remove_reverse_axes("/following::a/parent::b")) == "⊥"
+        assert to_string(remove_reverse_axes("/following-sibling::a[parent::b]")) == "⊥"
+
+    def test_child_ancestor_from_root(self, document_pool):
+        original = parse_xpath("/child::a/ancestor::node()")
+        rewritten = remove_reverse_axes(original)
+        report = paths_equivalent_on(original, rewritten, document_pool)
+        assert report.equivalent, report.describe()
+
+    def test_self_only_prefix_collapses(self):
+        assert to_string(remove_reverse_axes("/self::node()/parent::a")) == "⊥"
+
+
+class TestEveryAxisInteraction:
+    REVERSE = ("parent", "ancestor", "preceding", "preceding-sibling",
+               "ancestor-or-self")
+    FORWARD = ("child", "descendant", "descendant-or-self", "self",
+               "following", "following-sibling")
+
+    @pytest.mark.parametrize("forward,reverse",
+                             list(itertools.product(FORWARD, REVERSE)))
+    def test_spine_interaction_rewrites_and_is_forward(self, forward, reverse):
+        expression = f"/descendant::c/{forward}::a/{reverse}::b"
+        rewritten = remove_reverse_axes(expression, ruleset="ruleset2")
+        assert analysis.count_reverse_steps(rewritten) == 0
+
+    @pytest.mark.parametrize("forward,reverse",
+                             list(itertools.product(FORWARD, REVERSE)))
+    def test_qualifier_interaction_rewrites_and_is_forward(self, forward, reverse):
+        expression = f"/descendant::c/{forward}::a[{reverse}::b]"
+        rewritten = remove_reverse_axes(expression, ruleset="ruleset2")
+        assert analysis.count_reverse_steps(rewritten) == 0

@@ -1,0 +1,135 @@
+"""Unit tests for axis navigation (repro.semantics.axes_impl).
+
+The document of Figure 1 has well-known positions::
+
+    0 root, 1 journal, 2 title, 3 "databases", 4 editor, 5 "anna",
+    6 authors, 7 name, 8 "anna", 9 name, 10 "bob", 11 price
+"""
+
+import pytest
+
+from repro.semantics.axes_impl import axis_nodes, node_test_matches
+from repro.xpath.ast import NodeTest
+from repro.xpath.axes import Axis
+
+
+def positions(document, position, axis):
+    return [node.position for node in axis_nodes(document.node_at(position), axis)]
+
+
+class TestDownwardAxes(object):
+    def test_child(self, figure1):
+        assert positions(figure1, 1, Axis.CHILD) == [2, 4, 6, 11]
+        assert positions(figure1, 6, Axis.CHILD) == [7, 9]
+        assert positions(figure1, 0, Axis.CHILD) == [1]
+
+    def test_descendant(self, figure1):
+        assert positions(figure1, 6, Axis.DESCENDANT) == [7, 8, 9, 10]
+        assert positions(figure1, 0, Axis.DESCENDANT) == list(range(1, 12))
+
+    def test_descendant_or_self(self, figure1):
+        assert positions(figure1, 6, Axis.DESCENDANT_OR_SELF) == [6, 7, 8, 9, 10]
+
+    def test_self(self, figure1):
+        assert positions(figure1, 4, Axis.SELF) == [4]
+
+    def test_leaf_has_no_descendants(self, figure1):
+        assert positions(figure1, 11, Axis.DESCENDANT) == []
+        assert positions(figure1, 3, Axis.CHILD) == []
+
+
+class TestUpwardAxes:
+    def test_parent(self, figure1):
+        assert positions(figure1, 7, Axis.PARENT) == [6]
+        assert positions(figure1, 1, Axis.PARENT) == [0]
+        assert positions(figure1, 0, Axis.PARENT) == []
+
+    def test_ancestor(self, figure1):
+        assert positions(figure1, 8, Axis.ANCESTOR) == [0, 1, 6, 7]
+        assert positions(figure1, 0, Axis.ANCESTOR) == []
+
+    def test_ancestor_or_self(self, figure1):
+        assert positions(figure1, 8, Axis.ANCESTOR_OR_SELF) == [0, 1, 6, 7, 8]
+        assert positions(figure1, 0, Axis.ANCESTOR_OR_SELF) == [0]
+
+
+class TestSiblingAxes:
+    def test_following_sibling(self, figure1):
+        assert positions(figure1, 2, Axis.FOLLOWING_SIBLING) == [4, 6, 11]
+        assert positions(figure1, 11, Axis.FOLLOWING_SIBLING) == []
+        assert positions(figure1, 0, Axis.FOLLOWING_SIBLING) == []
+
+    def test_preceding_sibling(self, figure1):
+        assert positions(figure1, 11, Axis.PRECEDING_SIBLING) == [2, 4, 6]
+        assert positions(figure1, 2, Axis.PRECEDING_SIBLING) == []
+
+
+class TestDocumentOrderAxes:
+    def test_following_excludes_descendants(self, figure1):
+        assert positions(figure1, 6, Axis.FOLLOWING) == [11]
+        assert positions(figure1, 2, Axis.FOLLOWING) == [4, 5, 6, 7, 8, 9, 10, 11]
+        assert positions(figure1, 0, Axis.FOLLOWING) == []
+
+    def test_preceding_excludes_ancestors(self, figure1):
+        assert positions(figure1, 11, Axis.PRECEDING) == [2, 3, 4, 5, 6, 7, 8, 9, 10]
+        assert positions(figure1, 7, Axis.PRECEDING) == [2, 3, 4, 5]
+        assert positions(figure1, 1, Axis.PRECEDING) == []
+
+    def test_preceding_and_following_partition(self, figure1):
+        # For every node: preceding ∪ following ∪ ancestors ∪ descendants
+        # ∪ {self} = all nodes (a classical XPath identity).
+        for node in figure1.nodes:
+            preceding = set(positions(figure1, node.position, Axis.PRECEDING))
+            following = set(positions(figure1, node.position, Axis.FOLLOWING))
+            ancestors = set(positions(figure1, node.position, Axis.ANCESTOR))
+            descendants = set(positions(figure1, node.position, Axis.DESCENDANT))
+            union = preceding | following | ancestors | descendants | {node.position}
+            assert union == set(range(len(figure1)))
+            assert not preceding & following
+
+
+class TestNodeTests:
+    def test_name_test(self, figure1):
+        test = NodeTest.tag("name")
+        assert node_test_matches(test, figure1.node_at(7))
+        assert not node_test_matches(test, figure1.node_at(2))
+        assert not node_test_matches(test, figure1.node_at(8))
+
+    def test_wildcard_matches_elements_only(self, figure1):
+        test = NodeTest.any_element()
+        assert node_test_matches(test, figure1.node_at(1))
+        assert not node_test_matches(test, figure1.node_at(3))
+        assert not node_test_matches(test, figure1.root)
+
+    def test_text_test(self, figure1):
+        test = NodeTest.text()
+        assert node_test_matches(test, figure1.node_at(3))
+        assert not node_test_matches(test, figure1.node_at(2))
+
+    def test_node_test_matches_everything(self, figure1):
+        test = NodeTest.node()
+        assert all(node_test_matches(test, node) for node in figure1.nodes)
+
+
+class TestAxisMetadata:
+    def test_symmetry_is_involutive(self):
+        for axis in Axis:
+            assert axis.symmetric.symmetric is axis
+
+    def test_forward_reverse_partition(self):
+        for axis in Axis:
+            assert axis.is_forward != axis.is_reverse
+
+    def test_symmetric_flips_direction(self):
+        for axis in Axis:
+            if axis is Axis.SELF:
+                continue
+            assert axis.is_forward != axis.symmetric.is_forward
+
+    def test_from_name_round_trip(self):
+        for axis in Axis:
+            assert Axis.from_name(axis.xpath_name) is axis
+
+    def test_from_name_rejects_attribute_axis(self):
+        with pytest.raises(KeyError):
+            Axis.from_name("attribute")

@@ -1,0 +1,46 @@
+"""Unit tests for empirical equivalence checking (repro.semantics.equivalence)."""
+
+from repro.semantics.equivalence import counterexample, paths_equivalent_on
+from repro.xpath.parser import parse_xpath
+
+
+class TestEquivalenceChecking:
+    def test_equivalent_paths_report_success(self, document_pool):
+        report = paths_equivalent_on(
+            parse_xpath("/descendant-or-self::a"),
+            parse_xpath("/descendant::a | /self::a"),
+            document_pool)
+        assert report.equivalent
+        assert report.checks > 0
+        assert "≡" in report.describe()
+
+    def test_non_equivalent_paths_yield_counterexample(self, document_pool):
+        report = paths_equivalent_on(
+            parse_xpath("/descendant::a"),
+            parse_xpath("/descendant::b"),
+            document_pool)
+        assert not report.equivalent
+        assert report.document is not None
+        assert report.context is not None
+        assert "NOT equivalent" in report.describe()
+
+    def test_counterexample_none_for_true_equivalence(self):
+        assert counterexample(
+            parse_xpath("/child::a/parent::node()"),
+            parse_xpath("/self::node()[child::a]")) is None
+
+    def test_counterexample_found_for_false_equivalence(self):
+        report = counterexample(
+            parse_xpath("/descendant::a/parent::node()"),
+            parse_xpath("/descendant::a"))
+        assert report is not None
+        assert report.left_result != report.right_result
+
+    def test_contexts_can_be_restricted(self, figure1):
+        report = paths_equivalent_on(
+            parse_xpath("child::name"),
+            parse_xpath("child::node()[self::name]"),
+            [figure1],
+            contexts=[figure1.node_at(6)])
+        assert report.equivalent
+        assert report.checks == 1

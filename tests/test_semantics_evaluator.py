@@ -1,0 +1,122 @@
+"""Unit tests for the reference evaluator (repro.semantics.evaluator)."""
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.semantics.evaluator import evaluate, evaluate_qualifier, select_positions
+from repro.xmlmodel.document import Document, element, text
+from repro.xpath.parser import parse_xpath
+
+
+def run(expression, document, context=None):
+    return select_positions(parse_xpath(expression), document, context)
+
+
+class TestBasicPaths:
+    def test_root_path(self, figure1):
+        assert run("/", figure1) == [0]
+
+    def test_absolute_ignores_context(self, figure1):
+        context = figure1.node_at(7)
+        assert run("/descendant::name", figure1, context) == [7, 9]
+
+    def test_relative_uses_context(self, figure1):
+        authors = figure1.node_at(6)
+        assert run("child::name", figure1, authors) == [7, 9]
+
+    def test_bottom_selects_nothing(self, figure1):
+        assert run("⊥", figure1) == []
+
+    def test_union(self, figure1):
+        assert run("/descendant::title | /descendant::price", figure1) == [2, 11]
+
+    def test_duplicate_free_document_order(self, figure1):
+        # Two different ways to reach names select each node once only.
+        assert run("/descendant::name | /descendant::authors/child::name",
+                   figure1) == [7, 9]
+
+    def test_text_selection(self, figure1):
+        assert run("/descendant::name/child::text()", figure1) == [8, 10]
+
+
+class TestPaperExamples:
+    def test_example_3_1(self, figure1):
+        # "all names that appear before a price"
+        assert run("/descendant::price/preceding::name", figure1) == [7, 9]
+
+    def test_example_3_2(self, figure1):
+        assert run("/descendant::editor[parent::journal]", figure1) == [4]
+
+    def test_figure_3_query(self, figure1):
+        assert run("/descendant::name/preceding::title[ancestor::journal]",
+                   figure1) == [2]
+
+    def test_example_3_1_variant_on_two_journals(self, two_journals):
+        titles_only = run(
+            "/descendant::journal[child::title]/descendant::price/preceding::name",
+            two_journals)
+        all_names = run("/descendant::price/preceding::name", two_journals)
+        assert set(titles_only) <= set(all_names)
+        assert len(titles_only) < len(all_names)
+
+
+class TestQualifiers:
+    def test_existence_qualifier(self, figure1):
+        assert run("/descendant::journal[child::price]", figure1) == [1]
+        assert run("/descendant::journal[child::nothing]", figure1) == []
+
+    def test_and_or(self, figure1):
+        assert run("/descendant::journal[child::price and child::title]", figure1) == [1]
+        assert run("/descendant::journal[child::nothing or child::title]", figure1) == [1]
+        assert run("/descendant::journal[child::nothing and child::title]", figure1) == []
+
+    def test_node_identity_join(self, figure1):
+        assert run("/descendant::name[following::price == /descendant::price]",
+                   figure1) == [7, 9]
+
+    def test_identity_join_false_when_disjoint(self, figure1):
+        assert run("/descendant::name[following::title == /descendant::price]",
+                   figure1) == []
+
+    def test_value_join(self, figure1):
+        # editor 'anna' equals one of the author names by string value.
+        assert run("/descendant::editor[self::node() = /descendant::name]",
+                   figure1) == [4]
+        assert run("/descendant::title[self::node() = /descendant::name]",
+                   figure1) == []
+
+    def test_qualifier_on_inner_step(self, figure1):
+        assert run("/descendant::authors[child::name]/child::name[following-sibling::name]",
+                   figure1) == [7]
+
+    def test_evaluate_qualifier_directly(self, figure1):
+        path = parse_xpath("/descendant::journal[child::price]")
+        qualifier = path.steps[0].qualifiers[0]
+        assert evaluate_qualifier(qualifier, figure1, figure1.node_at(1))
+        assert not evaluate_qualifier(qualifier, figure1, figure1.node_at(6))
+
+
+class TestContextHandling:
+    def test_context_from_another_document_rejected(self, figure1, two_journals):
+        with pytest.raises(EvaluationError):
+            evaluate(parse_xpath("/descendant::name"), figure1,
+                     two_journals.node_at(1))
+
+    def test_relative_path_from_leaf(self, figure1):
+        leaf = figure1.node_at(8)
+        assert run("following::price", figure1, leaf) == [11]
+
+    def test_empty_intermediate_result_short_circuits(self, figure1):
+        assert run("/descendant::nothing/child::name", figure1) == []
+
+
+class TestMixedDocuments:
+    def test_multiple_top_level_elements(self):
+        doc = Document.from_tree(element("a", text("x")), element("b"))
+        assert select_positions(parse_xpath("/child::b"), doc) == [3]
+        assert select_positions(parse_xpath("/child::a/following-sibling::b"), doc) == [3]
+
+    def test_deep_nesting(self):
+        doc = Document.from_tree(
+            element("a", element("b", element("a", element("b")))))
+        assert select_positions(parse_xpath("/descendant::b[ancestor::b]"), doc) == [4]

@@ -1,0 +1,64 @@
+"""Tests for the cosmetic simplifier (repro.rewrite.simplify)."""
+
+import pytest
+
+from repro.rewrite import remove_reverse_axes, simplify
+from repro.semantics.equivalence import paths_equivalent_on
+from repro.xpath import analysis
+from repro.xpath.parser import parse_xpath
+from repro.xpath.serializer import to_string
+
+
+class TestSimplifications:
+    def test_redundant_self_node_step_dropped(self):
+        path = parse_xpath("/self::node()/child::a/self::node()/child::b")
+        assert to_string(simplify(path)) == "/child::a/child::b"
+
+    def test_self_step_with_qualifier_is_kept(self):
+        path = parse_xpath("/self::node()[child::a]/child::b")
+        assert to_string(simplify(path)) == "/self::node()[child::a]/child::b"
+
+    def test_trivial_self_qualifier_dropped(self):
+        path = parse_xpath("/descendant::a[self::node()]")
+        assert to_string(simplify(path)) == "/descendant::a"
+
+    def test_duplicate_union_members_merged(self):
+        path = parse_xpath("/descendant::a | /descendant::a | /descendant::b")
+        assert to_string(simplify(path)) == "/descendant::a | /descendant::b"
+
+    def test_bottom_members_dropped(self):
+        path = parse_xpath("/descendant::a | ⊥")
+        assert to_string(simplify(path)) == "/descendant::a"
+
+    def test_root_only_path_untouched(self):
+        assert to_string(simplify(parse_xpath("/"))) == "/"
+
+    def test_relative_single_self_step_survives(self):
+        path = parse_xpath("self::node()")
+        assert to_string(simplify(path)) == "self::node()"
+
+    def test_or_with_trivial_branch_collapses(self):
+        path = parse_xpath("/descendant::a[self::node() or child::b]")
+        assert to_string(simplify(path)) == "/descendant::a"
+
+    def test_and_with_trivial_branch_keeps_other(self):
+        path = parse_xpath("/descendant::a[self::node() and child::b]")
+        assert to_string(simplify(path)) == "/descendant::a[child::b]"
+
+
+@pytest.mark.parametrize("expression", [
+    "/descendant::c/self::a[parent::b]",
+    "/descendant::a[child::b/ancestor::c]",
+    "/descendant::a/following::b/preceding::c",
+    "/descendant::a[preceding::b == /descendant::b]",
+])
+@pytest.mark.parametrize("ruleset", ["ruleset1", "ruleset2"])
+class TestSimplifyPreservesEquivalence:
+    def test_simplified_rewriting_still_equivalent(self, expression, ruleset,
+                                                   document_pool):
+        original = parse_xpath(expression)
+        rewritten = remove_reverse_axes(original, ruleset=ruleset)
+        simplified = simplify(rewritten)
+        assert analysis.path_length(simplified) <= analysis.path_length(rewritten)
+        report = paths_equivalent_on(original, simplified, document_pool)
+        assert report.equivalent, report.describe()

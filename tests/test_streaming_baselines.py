@@ -1,0 +1,79 @@
+"""Tests for the DOM and buffering baselines (repro.streaming.*_baseline)."""
+
+from repro.streaming import buffered_evaluate, dom_evaluate, stream_evaluate
+from repro.rewrite import remove_reverse_axes
+from repro.xmlmodel.builder import document_events
+from repro.xmlmodel.generator import journal_document
+
+
+class TestDOMBaseline:
+    def test_supports_reverse_axes(self, figure1):
+        result = dom_evaluate("/descendant::price/preceding::name",
+                              document_events(figure1))
+        assert result.node_ids == [7, 9]
+
+    def test_stores_the_whole_document(self, figure1):
+        result = dom_evaluate("/descendant::name", document_events(figure1))
+        assert result.stats.nodes_stored == len(figure1)
+        assert result.stats.nodes_seen == len(figure1)
+
+    def test_agrees_with_streaming_on_forward_paths(self, catalogue):
+        path = "/descendant::article[child::authors/child::name]/child::title"
+        stream = stream_evaluate(path, document_events(catalogue))
+        dom = dom_evaluate(path, document_events(catalogue))
+        assert stream.node_ids == dom.node_ids
+
+
+class TestBufferedBaseline:
+    def test_supports_reverse_axes(self, figure1):
+        result = buffered_evaluate("/descendant::price/preceding::name",
+                                   document_events(figure1))
+        assert result.node_ids == [7, 9]
+
+    def test_prunes_text_when_possible(self, catalogue):
+        full = dom_evaluate("/descendant::name/parent::authors",
+                            document_events(catalogue))
+        pruned = buffered_evaluate("/descendant::name/parent::authors",
+                                   document_events(catalogue))
+        assert pruned.node_ids == full.node_ids
+        assert pruned.stats.nodes_stored < full.stats.nodes_stored
+
+    def test_keeps_text_when_the_query_needs_it(self, figure1):
+        result = buffered_evaluate("/descendant::name/child::text()",
+                                   document_events(figure1))
+        assert result.node_ids == [8, 10]
+        assert result.stats.nodes_stored == len(figure1)
+
+    def test_keeps_text_for_value_joins(self, figure1):
+        result = buffered_evaluate(
+            "/descendant::editor[self::node() = /descendant::name]",
+            document_events(figure1))
+        assert result.node_ids == [4]
+
+
+class TestMemoryComparison:
+    def test_streaming_uses_less_memory_than_dom_on_large_documents(self):
+        document = journal_document(journals=100, articles_per_journal=5,
+                                    authors_per_article=3)
+        forward = remove_reverse_axes("/descendant::price/preceding::name",
+                                      ruleset="ruleset2")
+        stream = stream_evaluate(forward, document_events(document))
+        dom = dom_evaluate("/descendant::price/preceding::name",
+                           document_events(document))
+        assert stream.node_ids == dom.node_ids
+        assert stream.stats.memory_units < dom.stats.memory_units
+
+    def test_ruleset2_output_streams_cheaper_than_ruleset1(self):
+        # Section 4 "Comparison": RuleSet1 output carries joins, RuleSet2's
+        # does not; the join sides have to be buffered, so RuleSet2 wins.
+        document = journal_document(journals=50, articles_per_journal=4,
+                                    authors_per_article=2)
+        query = "/descendant::price/preceding::name"
+        with_joins = stream_evaluate(
+            remove_reverse_axes(query, ruleset="ruleset1"),
+            document_events(document))
+        join_free = stream_evaluate(
+            remove_reverse_axes(query, ruleset="ruleset2"),
+            document_events(document))
+        assert with_joins.node_ids == join_free.node_ids
+        assert join_free.stats.memory_units < with_joins.stats.memory_units

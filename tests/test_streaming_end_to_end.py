@@ -1,0 +1,74 @@
+"""Integration: rewrite with rare, evaluate on a stream, compare with DOM.
+
+This is the full pipeline the paper proposes: a query with reverse axes is
+made reverse-axis free (Section 4) and then answered progressively over a
+SAX stream (Section 1's motivation), producing exactly the nodes the
+original query selects.
+"""
+
+import pytest
+
+from repro.rewrite import remove_reverse_axes
+from repro.semantics.evaluator import select_positions
+from repro.streaming import stream_evaluate
+from repro.xmlmodel.builder import document_events
+from repro.xmlmodel.generator import journal_document, random_document
+from repro.xpath.parser import parse_xpath
+
+QUERIES = [
+    "/descendant::price/preceding::name",
+    "/descendant::editor[parent::journal]",
+    "/descendant::name/preceding::title[ancestor::journal]",
+    "/descendant::journal[child::title]/descendant::price/preceding::name",
+    "/descendant::name/ancestor::journal/child::editor",
+    "/descendant::price/preceding-sibling::editor",
+    "/descendant::name[preceding::editor]",
+    "/descendant::article/child::title[ancestor::journal[child::price]]",
+    "/descendant::authors/following-sibling::price/preceding::name",
+    "//name/../preceding-sibling::editor",
+]
+
+DOCUMENTS = [
+    journal_document(journals=3, articles_per_journal=2, authors_per_article=2),
+    journal_document(journals=6, articles_per_journal=1, authors_per_article=1,
+                     with_price=False, seed=3),
+    random_document(max_depth=4, max_children=3,
+                    tags=("journal", "title", "editor", "authors", "name", "price"),
+                    seed=21),
+]
+
+
+@pytest.mark.parametrize("query", QUERIES)
+@pytest.mark.parametrize("ruleset", ["ruleset1", "ruleset2"])
+def test_rewrite_then_stream_equals_dom_on_original(query, ruleset):
+    forward = remove_reverse_axes(query, ruleset=ruleset)
+    for document in DOCUMENTS:
+        expected = select_positions(parse_xpath(query), document)
+        streamed = stream_evaluate(forward, document_events(document))
+        assert streamed.node_ids == expected, (
+            f"{ruleset}: {query} mismatch on {document!r}")
+
+
+def test_union_queries_stream_correctly():
+    query = "/descendant::title/parent::journal | /descendant::price/preceding::name"
+    forward = remove_reverse_axes(query, ruleset="ruleset2")
+    for document in DOCUMENTS:
+        expected = select_positions(parse_xpath(query), document)
+        streamed = stream_evaluate(forward, document_events(document))
+        assert streamed.node_ids == expected
+
+
+def test_streaming_is_single_pass():
+    """The engine must consume each event exactly once (no rewind)."""
+    document = journal_document(journals=2)
+    events = list(document_events(document))
+    consumed = []
+
+    def once():
+        for event in events:
+            consumed.append(event)
+            yield event
+
+    forward = remove_reverse_axes("/descendant::price/preceding::name")
+    stream_evaluate(forward, once())
+    assert len(consumed) == len(events)

@@ -1,0 +1,86 @@
+"""Tests for the variable-based rewriting extension (repro.rewrite.variables)."""
+
+import pytest
+
+from repro.errors import RRJoinError, UnsupportedPathError
+from repro.rewrite import rare
+from repro.rewrite.variables import (
+    ForRewrite,
+    VariableReference,
+    evaluate_for,
+    for_to_string,
+    rewrite_with_variables,
+)
+from repro.semantics.evaluator import evaluate
+from repro.xpath import analysis
+from repro.xpath.parser import parse_xpath
+
+
+def assert_for_rewrite_equivalent(expression, documents, contexts=None):
+    """The ForRewrite must select the same nodes as the original path."""
+    original = parse_xpath(expression)
+    rewritten = rewrite_with_variables(expression)
+    assert analysis.count_reverse_steps(rewritten.sequence) == 0
+    assert analysis.count_reverse_steps(rewritten.body) == 0
+    for document in documents:
+        nodes = contexts if contexts is not None else document.nodes
+        for context in nodes:
+            expected = [n.position for n in evaluate(original, document, context)]
+            actual = [n.position for n in evaluate_for(rewritten, document, context)]
+            assert actual == expected, (
+                f"{expression} at {context.label()}: {actual} != {expected}")
+
+
+class TestRelativePaths:
+    def test_relative_reverse_path(self, document_pool):
+        assert_for_rewrite_equivalent("parent::a", document_pool[:4])
+
+    def test_relative_mixed_path(self, document_pool):
+        assert_for_rewrite_equivalent("child::a/preceding-sibling::b", document_pool[:4])
+
+    def test_relative_path_with_qualifier(self, document_pool):
+        assert_for_rewrite_equivalent("ancestor::a[child::b]", document_pool[:4])
+
+    def test_sequence_binds_the_context_node(self):
+        rewritten = rewrite_with_variables("parent::a")
+        assert for_to_string(rewritten.sequence) == "self::node()"
+
+
+class TestRRJoins:
+    def test_rare_rejects_rr_join_but_variables_handle_it(self, document_pool):
+        expression = "/descendant::a[child::b == preceding::b]"
+        with pytest.raises(RRJoinError):
+            rare(expression)
+        assert_for_rewrite_equivalent(expression, document_pool[:4],
+                                      contexts=None)
+
+    def test_value_rr_join(self, document_pool):
+        expression = "/descendant::a[self::* = preceding::*]"
+        assert_for_rewrite_equivalent(expression, document_pool[:4])
+
+    def test_rr_join_with_following_steps(self, document_pool):
+        expression = "/descendant::a[child::b == preceding::b]/child::c"
+        assert_for_rewrite_equivalent(expression, document_pool[:4])
+
+
+class TestUniformInterface:
+    def test_plain_absolute_path_is_bound_to_root(self, figure1):
+        rewritten = rewrite_with_variables("/descendant::price/preceding::name")
+        assert isinstance(rewritten, ForRewrite)
+        result = [n.position for n in evaluate_for(rewritten, figure1)]
+        assert result == [7, 9]
+
+    def test_relative_union_rejected(self):
+        with pytest.raises(UnsupportedPathError):
+            rewrite_with_variables("parent::a | parent::b")
+
+    def test_rendering_mentions_the_variable(self):
+        rewritten = rewrite_with_variables("parent::a")
+        rendered = for_to_string(rewritten)
+        assert rendered.startswith(f"for ${rewritten.variable} in ")
+
+    def test_unbound_variable_raises(self, figure1):
+        stray = VariableReference(absolute=True, steps=(), variable="nope")
+        with pytest.raises(UnsupportedPathError):
+            evaluate_for(ForRewrite(variable="x", sequence=parse_xpath("/"),
+                                    body=stray), figure1)

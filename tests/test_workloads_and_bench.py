@@ -1,0 +1,100 @@
+"""Tests for the workload generators and benchmark reporting helpers."""
+
+import pytest
+
+from repro.bench.reporting import Table, format_table, growth_ratios, linear_fit
+from repro.workloads.documents import STREAMING_DOCUMENTS, streaming_documents
+from repro.workloads.queries import (
+    PAPER_QUERIES,
+    ancestor_chain,
+    following_reverse_chain,
+    mixed_reverse_path,
+    parent_chain,
+    preceding_chain,
+    random_reverse_path,
+    reverse_chain,
+)
+from repro.xpath import analysis
+from repro.xpath.parser import parse_xpath
+
+
+class TestQueryWorkloads:
+    def test_paper_queries_parse(self):
+        for query in PAPER_QUERIES:
+            path = parse_xpath(query.xpath)
+            assert analysis.is_absolute(path)
+            if query.expected_ruleset1:
+                parse_xpath(query.expected_ruleset1)
+            if query.expected_ruleset2:
+                parse_xpath(query.expected_ruleset2)
+
+    @pytest.mark.parametrize("factory", [parent_chain, ancestor_chain,
+                                         preceding_chain])
+    def test_reverse_chains_have_requested_reverse_steps(self, factory):
+        for length in (1, 3, 6):
+            path = parse_xpath(factory(length))
+            assert analysis.count_reverse_steps(path) == length
+
+    def test_reverse_chain_rejects_zero_length(self):
+        with pytest.raises(ValueError):
+            reverse_chain(0)
+
+    def test_following_reverse_chain_shape(self):
+        path = parse_xpath(following_reverse_chain(3))
+        assert analysis.count_reverse_steps(path) == 3
+        assert analysis.spine_length(path) == 7
+
+    def test_mixed_reverse_path_deterministic(self):
+        assert mixed_reverse_path(5) == mixed_reverse_path(5)
+        assert parse_xpath(mixed_reverse_path(5))
+
+    def test_random_reverse_paths_are_absolute_and_parse(self):
+        for seed in range(20):
+            path = parse_xpath(random_reverse_path(seed))
+            assert analysis.is_absolute(path)
+
+
+class TestDocumentWorkloads:
+    def test_scale_ladder_is_increasing(self):
+        sizes = [len(workload.build()) for workload in streaming_documents()]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_names_are_unique(self):
+        names = [workload.name for workload in STREAMING_DOCUMENTS]
+        assert len(names) == len(set(names))
+
+
+class TestReporting:
+    def test_table_rendering(self):
+        table = Table("demo", ["a", "bb"])
+        table.add_row(1, "x")
+        table.add_row(22, "yyy")
+        rendered = table.render()
+        assert "demo" in rendered
+        assert rendered.count("\n") >= 4
+
+    def test_table_rejects_wrong_arity(self):
+        table = Table("demo", ["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_format_table_alignment(self):
+        rendered = format_table("t", ["col"], [["value"]])
+        assert "col" in rendered and "value" in rendered
+
+    def test_linear_fit_recovers_slope(self):
+        xs = [1, 2, 3, 4, 5]
+        ys = [2 * x + 1 for x in xs]
+        slope, intercept, r_squared = linear_fit(xs, ys)
+        assert slope == pytest.approx(2.0)
+        assert intercept == pytest.approx(1.0)
+        assert r_squared == pytest.approx(1.0)
+
+    def test_linear_fit_requires_two_points(self):
+        with pytest.raises(ValueError):
+            linear_fit([1], [1])
+
+    def test_growth_ratios(self):
+        assert growth_ratios([1, 2, 4, 8]) == [2.0, 2.0, 2.0]
+        assert growth_ratios([0, 5])[0] == float("inf")

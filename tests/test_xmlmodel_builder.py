@@ -1,0 +1,75 @@
+"""Unit tests for event ⇄ document conversion (repro.xmlmodel.builder)."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.datasets import figure1_document
+from repro.xmlmodel.builder import build_document, document_events
+from repro.xmlmodel.document import element, text, Document
+from repro.xmlmodel.events import (
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    Text,
+)
+
+
+class TestBuildDocument:
+    def test_round_trip_via_events(self):
+        original = figure1_document()
+        rebuilt = build_document(document_events(original))
+        assert [(n.kind, n.tag, n.value) for n in original] == \
+               [(n.kind, n.tag, n.value) for n in rebuilt]
+
+    def test_build_from_hand_written_events(self):
+        events = [
+            StartDocument(),
+            StartElement("a", 1),
+            Text("hi", 2),
+            EndElement("a", 1),
+            EndDocument(),
+        ]
+        doc = build_document(events)
+        assert doc.document_element.tag == "a"
+        assert doc.node_at(2).value == "hi"
+
+    def test_mismatched_end_raises(self):
+        events = [StartDocument(), StartElement("a", 1), EndElement("b", 1), EndDocument()]
+        with pytest.raises(XMLSyntaxError):
+            build_document(events)
+
+    def test_unclosed_element_raises(self):
+        events = [StartDocument(), StartElement("a", 1), EndDocument()]
+        with pytest.raises(XMLSyntaxError):
+            build_document(events)
+
+    def test_stray_end_element_raises(self):
+        events = [StartDocument(), EndElement("a", 1), EndDocument()]
+        with pytest.raises(XMLSyntaxError):
+            build_document(events)
+
+
+class TestDocumentEvents:
+    def test_event_node_ids_are_document_positions(self):
+        doc = figure1_document()
+        starts = [e for e in document_events(doc)
+                  if isinstance(e, (StartElement, Text))]
+        assert [e.node_id for e in starts] == [n.position for n in doc.nodes[1:]]
+
+    def test_events_nest_properly(self):
+        doc = Document.from_tree(element("a", element("b", text("x")), element("c")))
+        depth = 0
+        for event in document_events(doc):
+            if isinstance(event, StartElement):
+                depth += 1
+            elif isinstance(event, EndElement):
+                depth -= 1
+                assert depth >= 0
+        assert depth == 0
+
+    def test_start_and_end_document_bracket_the_stream(self):
+        doc = figure1_document()
+        events = list(document_events(doc))
+        assert isinstance(events[0], StartDocument)
+        assert isinstance(events[-1], EndDocument)

@@ -1,0 +1,67 @@
+"""Unit tests for the Document container (repro.xmlmodel.document)."""
+
+import pytest
+
+from repro.xmlmodel.document import Document, element, text
+from repro.xmlmodel.node import NodeKind, XMLNode
+
+
+class TestConstruction:
+    def test_requires_root_kind(self):
+        with pytest.raises(ValueError):
+            Document(element("a"))
+
+    def test_from_tree_single_element(self):
+        doc = Document.from_tree(element("a", element("b")))
+        assert len(doc) == 3
+        assert doc.document_element.tag == "a"
+
+    def test_from_tree_accepts_strings_as_text(self):
+        doc = Document.from_tree(element("a", "hello"))
+        assert doc.node_at(2).is_text
+        assert doc.node_at(2).value == "hello"
+
+    def test_from_tree_multiple_top_level_children(self):
+        doc = Document.from_tree(element("a"), element("b"))
+        assert [child.tag for child in doc.root.children] == ["a", "b"]
+
+    def test_empty_document_has_no_document_element(self):
+        doc = Document.from_tree()
+        assert doc.document_element is None
+        assert len(doc) == 1
+
+
+class TestAccess:
+    def test_iteration_yields_document_order(self):
+        doc = Document.from_tree(element("a", element("b"), element("c")))
+        assert [node.position for node in doc] == [0, 1, 2, 3]
+
+    def test_elements_filter_by_tag(self):
+        doc = Document.from_tree(element("a", element("b"), element("b"), element("c")))
+        assert len(list(doc.elements("b"))) == 2
+        assert len(list(doc.elements())) == 4
+
+    def test_node_at(self):
+        doc = Document.from_tree(element("a", element("b")))
+        assert doc.node_at(2).tag == "b"
+
+    def test_sorted_in_document_order_deduplicates(self):
+        doc = Document.from_tree(element("a", element("b"), element("c")))
+        b, c = doc.node_at(2), doc.node_at(3)
+        assert doc.sorted_in_document_order([c, b, c]) == [b, c]
+
+
+class TestStats:
+    def test_stats_counts(self):
+        doc = Document.from_tree(
+            element("a", element("b", text("x")), text("y"))
+        )
+        stats = doc.stats()
+        assert stats["nodes"] == 5
+        assert stats["elements"] == 2
+        assert stats["texts"] == 2
+        assert stats["max_depth"] == 3
+
+    def test_repr_mentions_document_element(self):
+        doc = Document.from_tree(element("journal"))
+        assert "journal" in repr(doc)

@@ -1,0 +1,65 @@
+"""Unit tests for the synthetic document generators (repro.xmlmodel.generator)."""
+
+from repro.xmlmodel.generator import (
+    DocumentSpec,
+    RandomDocumentPool,
+    deep_chain_document,
+    journal_document,
+    random_document,
+    wide_document,
+)
+
+
+class TestJournalDocument:
+    def test_default_spec_shape(self):
+        doc = journal_document()
+        assert doc.document_element.tag == "catalogue"
+        journals = list(doc.elements("journal"))
+        assert len(journals) == DocumentSpec().journals
+
+    def test_overrides(self):
+        doc = journal_document(journals=3, articles_per_journal=1,
+                               authors_per_article=1, with_price=False)
+        assert len(list(doc.elements("journal"))) == 3
+        assert len(list(doc.elements("price"))) == 0
+        assert len(list(doc.elements("article"))) == 3
+
+    def test_prices_present_by_default(self):
+        doc = journal_document(journals=2)
+        assert len(list(doc.elements("price"))) == 2
+
+    def test_deterministic_for_same_seed(self):
+        one = journal_document(journals=3, seed=5)
+        two = journal_document(journals=3, seed=5)
+        assert [(n.kind, n.tag, n.value) for n in one] == \
+               [(n.kind, n.tag, n.value) for n in two]
+
+    def test_different_seeds_differ(self):
+        one = journal_document(journals=3, seed=5)
+        two = journal_document(journals=3, seed=6)
+        assert [(n.tag, n.value) for n in one] != [(n.tag, n.value) for n in two]
+
+
+class TestOtherGenerators:
+    def test_random_document_is_deterministic(self):
+        one = random_document(seed=3)
+        two = random_document(seed=3)
+        assert [(n.kind, n.tag, n.value) for n in one] == \
+               [(n.kind, n.tag, n.value) for n in two]
+
+    def test_random_document_respects_depth(self):
+        doc = random_document(max_depth=2, max_children=3, seed=1)
+        assert doc.stats()["max_depth"] <= 4
+
+    def test_deep_chain_document_depth(self):
+        doc = deep_chain_document(depth=10)
+        assert doc.stats()["max_depth"] == 11  # 10 elements + the text leaf
+
+    def test_wide_document_width(self):
+        doc = wide_document(width=25)
+        assert len(list(doc.elements("item"))) == 25
+
+    def test_pool_contains_varied_shapes(self):
+        pool = RandomDocumentPool(seeds=(0, 1)).documents()
+        assert len(pool) == 4  # two random + chain + wide
+        assert all(len(doc) > 1 for doc in pool)

@@ -1,0 +1,127 @@
+"""Unit tests for the node model (repro.xmlmodel.node)."""
+
+import pytest
+
+from repro.xmlmodel.document import Document, element, text
+from repro.xmlmodel.node import NodeKind, XMLNode
+
+
+def build_sample():
+    return Document.from_tree(
+        element("a", element("b", text("one")), element("c"), text("two"))
+    )
+
+
+class TestNodeConstruction:
+    def test_element_requires_tag(self):
+        with pytest.raises(ValueError):
+            XMLNode(NodeKind.ELEMENT)
+
+    def test_text_requires_value(self):
+        with pytest.raises(ValueError):
+            XMLNode(NodeKind.TEXT)
+
+    def test_root_carries_no_tag_or_value(self):
+        with pytest.raises(ValueError):
+            XMLNode(NodeKind.ROOT, tag="a")
+        with pytest.raises(ValueError):
+            XMLNode(NodeKind.ROOT, value="x")
+
+    def test_text_nodes_cannot_have_children(self):
+        node = text("leaf")
+        with pytest.raises(ValueError):
+            node.append_child(element("a"))
+
+
+class TestNodeKinds:
+    def test_kind_predicates(self):
+        doc = build_sample()
+        root = doc.root
+        assert root.is_root and not root.is_element and not root.is_text
+        a = doc.document_element
+        assert a.is_element and a.tag == "a"
+        leaf = a.children[0].children[0]
+        assert leaf.is_text and leaf.value == "one"
+
+    def test_is_leaf(self):
+        doc = build_sample()
+        a = doc.document_element
+        assert not a.is_leaf
+        c = a.children[1]
+        assert c.is_leaf  # empty element
+        assert a.children[2].is_leaf  # text node
+
+
+class TestDocumentOrder:
+    def test_positions_are_preorder(self):
+        doc = build_sample()
+        labels = [(node.kind, node.position) for node in doc.nodes]
+        assert [position for _, position in labels] == list(range(len(doc)))
+        # root, a, b, "one", c, "two"
+        assert doc.node_at(0).is_root
+        assert doc.node_at(1).tag == "a"
+        assert doc.node_at(2).tag == "b"
+        assert doc.node_at(3).value == "one"
+        assert doc.node_at(4).tag == "c"
+        assert doc.node_at(5).value == "two"
+
+    def test_precedes(self):
+        doc = build_sample()
+        assert doc.node_at(2).precedes(doc.node_at(4))
+        assert not doc.node_at(4).precedes(doc.node_at(2))
+
+    def test_ancestor_descendant_checks(self):
+        doc = build_sample()
+        root, a, b = doc.node_at(0), doc.node_at(1), doc.node_at(2)
+        one = doc.node_at(3)
+        assert root.is_ancestor_of(one)
+        assert a.is_ancestor_of(b)
+        assert b.is_ancestor_of(one)
+        assert one.is_descendant_of(root)
+        assert not b.is_ancestor_of(doc.node_at(4))
+        assert not a.is_ancestor_of(a)
+
+
+class TestTraversal:
+    def test_iter_descendants_in_document_order(self):
+        doc = build_sample()
+        a = doc.document_element
+        positions = [node.position for node in a.iter_descendants()]
+        assert positions == [2, 3, 4, 5]
+
+    def test_iter_descendants_or_self(self):
+        doc = build_sample()
+        a = doc.document_element
+        positions = [node.position for node in a.iter_descendants_or_self()]
+        assert positions == [1, 2, 3, 4, 5]
+
+    def test_iter_ancestors(self):
+        doc = build_sample()
+        one = doc.node_at(3)
+        assert [node.position for node in one.iter_ancestors()] == [2, 1, 0]
+
+    def test_sibling_iterators(self):
+        doc = build_sample()
+        b = doc.node_at(2)
+        assert [n.position for n in b.iter_following_siblings()] == [4, 5]
+        c = doc.node_at(4)
+        assert [n.position for n in c.iter_preceding_siblings()] == [2]
+
+    def test_root_has_no_siblings(self):
+        doc = build_sample()
+        assert list(doc.root.iter_following_siblings()) == []
+        assert list(doc.root.iter_preceding_siblings()) == []
+
+
+class TestTextContent:
+    def test_text_content_concatenates_subtree(self):
+        doc = build_sample()
+        assert doc.document_element.text_content() == "onetwo"
+        assert doc.node_at(2).text_content() == "one"
+        assert doc.node_at(3).text_content() == "one"
+
+    def test_label_rendering(self):
+        doc = build_sample()
+        assert doc.root.label() == "#root"
+        assert doc.node_at(1).label().startswith("<a>")
+        assert "one" in doc.node_at(3).label()

@@ -1,0 +1,93 @@
+"""Unit tests for XML parsing (repro.xmlmodel.parser)."""
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.datasets import FIGURE1_XML
+from repro.xmlmodel.events import EndElement, StartDocument, StartElement, Text
+from repro.xmlmodel.parser import iter_events, iter_events_sax, parse_xml
+
+
+class TestTokenizer:
+    def test_simple_document_events(self):
+        events = list(iter_events("<a><b>hi</b></a>"))
+        kinds = [type(event).__name__ for event in events]
+        assert kinds == ["StartDocument", "StartElement", "StartElement",
+                         "Text", "EndElement", "EndElement", "EndDocument"]
+
+    def test_node_ids_are_document_order(self):
+        events = list(iter_events("<a><b>hi</b><c/></a>"))
+        starts = [e for e in events if isinstance(e, (StartElement, Text))]
+        assert [e.node_id for e in starts] == [1, 2, 3, 4]
+
+    def test_self_closing_element(self):
+        events = list(iter_events("<a><price /></a>"))
+        tags = [e.tag for e in events if isinstance(e, StartElement)]
+        assert tags == ["a", "price"]
+
+    def test_whitespace_only_text_dropped_by_default(self):
+        events = list(iter_events("<a>\n  <b/>\n</a>"))
+        assert not [e for e in events if isinstance(e, Text)]
+
+    def test_whitespace_kept_on_request(self):
+        events = list(iter_events("<a> <b/> </a>", keep_whitespace=True))
+        assert [e for e in events if isinstance(e, Text)]
+
+    def test_entities_decoded(self):
+        events = list(iter_events("<a>x &lt; y &amp; z &#65;</a>"))
+        text = [e for e in events if isinstance(e, Text)][0]
+        assert text.value == "x < y & z A"
+
+    def test_comments_and_declaration_ignored(self):
+        xml = "<?xml version='1.0'?><!-- hi --><a><b/></a>"
+        events = list(iter_events(xml))
+        tags = [e.tag for e in events if isinstance(e, StartElement)]
+        assert tags == ["a", "b"]
+
+    def test_attributes_are_dropped(self):
+        doc = parse_xml('<a id="1"><b name="x"/></a>')
+        assert doc.document_element.tag == "a"
+        assert len(doc) == 3
+
+
+class TestWellFormedness:
+    def test_mismatched_closing_tag(self):
+        with pytest.raises(XMLSyntaxError):
+            list(iter_events("<a><b></a></b>"))
+
+    def test_unclosed_element(self):
+        with pytest.raises(XMLSyntaxError):
+            list(iter_events("<a><b>"))
+
+    def test_stray_closing_tag(self):
+        with pytest.raises(XMLSyntaxError):
+            list(iter_events("</a>"))
+
+    def test_unterminated_tag(self):
+        with pytest.raises(XMLSyntaxError):
+            list(iter_events("<a><b"))
+
+    def test_unknown_entity(self):
+        with pytest.raises(XMLSyntaxError):
+            list(iter_events("<a>&nope;</a>"))
+
+
+class TestParseXML:
+    def test_figure1_document_shape(self):
+        doc = parse_xml(FIGURE1_XML)
+        assert doc.document_element.tag == "journal"
+        tags = [node.tag for node in doc.elements()]
+        assert tags == ["journal", "title", "editor", "authors", "name", "name", "price"]
+
+    def test_sax_front_end_matches_builtin_tokenizer(self):
+        ours = parse_xml(FIGURE1_XML)
+        sax = parse_xml(FIGURE1_XML, use_sax=True)
+        assert [(n.kind, n.tag, n.value) for n in ours] == \
+               [(n.kind, n.tag, n.value) for n in sax]
+
+    def test_sax_event_ids_match_builtin(self):
+        ours = [(type(e).__name__, getattr(e, "node_id", None))
+                for e in iter_events(FIGURE1_XML)]
+        sax = [(type(e).__name__, getattr(e, "node_id", None))
+               for e in iter_events_sax(FIGURE1_XML)]
+        assert ours == sax

@@ -1,0 +1,41 @@
+"""Unit tests for XML serialization (repro.xmlmodel.serialize)."""
+
+from repro.datasets import figure1_document
+from repro.xmlmodel.document import Document, element, text
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serialize import escape_text, to_xml
+
+
+class TestEscaping:
+    def test_escape_special_characters(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_escape_plain_text_unchanged(self):
+        assert escape_text("hello") == "hello"
+
+
+class TestToXML:
+    def test_empty_element_self_closes(self):
+        doc = Document.from_tree(element("price"))
+        assert to_xml(doc) == "<price />"
+
+    def test_text_only_element_inlines_content(self):
+        doc = Document.from_tree(element("title", text("databases")))
+        assert to_xml(doc) == "<title>databases</title>"
+
+    def test_round_trip_figure1(self):
+        doc = figure1_document()
+        reparsed = parse_xml(to_xml(doc))
+        assert [(n.kind, n.tag, n.value) for n in doc] == \
+               [(n.kind, n.tag, n.value) for n in reparsed]
+
+    def test_special_characters_round_trip(self):
+        doc = Document.from_tree(element("a", text("x < y & z")))
+        reparsed = parse_xml(to_xml(doc))
+        assert reparsed.node_at(2).value == "x < y & z"
+
+    def test_compact_mode(self):
+        doc = figure1_document()
+        compact = to_xml(doc, indent=0)
+        assert "\n" not in compact
+        assert parse_xml(compact).document_element.tag == "journal"

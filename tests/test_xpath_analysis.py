@@ -1,0 +1,92 @@
+"""Unit tests for path analysis (repro.xpath.analysis)."""
+
+from repro.xpath import analysis
+from repro.xpath.parser import parse_xpath
+
+
+class TestLength:
+    def test_counts_steps_inside_and_outside_qualifiers(self):
+        # Section 2.1: the length is the number of location steps outside
+        # and inside qualifiers.
+        path = parse_xpath("/descendant::a[child::b/child::c]/child::d")
+        assert analysis.path_length(path) == 4
+
+    def test_union_lengths_sum(self):
+        path = parse_xpath("/descendant::a | /descendant::b/child::c")
+        assert analysis.path_length(path) == 3
+
+    def test_spine_length(self):
+        path = parse_xpath("/descendant::a[child::b]/child::c")
+        assert analysis.spine_length(path) == 2
+
+    def test_bottom_has_length_zero(self):
+        assert analysis.path_length(parse_xpath("⊥")) == 0
+
+
+class TestReverseSteps:
+    def test_counts_reverse_steps_everywhere(self):
+        path = parse_xpath("/descendant::a[preceding::b]/parent::c/child::d")
+        assert analysis.count_reverse_steps(path) == 2
+        assert analysis.count_forward_steps(path) == 2
+
+    def test_has_reverse_steps(self):
+        assert analysis.has_reverse_steps(parse_xpath("/a/.."))
+        assert not analysis.has_reverse_steps(parse_xpath("/a/b"))
+
+    def test_reverse_step_inside_join_detected(self):
+        path = parse_xpath("/descendant::a[child::b == /descendant::c/parent::d]")
+        assert analysis.has_reverse_steps(path)
+
+
+class TestJoins:
+    def test_count_joins(self):
+        path = parse_xpath(
+            "/descendant::a[child::b == /c][child::d = /e]/child::f")
+        assert analysis.count_joins(path) == 2
+
+    def test_nested_join_counted(self):
+        path = parse_xpath("/a[child::b[child::c == /d]]")
+        assert analysis.count_joins(path) == 1
+
+    def test_forward_only_path_has_no_joins(self):
+        assert analysis.count_joins(parse_xpath("/descendant::a/child::b")) == 0
+
+
+class TestAbsoluteAndRRJoins:
+    def test_absolute_detection(self):
+        assert analysis.is_absolute(parse_xpath("/a/b"))
+        assert not analysis.is_absolute(parse_xpath("a/b"))
+        assert analysis.is_absolute(parse_xpath("/a | /b"))
+        assert not analysis.is_absolute(parse_xpath("/a | b"))
+        assert analysis.is_absolute(parse_xpath("⊥"))
+
+    def test_rr_join_definition(self):
+        # Both operands relative, one with a reverse step -> RR join.
+        path = parse_xpath("/descendant::a[self::* = preceding::*]")
+        assert analysis.has_rr_joins(path)
+
+    def test_join_with_absolute_operand_is_not_rr(self):
+        path = parse_xpath("/descendant::a[preceding::b == /descendant::b]")
+        assert not analysis.has_rr_joins(path)
+
+    def test_forward_relative_join_is_not_rr(self):
+        path = parse_xpath("/descendant::a[child::b == descendant::c]")
+        assert not analysis.has_rr_joins(path)
+
+    def test_is_rare_input(self):
+        ok, reason = analysis.is_rare_input(parse_xpath("/descendant::a/parent::b"))
+        assert ok and reason is None
+        ok, reason = analysis.is_rare_input(parse_xpath("descendant::a"))
+        assert not ok and "absolute" in reason
+        ok, reason = analysis.is_rare_input(
+            parse_xpath("/descendant::a[self::* = preceding::*]"))
+        assert not ok and "RR join" in reason
+
+
+class TestSummary:
+    def test_summarize_keys(self):
+        summary = analysis.summarize(parse_xpath("/descendant::a[preceding::b]"))
+        assert summary["length"] == 2
+        assert summary["reverse_steps"] == 1
+        assert summary["absolute"] is True
+        assert summary["union_terms"] == 1

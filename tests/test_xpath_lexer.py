@@ -1,0 +1,66 @@
+"""Unit tests for the xPath lexer (repro.xpath.lexer)."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.lexer import TokenType, tokenize
+
+
+def kinds(expression):
+    return [token.type for token in tokenize(expression)]
+
+
+class TestTokens:
+    def test_simple_path(self):
+        assert kinds("/child::a") == [
+            TokenType.SLASH, TokenType.NAME, TokenType.AXIS_SEP,
+            TokenType.NAME, TokenType.END,
+        ]
+
+    def test_double_slash(self):
+        assert kinds("//a")[0] == TokenType.DOUBLE_SLASH
+
+    def test_dots(self):
+        assert kinds(".")[:1] == [TokenType.DOT]
+        assert kinds("..")[:1] == [TokenType.DOTDOT]
+
+    def test_equality_operators(self):
+        assert TokenType.EQUALS in kinds("a = b")
+        assert TokenType.NODE_EQUALS in kinds("a == b")
+
+    def test_union_and_brackets(self):
+        types = kinds("a[b] | c")
+        assert TokenType.LBRACKET in types
+        assert TokenType.RBRACKET in types
+        assert TokenType.PIPE in types
+
+    def test_bottom_symbol(self):
+        assert kinds("⊥")[0] == TokenType.BOTTOM
+        assert kinds("#bottom")[0] == TokenType.BOTTOM
+
+    def test_names_allow_hyphen(self):
+        tokens = tokenize("following-sibling::a")
+        assert tokens[0].value == "following-sibling"
+
+    def test_whitespace_ignored(self):
+        assert kinds("  /  child :: a  ") == kinds("/child::a")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("/child::abc")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 1
+        assert tokens[3].position == 8
+
+
+class TestErrors:
+    def test_single_colon_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("a:b")
+
+    def test_unknown_character_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("a$%b")
+
+    def test_quotes_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("a['text']")

@@ -1,0 +1,175 @@
+"""Unit tests for the xPath parser (repro.xpath.parser)."""
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    AndExpr,
+    Bottom,
+    Comparison,
+    LocationPath,
+    NodeTestKind,
+    OrExpr,
+    PathQualifier,
+    Union,
+)
+from repro.xpath.axes import Axis
+from repro.xpath.parser import parse_xpath
+from repro.xpath.serializer import to_string
+
+
+class TestUnabbreviatedSyntax:
+    def test_single_step(self):
+        path = parse_xpath("/child::journal")
+        assert isinstance(path, LocationPath)
+        assert path.absolute
+        assert path.steps[0].axis is Axis.CHILD
+        assert path.steps[0].node_test.name == "journal"
+
+    def test_every_axis_parses(self):
+        for axis in Axis:
+            path = parse_xpath(f"/{axis.xpath_name}::a")
+            assert path.steps[0].axis is axis
+
+    def test_node_tests(self):
+        assert parse_xpath("/child::*").steps[0].node_test.kind is NodeTestKind.WILDCARD
+        assert parse_xpath("/child::node()").steps[0].node_test.kind is NodeTestKind.NODE
+        assert parse_xpath("/child::text()").steps[0].node_test.kind is NodeTestKind.TEXT
+        assert parse_xpath("/child::price").steps[0].node_test.kind is NodeTestKind.NAME
+
+    def test_root_only_path(self):
+        path = parse_xpath("/")
+        assert isinstance(path, LocationPath)
+        assert path.absolute and not path.steps
+
+    def test_relative_path(self):
+        path = parse_xpath("child::a/child::b")
+        assert not path.absolute
+        assert len(path.steps) == 2
+
+    def test_bottom(self):
+        assert isinstance(parse_xpath("⊥"), Bottom)
+        assert isinstance(parse_xpath("#bottom"), Bottom)
+
+
+class TestAbbreviatedSyntax:
+    def test_bare_name_is_child(self):
+        path = parse_xpath("/journal/title")
+        assert [step.axis for step in path.steps] == [Axis.CHILD, Axis.CHILD]
+
+    def test_double_slash_expands(self):
+        path = parse_xpath("//price")
+        assert path.steps[0].axis is Axis.DESCENDANT_OR_SELF
+        assert path.steps[0].node_test.kind is NodeTestKind.NODE
+        assert path.steps[1].axis is Axis.CHILD
+
+    def test_dot_and_dotdot(self):
+        path = parse_xpath("./..")
+        assert path.steps[0].axis is Axis.SELF
+        assert path.steps[1].axis is Axis.PARENT
+
+    def test_inner_double_slash(self):
+        path = parse_xpath("/journal//name")
+        assert [step.axis for step in path.steps] == [
+            Axis.CHILD, Axis.DESCENDANT_OR_SELF, Axis.CHILD]
+
+    def test_attribute_axis_rejected(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("/journal/@id")
+
+
+class TestQualifiers:
+    def test_path_qualifier(self):
+        path = parse_xpath("/descendant::editor[parent::journal]")
+        qual = path.steps[0].qualifiers[0]
+        assert isinstance(qual, PathQualifier)
+        assert qual.path.steps[0].axis is Axis.PARENT
+
+    def test_multiple_qualifiers(self):
+        path = parse_xpath("/descendant::a[child::b][child::c]")
+        assert len(path.steps[0].qualifiers) == 2
+
+    def test_and_or_precedence(self):
+        path = parse_xpath("/descendant::a[child::b and child::c or child::d]")
+        qual = path.steps[0].qualifiers[0]
+        assert isinstance(qual, OrExpr)
+        assert isinstance(qual.left, AndExpr)
+
+    def test_parenthesized_qualifier(self):
+        path = parse_xpath("/descendant::a[child::b and (child::c or child::d)]")
+        qual = path.steps[0].qualifiers[0]
+        assert isinstance(qual, AndExpr)
+        assert isinstance(qual.right, OrExpr)
+
+    def test_node_equality_join(self):
+        path = parse_xpath("/descendant::a[following::b == /descendant::b]")
+        qual = path.steps[0].qualifiers[0]
+        assert isinstance(qual, Comparison)
+        assert qual.op == "=="
+
+    def test_value_join(self):
+        path = parse_xpath("/descendant::a[child::b = /descendant::c]")
+        assert path.steps[0].qualifiers[0].op == "="
+
+    def test_nested_qualifiers(self):
+        path = parse_xpath("/descendant::a[child::b[child::c]]")
+        outer = path.steps[0].qualifiers[0]
+        inner = outer.path.steps[0].qualifiers[0]
+        assert isinstance(inner, PathQualifier)
+
+
+class TestUnions:
+    def test_top_level_union(self):
+        path = parse_xpath("/descendant::a | /descendant::b")
+        assert isinstance(path, Union)
+        assert len(path.members) == 2
+
+    def test_union_inside_qualifier(self):
+        path = parse_xpath("/descendant::a[child::b | child::c]")
+        qual = path.steps[0].qualifiers[0]
+        assert isinstance(qual.path, Union)
+
+    def test_three_member_union(self):
+        path = parse_xpath("/a | /b | /c")
+        assert len(path.members) == 3
+
+
+class TestErrors:
+    def test_empty_expression(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("   ")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("/child::a]")
+
+    def test_unknown_axis(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("/sideways::a")
+
+    def test_unknown_function(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("/child::count()")
+
+    def test_missing_node_test(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("/child::")
+
+    def test_unclosed_qualifier(self):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath("/child::a[child::b")
+
+    def test_error_message_shows_position(self):
+        with pytest.raises(XPathSyntaxError) as excinfo:
+            parse_xpath("/child::a[child::b")
+        assert "child" in str(excinfo.value)
+
+
+class TestDocstringExamples:
+    def test_doc_example_abbreviated(self):
+        assert to_string(parse_xpath("//price")) == \
+            "/descendant-or-self::node()/child::price"
+
+    def test_doc_example_unabbreviated(self):
+        expression = "/descendant::editor[parent::journal]"
+        assert to_string(parse_xpath(expression)) == expression

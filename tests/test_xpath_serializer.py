@@ -1,0 +1,64 @@
+"""Unit tests for the xPath serializer (repro.xpath.serializer)."""
+
+import pytest
+
+from repro.xpath.ast import Bottom
+from repro.xpath.parser import parse_xpath
+from repro.xpath.serializer import BOTTOM_SYMBOL, qualifier_to_string, step_to_string, to_string
+
+ROUND_TRIP_EXPRESSIONS = [
+    "/",
+    "/child::journal",
+    "/descendant::price/preceding::name",
+    "/descendant::editor[parent::journal]",
+    "/descendant::name[following::price == /descendant::price]",
+    "/descendant::a[child::b and child::c]",
+    "/descendant::a[child::b or (child::c and child::d)]",
+    "/descendant::a | /descendant::b[child::c]",
+    "/descendant::a[child::b = /descendant::c]",
+    "/descendant::a[child::b | descendant::c]",
+    "child::a/descendant-or-self::node()/child::b",
+    "/descendant::*[self::a]/child::text()",
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("expression", ROUND_TRIP_EXPRESSIONS)
+    def test_parse_serialize_parse_is_stable(self, expression):
+        first = parse_xpath(expression)
+        rendered = to_string(first)
+        second = parse_xpath(rendered)
+        assert first == second
+
+    @pytest.mark.parametrize("expression", ROUND_TRIP_EXPRESSIONS)
+    def test_unabbreviated_output_is_fixed_point(self, expression):
+        rendered = to_string(parse_xpath(expression))
+        assert to_string(parse_xpath(rendered)) == rendered
+
+
+class TestRendering:
+    def test_bottom_renders_with_symbol(self):
+        assert to_string(Bottom()) == BOTTOM_SYMBOL
+
+    def test_root_renders_as_slash(self):
+        assert to_string(parse_xpath("/")) == "/"
+
+    def test_union_spacing(self):
+        assert to_string(parse_xpath("/a|/b")) == "/child::a | /child::b"
+
+    def test_nested_boolean_operands_parenthesized(self):
+        rendered = to_string(parse_xpath("/a[(child::b or child::c) and child::d]"))
+        assert "(" in rendered and ")" in rendered
+
+    def test_step_to_string(self):
+        path = parse_xpath("/descendant::a[child::b]")
+        assert step_to_string(path.steps[0]) == "descendant::a[child::b]"
+
+    def test_qualifier_to_string_join(self):
+        path = parse_xpath("/a[child::b == /c]")
+        assert qualifier_to_string(path.steps[0].qualifiers[0]) == \
+            "child::b == /child::c"
+
+    def test_unknown_type_raises(self):
+        with pytest.raises(TypeError):
+            to_string("not a path")
