@@ -22,6 +22,22 @@ and, to evaluate the rewritten query progressively over a stream::
     document = journal_document(journals=1000)
     result = stream_evaluate(forward_only, document_events(document))
     print(len(result), result.stats.memory_units)
+
+For the paper's selective-dissemination use case — thousands of standing
+subscriptions matched against each incoming document — compile them into a
+:class:`SubscriptionIndex` once and match every document in a single pass;
+reverse axes are rewritten away automatically and subscriptions sharing
+leading steps share matching state::
+
+    from repro import SubscriptionIndex
+
+    index = SubscriptionIndex({
+        "pricing-team": "/descendant::price/preceding::name",
+        "editors-desk": "/descendant::editor[parent::journal]",
+    })
+    print(index.matching(document_events(document)))   # -> matching keys
+    result = index.evaluate(document_events(document)) # -> per-subscription ids
+    print(result["pricing-team"].node_ids, result.stats.memory_units)
 """
 
 from repro.datasets import FIGURE1_XML, figure1_document, two_journal_document
@@ -48,7 +64,14 @@ from repro.xmlmodel import (
     text,
     to_xml,
 )
-from repro.xpath import parse_xpath, to_string
+from repro.xpath import (
+    QueryCache,
+    clear_compile_cache,
+    compile_cache_info,
+    compile_query,
+    parse_xpath,
+    to_string,
+)
 from repro.rewrite import (
     RareResult,
     RewriteTrace,
@@ -59,8 +82,13 @@ from repro.rewrite import (
     simplify,
 )
 from repro.streaming import (
+    MultiMatcher,
+    MultiMatchResult,
     StreamResult,
     StreamStats,
+    Subscription,
+    SubscriptionIndex,
+    SubscriptionResult,
     buffered_evaluate,
     dom_evaluate,
     stream_evaluate,
@@ -73,6 +101,10 @@ __all__ = [
     # language front end
     "parse_xpath",
     "to_string",
+    "compile_query",
+    "compile_cache_info",
+    "clear_compile_cache",
+    "QueryCache",
     # rewriting
     "rare",
     "remove_reverse_axes",
@@ -103,6 +135,12 @@ __all__ = [
     "buffered_evaluate",
     "StreamResult",
     "StreamStats",
+    # multi-subscription engine (SDI)
+    "Subscription",
+    "SubscriptionIndex",
+    "SubscriptionResult",
+    "MultiMatcher",
+    "MultiMatchResult",
     # errors
     "ReproError",
     "XMLSyntaxError",

@@ -6,6 +6,10 @@ only pending candidate matches instead of the whole document.  This package
 provides:
 
 * :mod:`repro.streaming.matcher` — the single-pass matching engine,
+* :mod:`repro.streaming.engine` — the multi-subscription engine: a
+  :class:`SubscriptionIndex` sharing the leading steps of thousands of
+  subscriptions in a prefix trie, and the :class:`MultiMatcher` advancing
+  all of them in one document pass (the paper's SDI use case at scale),
 * :mod:`repro.streaming.evaluator` — the public ``stream_evaluate`` /
   ``stream_matches`` API and the :class:`StreamResult` record,
 * :mod:`repro.streaming.dom_baseline` — the in-memory (DOM) baseline the
@@ -18,6 +22,13 @@ provides:
 
 from repro.streaming.stats import StreamStats
 from repro.streaming.evaluator import StreamResult, stream_evaluate, stream_matches
+from repro.streaming.engine import (
+    MultiMatcher,
+    MultiMatchResult,
+    Subscription,
+    SubscriptionIndex,
+    SubscriptionResult,
+)
 from repro.streaming.dom_baseline import dom_evaluate
 from repro.streaming.buffered import buffered_evaluate
 
@@ -26,6 +37,11 @@ __all__ = [
     "StreamResult",
     "stream_evaluate",
     "stream_matches",
+    "Subscription",
+    "SubscriptionIndex",
+    "SubscriptionResult",
+    "MultiMatcher",
+    "MultiMatchResult",
     "dom_evaluate",
     "buffered_evaluate",
 ]

@@ -42,6 +42,18 @@ How it works
 
 Reverse axes are rejected: remove them first with
 :func:`repro.rewrite.remove_reverse_axes`.
+
+The machinery is split in two layers so that it can serve both one query and
+thousands of subscriptions at once (:mod:`repro.streaming.engine`):
+
+* :class:`MatcherCore` owns the event loop, the element stack, the
+  expectation lifecycle, conditions, value collection and the shared
+  absolute-sub-path sinks.  What happens when a step matches is delegated to
+  a *continuation* object attached to each expectation.
+* :class:`PathContinuation` is the single-query continuation: continue with
+  the remaining steps of one path into one sink.  The multi-subscription
+  engine plugs in a trie-based continuation instead, advancing a whole
+  bundle of subscriptions that share the matched step.
 """
 
 from __future__ import annotations
@@ -216,22 +228,25 @@ _WAITING, _ACTIVE, _EXPIRED = "waiting", "active", "expired"
 
 
 class _Expectation:
-    """Waiting for future nodes related to ``anchor`` by ``step.axis``."""
+    """Waiting for future nodes related to ``anchor`` by ``step.axis``.
 
-    __slots__ = ("step", "remaining", "anchor_id", "anchor_depth",
-                 "conditions", "sink", "state", "collect_values")
+    What to do with a matching node is delegated to ``cont``, a continuation
+    object (:class:`PathContinuation` or the trie continuation of
+    :mod:`repro.streaming.engine`).
+    """
 
-    def __init__(self, step: Step, remaining: Tuple[Step, ...], anchor_id: int,
+    __slots__ = ("step", "cont", "anchor_id", "anchor_depth",
+                 "conditions", "state")
+
+    def __init__(self, step: Step, cont: "Continuation", anchor_id: int,
                  anchor_depth: int, conditions: Tuple[_Condition, ...],
-                 sink: _Sink, state: str, collect_values: bool):
+                 state: str):
         self.step = step
-        self.remaining = remaining
+        self.cont = cont
         self.anchor_id = anchor_id
         self.anchor_depth = anchor_depth
         self.conditions = conditions
-        self.sink = sink
         self.state = state
-        self.collect_values = collect_values
 
     def matches(self, depth: int, is_element: bool, tag: Optional[str]) -> bool:
         if self.state is not _ACTIVE:
@@ -269,6 +284,58 @@ class _ValueCollector:
 
 
 # ---------------------------------------------------------------------------
+# Continuations: what happens after a step matches
+# ---------------------------------------------------------------------------
+
+class Continuation:
+    """Protocol for expectation continuations.
+
+    ``dead(core)`` reports whether the expectation can be dropped because no
+    downstream consumer is still interested (e.g. an existence sink already
+    satisfied); ``proceed(core, ...)`` consumes a matched node *after* the
+    step's qualifiers have been turned into conditions.
+    """
+
+    __slots__ = ()
+
+    def dead(self, core: "MatcherCore") -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def proceed(self, core: "MatcherCore", node_id: int, depth: int,
+                is_element: bool, tag: Optional[str], value: Optional[str],
+                conditions: Tuple[_Condition, ...]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+class PathContinuation(Continuation):
+    """Continue one path: match the remaining steps, then feed one sink."""
+
+    __slots__ = ("remaining", "sink", "collect_values")
+
+    def __init__(self, remaining: Tuple[Step, ...], sink: _Sink,
+                 collect_values: bool):
+        self.remaining = remaining
+        self.sink = sink
+        self.collect_values = collect_values
+
+    def dead(self, core: "MatcherCore") -> bool:
+        return self.sink.satisfied
+
+    def proceed(self, core: "MatcherCore", node_id: int, depth: int,
+                is_element: bool, tag: Optional[str], value: Optional[str],
+                conditions: Tuple[_Condition, ...]) -> None:
+        if self.remaining:
+            core.spawn_steps(self.remaining, anchor_id=node_id,
+                             anchor_depth=depth, anchor_is_element=is_element,
+                             anchor_tag=tag, anchor_value=value,
+                             conditions=conditions, sink=self.sink,
+                             collect_values=self.collect_values)
+            return
+        core.add_candidate(self.sink, node_id, depth, is_element, value,
+                           conditions, self.collect_values)
+
+
+# ---------------------------------------------------------------------------
 # The engine
 # ---------------------------------------------------------------------------
 
@@ -279,24 +346,25 @@ class _OpenElement:
     depth: int
 
 
-class StreamingMatcher:
-    """Single-pass matcher for one reverse-axis-free path expression."""
+class MatcherCore:
+    """Shared single-pass matching machinery.
 
-    def __init__(self, path: PathExpr):
-        if analysis.has_reverse_steps(path):
-            raise ReverseAxisStreamingError(
-                f"path {to_string(path)} contains reverse axes; rewrite it with "
-                f"repro.rewrite.remove_reverse_axes first")
-        self.path = path
+    Owns the element stack, the expectation lifecycle, condition building,
+    value collection and the shared absolute-sub-path sinks.  Subclasses
+    decide what is spawned at the document root (one path for
+    :class:`StreamingMatcher`, a subscription trie for
+    :class:`repro.streaming.engine.MultiMatcher`) and how results are read
+    out.
+    """
+
+    def __init__(self) -> None:
         self.stats = StreamStats()
         self._stack: List[_OpenElement] = []
         self._expectations: List[_Expectation] = []
         self._value_collectors: List[_ValueCollector] = []
-        self._result_sink = _Sink()
         self._absolute_sinks: Dict[PathExpr, _Sink] = {}
         self._absolute_value_sinks: Dict[PathExpr, _Sink] = {}
         self._finished = False
-        self._register_absolute_subpaths(self.path)
 
     # -- setup -----------------------------------------------------------
     def _register_absolute_subpaths(self, expr: PathExpr) -> None:
@@ -353,8 +421,8 @@ class StreamingMatcher:
         return registry[operand]
 
     # -- event loop --------------------------------------------------------
-    def process(self, events: Iterable[Event]) -> List[int]:
-        """Consume the whole event stream and return the selected node ids."""
+    def process(self, events: Iterable[Event]):
+        """Consume the whole event stream and return :meth:`results`."""
         for event in events:
             self.feed(event)
         return self.results()
@@ -382,25 +450,25 @@ class StreamingMatcher:
         else:  # pragma: no cover - defensive
             raise StreamingError(f"unknown event {event!r}")
 
-    def results(self) -> List[int]:
-        """Node ids selected by the path (requires the stream to be finished)."""
-        if not self._finished:
-            raise StreamingError("results() called before the end of the stream")
-        selected: Set[int] = set()
-        for entry in self._result_sink.entries:
-            if entry.node_id in selected:
-                continue
-            if entry.holds():
-                selected.add(entry.node_id)
-        self.stats.results = len(selected)
-        return sorted(selected)
-
     # -- internals ---------------------------------------------------------
+    def _spawn_roots(self, root_id: int) -> None:  # pragma: no cover - abstract
+        """Spawn whatever this matcher evaluates, anchored at the root."""
+        raise NotImplementedError
+
     def _start_document(self, event: StartDocument) -> None:
         self._stack = [_OpenElement(event.node_id, None, 0)]
         self.stats.nodes_seen += 1
-        # Spawn the top-level union members from the root.
-        for member in iter_union_members(self.path):
+        self._spawn_roots(event.node_id)
+        # Spawn the shared absolute sub-paths.
+        for registry in (self._absolute_sinks, self._absolute_value_sinks):
+            for operand, sink in registry.items():
+                self.spawn_root_expr(operand, sink, sink.collect_values,
+                                     event.node_id)
+
+    def spawn_root_expr(self, expr: PathExpr, sink: _Sink,
+                        collect_values: bool, root_id: int) -> None:
+        """Spawn every union member of an absolute expression from the root."""
+        for member in iter_union_members(expr):
             if isinstance(member, Bottom):
                 continue
             if not isinstance(member, LocationPath) or not member.absolute:
@@ -409,27 +477,13 @@ class StreamingMatcher:
                     f"(got {to_string(member)})")
             if not member.steps:
                 # The path "/" selects the root itself.
-                self._result_sink.add(_Entry(node_id=event.node_id, conditions=()))
+                sink.add(_Entry(node_id=root_id, conditions=()))
                 continue
-            self._spawn_path(member.steps, anchor_id=event.node_id,
+            self.spawn_steps(member.steps, anchor_id=root_id,
                              anchor_depth=0, anchor_is_element=False,
                              anchor_tag=None, anchor_value=None,
-                             conditions=(), sink=self._result_sink,
-                             collect_values=False)
-        # Spawn the shared absolute sub-paths.
-        for registry in (self._absolute_sinks, self._absolute_value_sinks):
-            for operand, sink in registry.items():
-                for member in iter_union_members(operand):
-                    if isinstance(member, Bottom) or not isinstance(member, LocationPath):
-                        continue
-                    if not member.steps:
-                        sink.add(_Entry(node_id=event.node_id, conditions=()))
-                        continue
-                    self._spawn_path(member.steps, anchor_id=event.node_id,
-                                     anchor_depth=0, anchor_is_element=False,
-                                     anchor_tag=None, anchor_value=None,
-                                     conditions=(), sink=sink,
-                                     collect_values=sink.collect_values)
+                             conditions=(), sink=sink,
+                             collect_values=collect_values)
 
     def _start_node(self, node_id: int, is_element: bool, tag: Optional[str],
                     value: Optional[str]) -> None:
@@ -438,19 +492,18 @@ class StreamingMatcher:
         # Iterate over a snapshot: matching may spawn new expectations, which
         # must not be matched against the node that created them.
         for expectation in list(self._expectations):
-            if expectation.sink.satisfied:
+            if expectation.cont.dead(self):
                 continue
             if expectation.matches(depth, is_element, tag):
-                self._node_matched(expectation.step, expectation.remaining,
+                self._node_matched(expectation.step, expectation.cont,
                                    node_id, depth, is_element, tag, value,
-                                   expectation.conditions, expectation.sink,
-                                   expectation.collect_values)
+                                   expectation.conditions)
 
     def _end_node(self) -> None:
         closed = self._stack.pop()
         still_alive: List[_Expectation] = []
         for expectation in self._expectations:
-            if expectation.sink.satisfied:
+            if expectation.cont.dead(self):
                 continue
             axis = expectation.step.axis
             if expectation.anchor_id == closed.node_id:
@@ -489,14 +542,28 @@ class StreamingMatcher:
         self._value_collectors = []
 
     # -- spawning ----------------------------------------------------------
-    def _spawn_path(self, steps: Tuple[Step, ...], anchor_id: int,
+    def spawn_steps(self, steps: Tuple[Step, ...], anchor_id: int,
                     anchor_depth: int, anchor_is_element: bool,
                     anchor_tag: Optional[str], anchor_value: Optional[str],
                     conditions: Tuple[_Condition, ...], sink: _Sink,
                     collect_values: bool) -> None:
-        """Start matching ``steps`` from the given anchor node."""
-        step = steps[0]
-        remaining = steps[1:]
+        """Start matching a step sequence from the given anchor node."""
+        self.spawn_step(steps[0],
+                        PathContinuation(steps[1:], sink, collect_values),
+                        anchor_id=anchor_id, anchor_depth=anchor_depth,
+                        anchor_is_element=anchor_is_element,
+                        anchor_tag=anchor_tag, anchor_value=anchor_value,
+                        conditions=conditions)
+
+    def spawn_step(self, step: Step, cont: Continuation, anchor_id: int,
+                   anchor_depth: int, anchor_is_element: bool,
+                   anchor_tag: Optional[str], anchor_value: Optional[str],
+                   conditions: Tuple[_Condition, ...]) -> None:
+        """Expect one step from the given anchor, continuing with ``cont``.
+
+        This is the per-step spawning primitive shared by the single-query
+        matcher and the multi-subscription engine.
+        """
         axis = step.axis
         # The anchor is a text leaf when it is not an element but carries a
         # value; the document root is "not an element, no value".
@@ -506,10 +573,9 @@ class StreamingMatcher:
             # The anchor itself may match the first step.
             if self._anchor_matches_test(step, anchor_is_element, anchor_tag,
                                          anchor_is_text):
-                self._node_matched(step, remaining, anchor_id, anchor_depth,
+                self._node_matched(step, cont, anchor_id, anchor_depth,
                                    anchor_is_element, anchor_tag, anchor_value,
-                                   conditions, sink, collect_values,
-                                   anchor_is_self_match=True)
+                                   conditions)
             if axis is Axis.SELF:
                 return
 
@@ -524,10 +590,9 @@ class StreamingMatcher:
             # anchors are already closed when spawned; the document root
             # never closes before the end of the stream, so nothing follows it.
             state = _ACTIVE if anchor_is_text else _WAITING
-        expectation = _Expectation(step=step, remaining=remaining,
+        expectation = _Expectation(step=step, cont=cont,
                                    anchor_id=anchor_id, anchor_depth=anchor_depth,
-                                   conditions=conditions, sink=sink, state=state,
-                                   collect_values=collect_values)
+                                   conditions=conditions, state=state)
         self._expectations.append(expectation)
         self.stats.expectations_created += 1
         self.stats.max_live_expectations = max(self.stats.max_live_expectations,
@@ -551,26 +616,30 @@ class StreamingMatcher:
             return anchor_is_element
         return anchor_is_element and anchor_tag == step.node_test.name
 
-    def _node_matched(self, step: Step, remaining: Tuple[Step, ...], node_id: int,
+    def _node_matched(self, step: Step, cont: Continuation, node_id: int,
                       depth: int, is_element: bool, tag: Optional[str],
-                      value: Optional[str], inherited: Tuple[_Condition, ...],
-                      sink: _Sink, collect_values: bool,
-                      anchor_is_self_match: bool = False) -> None:
-        """A node matched ``step``; evaluate its qualifiers and continue."""
-        conditions = list(inherited)
-        for qual in step.qualifiers:
-            conditions.append(self._build_condition(qual, node_id, depth,
-                                                    is_element, tag, value))
-        conditions_tuple = tuple(conditions)
+                      value: Optional[str],
+                      inherited: Tuple[_Condition, ...]) -> None:
+        """A node matched ``step``; evaluate its qualifiers and continue.
 
-        if remaining:
-            self._spawn_path(remaining, anchor_id=node_id, anchor_depth=depth,
-                             anchor_is_element=is_element, anchor_tag=tag,
-                             anchor_value=value, conditions=conditions_tuple,
-                             sink=sink, collect_values=collect_values)
-            return
+        The qualifier conditions are built exactly once per matched node —
+        when the step is shared by many subscriptions (trie continuation),
+        every one of them reuses the same condition objects.
+        """
+        if step.qualifiers:
+            conditions = list(inherited)
+            for qual in step.qualifiers:
+                conditions.append(self._build_condition(qual, node_id, depth,
+                                                        is_element, tag, value))
+            inherited = tuple(conditions)
+        cont.proceed(self, node_id, depth, is_element, tag, value, inherited)
 
-        entry = _Entry(node_id=node_id, conditions=conditions_tuple)
+    def add_candidate(self, sink: _Sink, node_id: int, depth: int,
+                      is_element: bool, value: Optional[str],
+                      conditions: Tuple[_Condition, ...],
+                      collect_values: bool) -> None:
+        """Deliver a final-step match into a sink, buffering values if needed."""
+        entry = _Entry(node_id=node_id, conditions=conditions)
         retained = sink.add(entry)
         if retained:
             self.stats.candidates_buffered += 1
@@ -621,7 +690,7 @@ class StreamingMatcher:
             if isinstance(member, Bottom):
                 continue
             assert isinstance(member, LocationPath)
-            self._spawn_path(member.steps, anchor_id=node_id, anchor_depth=depth,
+            self.spawn_steps(member.steps, anchor_id=node_id, anchor_depth=depth,
                              anchor_is_element=is_element, anchor_tag=tag,
                              anchor_value=value, conditions=(), sink=sink,
                              collect_values=collect_values)
@@ -637,8 +706,43 @@ class StreamingMatcher:
             if isinstance(member, Bottom):
                 continue
             assert isinstance(member, LocationPath)
-            self._spawn_path(member.steps, anchor_id=node_id, anchor_depth=depth,
+            self.spawn_steps(member.steps, anchor_id=node_id, anchor_depth=depth,
                              anchor_is_element=is_element, anchor_tag=tag,
                              anchor_value=value, conditions=(), sink=sink,
                              collect_values=collect_values)
         return sink
+
+
+# ---------------------------------------------------------------------------
+# The single-query matcher
+# ---------------------------------------------------------------------------
+
+class StreamingMatcher(MatcherCore):
+    """Single-pass matcher for one reverse-axis-free path expression."""
+
+    def __init__(self, path: PathExpr):
+        if analysis.has_reverse_steps(path):
+            raise ReverseAxisStreamingError(
+                f"path {to_string(path)} contains reverse axes; rewrite it with "
+                f"repro.rewrite.remove_reverse_axes first")
+        super().__init__()
+        self.path = path
+        self._result_sink = _Sink()
+        self._register_absolute_subpaths(self.path)
+
+    def _spawn_roots(self, root_id: int) -> None:
+        self.spawn_root_expr(self.path, self._result_sink,
+                             collect_values=False, root_id=root_id)
+
+    def results(self) -> List[int]:
+        """Node ids selected by the path (requires the stream to be finished)."""
+        if not self._finished:
+            raise StreamingError("results() called before the end of the stream")
+        selected: Set[int] = set()
+        for entry in self._result_sink.entries:
+            if entry.node_id in selected:
+                continue
+            if entry.holds():
+                selected.add(entry.node_id)
+        self.stats.results = len(selected)
+        return sorted(selected)

@@ -2,6 +2,7 @@
 
 from repro.workloads.queries import (
     PAPER_QUERIES,
+    SUBSCRIPTION_PREFIXES,
     PaperQuery,
     ancestor_chain,
     following_reverse_chain,
@@ -10,6 +11,7 @@ from repro.workloads.queries import (
     preceding_chain,
     random_reverse_path,
     reverse_chain,
+    subscription_workload,
 )
 from repro.workloads.documents import (
     STREAMING_DOCUMENTS,
@@ -27,6 +29,8 @@ __all__ = [
     "following_reverse_chain",
     "mixed_reverse_path",
     "random_reverse_path",
+    "SUBSCRIPTION_PREFIXES",
+    "subscription_workload",
     "WorkloadDocument",
     "STREAMING_DOCUMENTS",
     "streaming_documents",

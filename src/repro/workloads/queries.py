@@ -138,6 +138,60 @@ def mixed_reverse_path(length: int, seed: int = 11,
     return "/" + "/".join(steps)
 
 
+#: Shared subscription prefixes of the SDI workload.  Every generated
+#: subscription starts with one of these, so a batch of ``count``
+#: subscriptions collapses onto at most ``len(SUBSCRIPTION_PREFIXES)``
+#: leading-step chains in the shared trie.
+SUBSCRIPTION_PREFIXES = (
+    "/descendant::journal",
+    "/descendant::journal/child::article",
+    "/descendant::article/child::authors",
+    "/descendant::journal/descendant::title",
+    "/child::journal/descendant::name",
+    "/descendant::price",
+)
+
+
+def subscription_workload(count: int, seed: int = 7,
+                          prefixes: Sequence[str] = SUBSCRIPTION_PREFIXES,
+                          max_tail_steps: int = 2,
+                          qualifier_probability: float = 0.35,
+                          reverse_probability: float = 0.2,
+                          tags: Sequence[str] = JOURNAL_TAGS) -> List[str]:
+    """A batch of overlapping SDI subscriptions (multi-query experiment).
+
+    Each subscription starts with one of a small pool of shared prefixes and
+    continues with a randomized tail of up to ``max_tail_steps`` steps —
+    mixed axes and fan-out, optional existence qualifiers, and with
+    probability ``reverse_probability`` a reverse step (``parent`` or
+    ``ancestor``) that the subscription index removes by rewriting.  The
+    result models a subscriber population whose queries cluster on popular
+    document regions, the case where shared-trie matching pays off.
+    """
+    if count < 1:
+        raise ValueError("need at least one subscription")
+    rng = random.Random(seed)
+    tail_forward = ("child", "descendant", "following-sibling", "self")
+    tail_reverse = ("parent", "ancestor")
+    subscriptions: List[str] = []
+    for _ in range(count):
+        parts = [rng.choice(prefixes)]
+        for _ in range(rng.randint(0, max_tail_steps)):
+            if rng.random() < reverse_probability:
+                axis = rng.choice(tail_reverse)
+            else:
+                axis = rng.choice(tail_forward)
+            test = rng.choice(tuple(tags) + ("*",))
+            step = f"{axis}::{test}"
+            if rng.random() < qualifier_probability:
+                inner_axis = rng.choice(("child", "descendant"))
+                inner_test = rng.choice(tuple(tags))
+                step += f"[{inner_axis}::{inner_test}]"
+            parts.append(step)
+        subscriptions.append("/".join(parts))
+    return subscriptions
+
+
 def random_reverse_path(seed: int, max_steps: int = 4,
                         qualifier_probability: float = 0.4,
                         tags: Sequence[str] = JOURNAL_TAGS) -> str:

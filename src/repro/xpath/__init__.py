@@ -25,8 +25,22 @@ from repro.xpath.ast import (
 from repro.xpath.parser import parse_xpath
 from repro.xpath.serializer import to_string
 from repro.xpath import analysis
+from repro.xpath.cache import (
+    CacheInfo,
+    QueryCache,
+    clear_compile_cache,
+    compile_cache_info,
+    compile_query,
+    default_cache,
+)
 
 __all__ = [
+    "CacheInfo",
+    "QueryCache",
+    "compile_query",
+    "compile_cache_info",
+    "clear_compile_cache",
+    "default_cache",
     "Axis",
     "NodeTest",
     "NodeTestKind",

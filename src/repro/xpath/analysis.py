@@ -14,7 +14,7 @@ rewriting algorithm and the benchmarks rely on:
 
 from __future__ import annotations
 
-from typing import Iterator, List, Optional, Tuple
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.xpath.ast import (
     AndExpr,
@@ -226,6 +226,81 @@ def is_rare_input(path: PathExpr) -> Tuple[bool, Optional[str]]:
     if has_rr_joins(path):
         return False, "qualifiers contain an RR join (Definition 4.2)"
     return True, None
+
+
+# ---------------------------------------------------------------------------
+# Structural prefixes (multi-subscription sharing analysis)
+# ---------------------------------------------------------------------------
+
+def spine_sequences(path: PathExpr) -> List[Tuple[Step, ...]]:
+    """The spine step sequences of every union member, in order.
+
+    ``⊥`` contributes no sequence (it matches nothing).  Each sequence is a
+    chain that the multi-subscription engine inserts into its prefix trie;
+    two subscriptions share matching state exactly on the common prefixes of
+    these sequences.
+    """
+    if isinstance(path, Bottom):
+        return []
+    if isinstance(path, Union):
+        sequences: List[Tuple[Step, ...]] = []
+        for member in path.members:
+            sequences.extend(spine_sequences(member))
+        return sequences
+    if isinstance(path, LocationPath):
+        return [tuple(path.steps)]
+    raise TypeError(f"not a path expression: {path!r}")
+
+
+def common_spine_prefix(paths: Iterable[PathExpr]) -> Tuple[Step, ...]:
+    """Longest step prefix shared by *every* union member of every path.
+
+    Steps compare structurally (axis, node test and qualifiers), matching
+    the sharing criterion of the subscription trie.
+    """
+    sequences: List[Tuple[Step, ...]] = []
+    for path in paths:
+        sequences.extend(spine_sequences(path))
+    if not sequences:
+        return ()
+    prefix = sequences[0]
+    for sequence in sequences[1:]:
+        limit = min(len(prefix), len(sequence))
+        shared = 0
+        while shared < limit and prefix[shared] == sequence[shared]:
+            shared += 1
+        prefix = prefix[:shared]
+        if not prefix:
+            break
+    return prefix
+
+
+def prefix_sharing_summary(paths: Iterable[PathExpr]) -> dict:
+    """How much leading-step structure a batch of paths shares.
+
+    Returns the total number of spine steps across all paths, the number of
+    distinct step prefixes (the node count of a prefix trie over the batch),
+    and the number of steps saved by sharing.  Used by
+    :class:`repro.streaming.engine.SubscriptionIndex` to report how much
+    per-event work the shared trie avoids.
+    """
+    total_steps = 0
+    prefixes = set()
+    path_count = 0
+    for path in paths:
+        path_count += 1
+        for sequence in spine_sequences(path):
+            total_steps += len(sequence)
+            for stop in range(1, len(sequence) + 1):
+                prefixes.add(sequence[:stop])
+    shared = total_steps - len(prefixes)
+    return {
+        "paths": path_count,
+        "spine_steps": total_steps,
+        "trie_nodes": len(prefixes),
+        "shared_steps": shared,
+        "sharing_ratio": shared / total_steps if total_steps else 0.0,
+    }
 
 
 def summarize(path: PathExpr) -> dict:

@@ -1,0 +1,98 @@
+"""Unit tests of the resource accounting record (repro.streaming.stats)."""
+
+from repro.streaming.matcher import StreamingMatcher
+from repro.streaming.stats import StreamStats
+from repro.xmlmodel.builder import document_events
+from repro.xmlmodel.document import Document, element, text
+from repro.xmlmodel.events import EndDocument, StartDocument
+from repro.xpath.parser import parse_xpath
+
+
+class TestStreamStats:
+    def test_fresh_stats_are_zero(self):
+        stats = StreamStats()
+        assert stats.memory_units == 0
+        assert all(value == 0 for value in stats.as_row().values())
+
+    def test_memory_units_formula(self):
+        stats = StreamStats(nodes_stored=5, candidates_buffered=3,
+                            max_live_expectations=2)
+        assert stats.memory_units == 10
+
+    def test_as_row_reports_every_memory_quantity(self):
+        row = StreamStats(events=7, nodes_seen=4, nodes_stored=1,
+                          candidates_buffered=2, max_live_expectations=3,
+                          buffered_value_chars=8, results=1).as_row()
+        assert row["events"] == 7
+        assert row["nodes_seen"] == 4
+        assert row["memory_units"] == 1 + 2 + 3
+        assert row["results"] == 1
+
+
+MONOTONIC_COUNTERS = ("events", "nodes_seen", "max_depth",
+                      "expectations_created", "max_live_expectations",
+                      "conditions_created", "candidates_buffered",
+                      "buffered_value_chars")
+
+
+class TestCountersDuringARun:
+    def test_counters_grow_monotonically_event_by_event(self):
+        document = Document.from_tree(
+            element("a",
+                    element("b", text("x"), element("c")),
+                    element("b", element("c", text("y")))))
+        matcher = StreamingMatcher(
+            parse_xpath("/descendant::b[child::c]/descendant::node()"))
+        previous = {name: 0 for name in MONOTONIC_COUNTERS}
+        for event in document_events(document):
+            matcher.feed(event)
+            for name in MONOTONIC_COUNTERS:
+                current = getattr(matcher.stats, name)
+                assert current >= previous[name], name
+                previous[name] = current
+        assert matcher.stats.events == len(list(document_events(document)))
+
+    def test_max_depth_is_a_high_water_mark(self):
+        document = Document.from_tree(
+            element("a", element("b", element("c")), element("b")))
+        matcher = StreamingMatcher(parse_xpath("/descendant::c"))
+        matcher.process(document_events(document))
+        assert matcher.stats.max_depth == 3
+
+    def test_max_live_expectations_is_a_high_water_mark(self):
+        document = Document.from_tree(
+            element("a", element("b"), element("b"), element("b")))
+        matcher = StreamingMatcher(parse_xpath("/descendant::b/child::c"))
+        matcher.process(document_events(document))
+        # After the stream all expectations are discarded, but the high-water
+        # mark keeps the peak.
+        assert matcher._expectations == []
+        assert matcher.stats.max_live_expectations >= 2
+
+    def test_empty_stream(self):
+        matcher = StreamingMatcher(parse_xpath("/"))
+        result = matcher.process([StartDocument(), EndDocument()])
+        assert result == [0]
+        stats = matcher.stats
+        assert stats.events == 2
+        assert stats.nodes_seen == 1        # only the root
+        assert stats.max_depth == 0
+        assert stats.expectations_created == 0
+        assert stats.results == 1
+
+    def test_single_element_document(self):
+        document = Document.from_tree(element("a"))
+        matcher = StreamingMatcher(parse_xpath("/child::a"))
+        result = matcher.process(document_events(document))
+        assert result == [1]
+        assert matcher.stats.nodes_seen == 2    # root + element
+        assert matcher.stats.max_depth == 1
+        assert matcher.stats.results == 1
+
+    def test_buffered_value_chars_counts_join_text(self):
+        document = Document.from_tree(
+            element("a", element("b", text("xyz")), element("c", text("xyz"))))
+        matcher = StreamingMatcher(
+            parse_xpath("/descendant::b[self::node() = /descendant::c]"))
+        matcher.process(document_events(document))
+        assert matcher.stats.buffered_value_chars >= len("xyz")

@@ -90,3 +90,49 @@ class TestSummary:
         assert summary["reverse_steps"] == 1
         assert summary["absolute"] is True
         assert summary["union_terms"] == 1
+
+
+class TestStructuralPrefixes:
+    def test_spine_sequences_of_a_plain_path(self):
+        path = parse_xpath("/descendant::a[child::b]/child::c")
+        sequences = analysis.spine_sequences(path)
+        assert len(sequences) == 1
+        assert [step.node_test.name for step in sequences[0]] == ["a", "c"]
+
+    def test_spine_sequences_of_a_union(self):
+        path = parse_xpath("/descendant::a | /child::b/child::c | ⊥")
+        sequences = analysis.spine_sequences(path)
+        assert [len(sequence) for sequence in sequences] == [1, 2]
+
+    def test_common_spine_prefix(self):
+        paths = [parse_xpath("/descendant::a/child::b/child::c"),
+                 parse_xpath("/descendant::a/child::b/child::d"),
+                 parse_xpath("/descendant::a/child::b")]
+        prefix = analysis.common_spine_prefix(paths)
+        assert [step.node_test.name for step in prefix] == ["a", "b"]
+
+    def test_common_spine_prefix_requires_equal_qualifiers(self):
+        paths = [parse_xpath("/descendant::a[child::b]/child::c"),
+                 parse_xpath("/descendant::a/child::c")]
+        assert analysis.common_spine_prefix(paths) == ()
+
+    def test_common_spine_prefix_of_nothing(self):
+        assert analysis.common_spine_prefix([]) == ()
+        assert analysis.common_spine_prefix([parse_xpath("⊥")]) == ()
+
+    def test_prefix_sharing_summary(self):
+        paths = [parse_xpath("/descendant::a/child::b"),
+                 parse_xpath("/descendant::a/child::c"),
+                 parse_xpath("/descendant::a/child::b")]
+        summary = analysis.prefix_sharing_summary(paths)
+        assert summary["paths"] == 3
+        assert summary["spine_steps"] == 6
+        # Distinct prefixes: (a), (a,b), (a,c).
+        assert summary["trie_nodes"] == 3
+        assert summary["shared_steps"] == 3
+        assert summary["sharing_ratio"] == 0.5
+
+    def test_prefix_sharing_summary_empty(self):
+        summary = analysis.prefix_sharing_summary([])
+        assert summary["spine_steps"] == 0
+        assert summary["sharing_ratio"] == 0.0
