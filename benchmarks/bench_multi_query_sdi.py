@@ -8,20 +8,31 @@ subscriptions (N ∈ {10, 100, 1000}) into one shared
 catalogue in a single pass, against the baseline of N independent
 :class:`StreamingMatcher` passes over the same stream.
 
-Reported per configuration: total expectation activations, peak live
-expectations, wall time, and the per-event cost.  The headline comparison
-runs the shared engine in full result-collecting mode — the same work the
-independent matchers do — so the activation gap isolates what the trie's
-prefix sharing saves.  The verdict-only SDI fast path (``matches_only``,
-which additionally stops matching satisfied subscriptions early) is
-reported as a third row.
+Two comparisons are reported per configuration:
+
+* *sharing*: the shared trie engine vs. N independent matchers (what PR 1
+  introduced) — total expectation activations and wall time;
+* *dispatch*: the tag-indexed expectation dispatch vs. the linear-scan
+  reference engine (``indexed=False``) over the same shared trie —
+  ``expectations_checked`` per start-element against the
+  ``linear_scan_checks`` counterfactual.
+
+The smoke test additionally writes ``BENCH_multi_query_sdi.json`` at the
+repository root (events/sec, expectations checked per event, activation
+counts at every scale) so the performance trajectory is tracked across
+revisions.
 """
 
 import time
 
 import pytest
 
-from repro.bench.reporting import Table
+from repro.bench.reporting import (
+    MULTI_QUERY_SDI_ARTIFACT,
+    Table,
+    artifact_path,
+    update_bench_artifact,
+)
 from repro.streaming import SubscriptionIndex
 from repro.streaming.matcher import StreamingMatcher
 from repro.workloads.queries import subscription_workload
@@ -36,10 +47,20 @@ EVENTS = list(document_events(DOCUMENT))
 
 SCALES = (10, 100, 1000)
 
+ARTIFACT_PATH = artifact_path(MULTI_QUERY_SDI_ARTIFACT)
 
-def _shared_run(index, matches_only):
+
+def _build_index(count):
+    queries = subscription_workload(count, seed=11)
+    index = SubscriptionIndex()
+    for position, query in enumerate(queries):
+        index.add(query, key=position)
+    return index
+
+
+def _shared_run(index, matches_only, indexed=True):
     start = time.perf_counter()
-    matcher = index.matcher(matches_only=matches_only)
+    matcher = index.matcher(matches_only=matches_only, indexed=indexed)
     result = matcher.process(EVENTS)
     elapsed = time.perf_counter() - start
     return result, matcher.stats, elapsed
@@ -60,14 +81,13 @@ def _independent_run(index):
 
 
 def _bench_scale(count, report):
-    queries = subscription_workload(count, seed=11)
-    index = SubscriptionIndex()
-    for position, query in enumerate(queries):
-        index.add(query, key=position)
+    index = _build_index(count)
     summary = index.sharing_summary()
 
     shared_result, shared_stats, shared_time = \
         _shared_run(index, matches_only=False)
+    linear_result, linear_stats, linear_time = \
+        _shared_run(index, matches_only=False, indexed=False)
     sdi_result, sdi_stats, sdi_time = _shared_run(index, matches_only=True)
     node_ids, indep_expectations, indep_peak, indep_time = \
         _independent_run(index)
@@ -75,6 +95,8 @@ def _bench_scale(count, report):
     # Same answer for every subscriber, whichever engine produced it.
     for subscription_result in shared_result:
         assert subscription_result.node_ids == node_ids[subscription_result.key]
+    for indexed_row, linear_row in zip(shared_result, linear_result):
+        assert indexed_row.node_ids == linear_row.node_ids
     for subscription_result in sdi_result:
         assert subscription_result.matched == \
             bool(node_ids[subscription_result.key])
@@ -84,40 +106,84 @@ def _bench_scale(count, report):
         f"Shared SubscriptionIndex vs {count} independent matchers "
         f"({events} events/document, trie {summary['trie_nodes']} nodes "
         f"for {summary['spine_steps']} subscription steps)",
-        ["engine", "passes", "expectations", "peak live", "wall ms",
-         "us/event"],
+        ["engine", "passes", "expectations", "checked/event", "peak live",
+         "wall ms", "us/event"],
     )
     table.add_row("shared index", 1, shared_stats.expectations_created,
+                  f"{shared_stats.expectations_checked / events:.2f}",
                   shared_stats.max_live_expectations,
                   f"{shared_time * 1e3:.2f}",
                   f"{shared_time / events * 1e6:.2f}")
+    table.add_row("shared, linear scan", 1, linear_stats.expectations_created,
+                  f"{linear_stats.expectations_checked / events:.2f}",
+                  linear_stats.max_live_expectations,
+                  f"{linear_time * 1e3:.2f}",
+                  f"{linear_time / events * 1e6:.2f}")
     table.add_row("shared, verdicts only", 1, sdi_stats.expectations_created,
+                  f"{sdi_stats.expectations_checked / events:.2f}",
                   sdi_stats.max_live_expectations,
                   f"{sdi_time * 1e3:.2f}",
                   f"{sdi_time / events * 1e6:.2f}")
-    table.add_row("independent", count, indep_expectations, indep_peak,
+    table.add_row("independent", count, indep_expectations, "-", indep_peak,
                   f"{indep_time * 1e3:.2f}",
                   f"{indep_time / (events * count) * 1e6:.2f} (x{count})")
     report(table.render())
 
-    return shared_stats, shared_time, indep_expectations, indep_time
+    return {
+        "subscriptions": count,
+        "trie_nodes": summary["trie_nodes"],
+        "events": events,
+        "events_per_sec_indexed": round(events / shared_time),
+        "events_per_sec_linear": round(events / linear_time),
+        "wall_ms_indexed": round(shared_time * 1e3, 3),
+        "wall_ms_linear": round(linear_time * 1e3, 3),
+        "wall_ms_verdicts_only": round(sdi_time * 1e3, 3),
+        "wall_ms_independent": round(indep_time * 1e3, 3),
+        "expectations_created": shared_stats.expectations_created,
+        "expectations_created_independent": indep_expectations,
+        "expectations_checked": shared_stats.expectations_checked,
+        "expectations_checked_per_event":
+            round(shared_stats.expectations_checked / events, 3),
+        "linear_scan_checks": shared_stats.linear_scan_checks,
+        "linear_scan_checks_per_event":
+            round(shared_stats.linear_scan_checks / events, 3),
+        "check_reduction_ratio":
+            round(shared_stats.linear_scan_checks
+                  / max(1, shared_stats.expectations_checked), 2),
+        "max_live_expectations": shared_stats.max_live_expectations,
+    }
 
 
 @pytest.mark.parametrize("count", SCALES, ids=[f"subs{n}" for n in SCALES])
 def test_multi_query_sdi(report, count):
-    shared_stats, shared_time, indep_expectations, indep_time = \
-        _bench_scale(count, report)
-    # Both sides collect full results here, so the gap is the trie's prefix
-    # sharing alone: measurably fewer expectation activations than N
-    # independent matchers over the same stream...
-    assert shared_stats.expectations_created < indep_expectations
+    row = _bench_scale(count, report)
+    # Both sides collect full results here, so the activation gap is the
+    # trie's prefix sharing alone: measurably fewer expectation activations
+    # than N independent matchers over the same stream...
+    assert row["expectations_created"] < row["expectations_created_independent"]
+    # ...the tag-indexed dispatch consults far fewer expectations per node
+    # event than the linear scan it replaced...
+    if count >= 1000:
+        assert row["linear_scan_checks"] >= 5 * row["expectations_checked"]
     # ...and at SDI scale the single pass must also win wall-clock, by a
     # margin wide enough to be robust against timer noise.
     if count >= 1000:
-        assert shared_time < indep_time / 2
+        assert row["wall_ms_indexed"] < row["wall_ms_independent"] / 2
 
 
 def test_multi_query_sdi_smoke(report):
-    """Fast CI smoke: small scale, correctness + sharing assertions only."""
-    shared_stats, _, indep_expectations, _ = _bench_scale(25, report)
-    assert shared_stats.expectations_created < indep_expectations
+    """Fast CI smoke: correctness and sharing assertions at every scale,
+    plus the ``BENCH_multi_query_sdi.json`` trajectory artifact."""
+    rows = [_bench_scale(count, report) for count in SCALES]
+    for row in rows:
+        assert row["expectations_created"] < \
+            row["expectations_created_independent"]
+    # The acceptance bar of the dispatch index: at N=1000 it checks >=5x
+    # fewer expectations per start-element than a linear scan would.
+    at_1000 = rows[-1]
+    assert at_1000["subscriptions"] == 1000
+    assert at_1000["linear_scan_checks"] >= 5 * at_1000["expectations_checked"]
+    update_bench_artifact(ARTIFACT_PATH, "multi_query_sdi", {
+        "document_events": len(EVENTS),
+        "scales": rows,
+    })

@@ -9,6 +9,8 @@ worst case (Theorem 4.2).
 
 from __future__ import annotations
 
+import json
+import os
 from dataclasses import dataclass, field
 from typing import Iterable, List, Sequence, Tuple
 
@@ -46,6 +48,42 @@ def format_table(title: str, columns: Sequence[str],
     for row in rows:
         lines.append("  ".join(value.ljust(widths[i]) for i, value in enumerate(row)))
     return "\n".join(lines)
+
+
+#: File name of the multi-subscription SDI trajectory artifact; both the
+#: SDI scaling benchmark and the dispatch document-shapes benchmark merge
+#: their sections into this one file (and CI uploads exactly this name).
+MULTI_QUERY_SDI_ARTIFACT = "BENCH_multi_query_sdi.json"
+
+
+def artifact_path(filename: str) -> str:
+    """Absolute path of a ``BENCH_*.json`` artifact at the repository root."""
+    package_root = os.path.dirname(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))))  # .../src
+    return os.path.join(os.path.dirname(package_root), filename)
+
+
+def update_bench_artifact(path: str, section: str, payload) -> dict:
+    """Merge ``payload`` under ``section`` into the JSON artifact at ``path``.
+
+    Benchmark modules call this to persist machine-readable results
+    (``BENCH_*.json``) so the performance trajectory can be compared across
+    revisions.  The artifact is read-merge-written so independent benchmark
+    runs (different pytest parametrizations, different modules) each
+    contribute their own section without clobbering the others.
+    """
+    document: dict = {}
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            document = {}
+    document[section] = payload
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return document
 
 
 def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> Tuple[float, float, float]:

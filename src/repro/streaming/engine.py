@@ -18,7 +18,12 @@ work in the tradition of shared-index filtering engines (XFilter/YFilter):
   expectation per (subscription, step, anchor); qualifier conditions of a
   shared step are built once per matched node and reused by every
   subscription downstream.  Absolute sub-paths mentioned in qualifiers and
-  joins are matched once, shared across *all* subscriptions.
+  joins are matched once, shared across *all* subscriptions.  Live
+  expectations sit in the core's tag-indexed dispatch structure, so a node
+  event touches only the trie branches whose next step could match it; in
+  verdict-only mode a branch is retired — its expectations unlinked, its
+  spawning stopped — the moment the last subscription below it is
+  satisfied.
 
 The per-subscription semantics are exactly those of
 :func:`repro.streaming.stream_evaluate` — the property tests assert result
@@ -67,7 +72,8 @@ class _TrieNode:
     once all of them are already satisfied.
     """
 
-    __slots__ = ("step", "children", "terminals", "sub_ids", "cont")
+    __slots__ = ("step", "children", "terminals", "sub_ids", "cont",
+                 "nodes_by_ordinal")
 
     def __init__(self, step: Optional[Step] = None):
         self.step = step
@@ -75,6 +81,11 @@ class _TrieNode:
         self.terminals: List[int] = []
         self.sub_ids: frozenset = frozenset()
         self.cont = _TrieContinuation(self)
+        #: Only populated on the root by :meth:`seal`: ordinal -> every trie
+        #: node whose subtree serves that subscription.  This is the reverse
+        #: index the matcher walks when a subscription settles, to retire
+        #: exactly the branches that no longer serve anyone.
+        self.nodes_by_ordinal: Dict[int, List["_TrieNode"]] = {}
 
     def child(self, step: Step) -> "_TrieNode":
         node = self.children.get(step)
@@ -84,10 +95,23 @@ class _TrieNode:
         return node
 
     def seal(self) -> frozenset:
-        """Compute ``sub_ids`` bottom-up once the trie is fully built."""
+        """Compute ``sub_ids`` bottom-up once the trie is fully built, plus
+        the reverse ``nodes_by_ordinal`` index of the sealed (sub-)trie."""
+        self._seal_ids()
+        reverse: Dict[int, List["_TrieNode"]] = {}
+        stack = list(self.children.values())
+        while stack:
+            node = stack.pop()
+            for ordinal in node.sub_ids:
+                reverse.setdefault(ordinal, []).append(node)
+            stack.extend(node.children.values())
+        self.nodes_by_ordinal = reverse
+        return self.sub_ids
+
+    def _seal_ids(self) -> frozenset:
         ids = set(self.terminals)
         for node in self.children.values():
-            ids.update(node.seal())
+            ids.update(node._seal_ids())
         self.sub_ids = frozenset(ids)
         return self.sub_ids
 
@@ -105,8 +129,10 @@ class _TrieContinuation(Continuation):
         self.node = node
 
     def dead(self, core: "MultiMatcher") -> bool:
-        satisfied = core._satisfied
-        return bool(satisfied) and self.node.sub_ids <= satisfied
+        return core.trie_node_dead(self.node)
+
+    def register(self, core: "MultiMatcher", expectation) -> None:
+        core.watch_trie_node(self.node, expectation)
 
     def proceed(self, core: "MultiMatcher", node_id: int, depth: int,
                 is_element: bool, tag, value,
@@ -115,10 +141,9 @@ class _TrieContinuation(Continuation):
         for ordinal in node.terminals:
             core._deliver(ordinal, node_id, depth, is_element, value,
                           conditions)
-        satisfied = core._satisfied
         for child in node.children.values():
-            if satisfied and child.sub_ids <= satisfied:
-                continue
+            # spawn_step itself skips children whose branch is already
+            # retired (their continuation reports dead).
             core.spawn_step(child.step, child.cont, anchor_id=node_id,
                             anchor_depth=depth, anchor_is_element=is_element,
                             anchor_tag=tag, anchor_value=value,
@@ -197,14 +222,29 @@ class MultiMatcher(MatcherCore):
     """
 
     def __init__(self, subscriptions: Sequence[Subscription], trie: _TrieNode,
-                 matches_only: bool = False):
-        super().__init__()
+                 matches_only: bool = False, indexed: bool = True):
+        super().__init__(indexed=indexed)
         self._subscriptions = tuple(subscriptions)
         self._trie = trie
         self._matches_only = matches_only
         self._sinks = [_Sink(exists_only=matches_only)
                        for _ in self._subscriptions]
         self._satisfied: set = set()
+        #: Trie branches that no longer serve any unsatisfied subscription.
+        self._dead_trie_nodes: set = set()
+        if matches_only:
+            # Per-node countdown of unsatisfied subscriptions; a branch is
+            # retired (and its live expectations unlinked) the moment its
+            # count reaches zero.  Only the verdict-only mode ever satisfies
+            # a result sink mid-stream, so the full-result mode skips the
+            # bookkeeping entirely.
+            self._trie_unsatisfied: Dict[_TrieNode, int] = {}
+            self._trie_watchers: Dict[_TrieNode, Dict[int, object]] = {}
+            stack = list(trie.children.values())
+            while stack:
+                node = stack.pop()
+                self._trie_unsatisfied[node] = len(node.sub_ids)
+                stack.extend(node.children.values())
         for subscription in self._subscriptions:
             self._register_absolute_subpaths(subscription.path)
 
@@ -226,8 +266,36 @@ class MultiMatcher(MatcherCore):
         sink = self._sinks[ordinal]
         self.add_candidate(sink, node_id, depth, is_element, value,
                            conditions, collect_values=False)
-        if sink.satisfied:
+        if sink.satisfied and ordinal not in self._satisfied:
             self._satisfied.add(ordinal)
+            self._retire_subscription(ordinal)
+
+    # -- incremental trie pruning ------------------------------------------
+    def trie_node_dead(self, node: _TrieNode) -> bool:
+        """O(1): does ``node``'s subtree still serve anyone unsatisfied?"""
+        return node in self._dead_trie_nodes
+
+    def watch_trie_node(self, node: _TrieNode, expectation) -> None:
+        """Track a live expectation of ``node`` for unlink-on-satisfaction."""
+        if not self._matches_only:
+            # Result sinks never satisfy mid-stream in full-result mode, so
+            # the branch can never die: nothing to watch.
+            return
+        table = self._trie_watchers.setdefault(node, {})
+        table[expectation.serial] = expectation
+        expectation.watch = table
+
+    def _retire_subscription(self, ordinal: int) -> None:
+        """``ordinal`` just settled: retire branches it was the last user of."""
+        for node in self._trie.nodes_by_ordinal.get(ordinal, ()):
+            remaining = self._trie_unsatisfied[node] - 1
+            self._trie_unsatisfied[node] = remaining
+            if remaining == 0:
+                self._dead_trie_nodes.add(node)
+                watchers = self._trie_watchers.pop(node, None)
+                if watchers:
+                    for expectation in list(watchers.values()):
+                        self._expire(expectation)
 
     # -- results -----------------------------------------------------------
     def results(self) -> MultiMatchResult:
@@ -364,15 +432,23 @@ class SubscriptionIndex:
         return summary
 
     # -- matching ----------------------------------------------------------
-    def matcher(self, matches_only: bool = False) -> MultiMatcher:
-        """A fresh single-pass matcher over the shared trie."""
+    def matcher(self, matches_only: bool = False,
+                indexed: bool = True) -> MultiMatcher:
+        """A fresh single-pass matcher over the shared trie.
+
+        ``indexed=False`` selects the linear-scan reference engine (every
+        live expectation examined on every event) — same results, kept for
+        benchmarking the dispatch index against.
+        """
         return MultiMatcher(self._subscriptions, self._built_trie(),
-                            matches_only=matches_only)
+                            matches_only=matches_only, indexed=indexed)
 
     def evaluate(self, events: Iterable[Event],
-                 matches_only: bool = False) -> MultiMatchResult:
+                 matches_only: bool = False,
+                 indexed: bool = True) -> MultiMatchResult:
         """Match one document stream against every subscription at once."""
-        return self.matcher(matches_only=matches_only).process(events)
+        return self.matcher(matches_only=matches_only,
+                            indexed=indexed).process(events)
 
     def matching(self, events: Iterable[Event]) -> List[Hashable]:
         """Keys of the subscriptions the document matches (SDI routing)."""

@@ -29,6 +29,30 @@ How it works
   ``following``             any node starting after the anchor closes
   ========================  =====================================================
 
+* Live expectations are not kept in one flat list.  They are held in a
+  YFilter-style *dispatch index* (:class:`_DispatchIndex`) bucketed by what
+  their node test can match: an exact-tag table for named tests, plus
+  wildcard, any-node and text-node buckets.  A ``StartElement(tag)`` event
+  consults only the ``tag`` bucket and the two element-compatible catch-all
+  buckets; a ``Text`` event only the text and any-node buckets.  Each
+  consulted expectation then passes a constant-time admissibility check
+  (active state plus the depth constraint of ``child``/``following-sibling``)
+  before it matches — the node test itself is implied by the bucket.
+  Per-event work therefore scales with the expectations that *could* match
+  the event, not with all live expectations
+  (``StreamStats.expectations_checked`` vs ``linear_scan_checks``).
+* Lifecycle transitions are indexed by node id instead of scanned:
+  expectations waiting for their anchor to close (``following`` /
+  ``following-sibling``) sit in a map keyed by anchor id and enter the
+  dispatch index when that exact element closes; ``child``/``descendant``
+  expectations register for expiry under their anchor id; a
+  ``following-sibling`` window registers under its anchor's *parent* id and
+  is closed when that parent closes.  An :class:`EndElement` therefore pops
+  just the affected entries.  Expectations whose continuation can no longer
+  deliver anything useful (an existence sink already satisfied, a trie
+  branch whose subscriptions are all settled) are unlinked *at the moment of
+  satisfaction* through watcher registries rather than re-checked on every
+  event.
 * Qualifiers and joins become *conditions* attached to candidate matches.
   Existence qualifiers spawn sub-expectations anchored at the candidate;
   ``==`` joins collect node ids on both sides; ``=`` joins additionally
@@ -233,32 +257,45 @@ class _Expectation:
     What to do with a matching node is delegated to ``cont``, a continuation
     object (:class:`PathContinuation` or the trie continuation of
     :mod:`repro.streaming.engine`).
+
+    ``serial`` is the engine-wide spawn ordinal, used as the key under which
+    the expectation is linked into the dispatch index (``bucket``) and at
+    most one watcher registry (``watch``); both links are severed in O(1)
+    when the expectation expires.
     """
 
     __slots__ = ("step", "cont", "anchor_id", "anchor_depth",
-                 "conditions", "state")
+                 "conditions", "state", "serial", "bucket", "watch")
 
     def __init__(self, step: Step, cont: "Continuation", anchor_id: int,
                  anchor_depth: int, conditions: Tuple[_Condition, ...],
-                 state: str):
+                 state: str, serial: int = 0):
         self.step = step
         self.cont = cont
         self.anchor_id = anchor_id
         self.anchor_depth = anchor_depth
         self.conditions = conditions
         self.state = state
+        self.serial = serial
+        self.bucket: Optional[Dict[int, "_Expectation"]] = None
+        self.watch: Optional[Dict[int, "_Expectation"]] = None
 
-    def matches(self, depth: int, is_element: bool, tag: Optional[str]) -> bool:
+    def admissible(self, depth: int) -> bool:
+        """State/depth check for a node whose test the bucket already implies."""
         if self.state is not _ACTIVE:
             return False
         axis = self.step.axis
-        if axis is Axis.CHILD and depth != self.anchor_depth + 1:
-            return False
-        if axis is Axis.FOLLOWING_SIBLING and depth != self.anchor_depth:
-            return False
+        if axis is Axis.CHILD:
+            return depth == self.anchor_depth + 1
+        if axis is Axis.FOLLOWING_SIBLING:
+            return depth == self.anchor_depth
         # DESCENDANT / DESCENDANT_OR_SELF / FOLLOWING match any depth in the
         # active window.
-        return _test_matches(self.step, is_element, tag)
+        return True
+
+    def matches(self, depth: int, is_element: bool, tag: Optional[str]) -> bool:
+        return (self.admissible(depth)
+                and _test_matches(self.step, is_element, tag))
 
 
 def _test_matches(step: Step, is_element: bool, tag: Optional[str]) -> bool:
@@ -270,6 +307,79 @@ def _test_matches(step: Step, is_element: bool, tag: Optional[str]) -> bool:
     if kind is NodeTestKind.WILDCARD:
         return is_element
     return is_element and tag == step.node_test.name
+
+
+class _DispatchIndex:
+    """Active expectations bucketed by what their node test can match.
+
+    Buckets are insertion-ordered dicts keyed by expectation serial, so
+    removal (expiry) is O(1) and iteration preserves spawn order.  With
+    ``indexed=False`` every expectation lands in the catch-all bucket and the
+    caller re-applies the node test per event — the faithful linear-scan
+    reference the benchmarks compare against.
+    """
+
+    __slots__ = ("indexed", "by_tag", "wildcard", "any_node", "text")
+
+    def __init__(self, indexed: bool = True):
+        self.indexed = indexed
+        #: tag -> {serial: expectation} for named node tests.
+        self.by_tag: Dict[str, Dict[int, _Expectation]] = {}
+        #: ``*`` tests: any element.
+        self.wildcard: Dict[int, _Expectation] = {}
+        #: ``node()`` tests: any node (elements and text).
+        self.any_node: Dict[int, _Expectation] = {}
+        #: ``text()`` tests: text nodes only.
+        self.text: Dict[int, _Expectation] = {}
+
+    def insert(self, expectation: _Expectation) -> None:
+        if not self.indexed:
+            bucket = self.any_node
+        else:
+            kind = expectation.step.node_test.kind
+            if kind is NodeTestKind.NODE:
+                bucket = self.any_node
+            elif kind is NodeTestKind.TEXT:
+                bucket = self.text
+            elif kind is NodeTestKind.WILDCARD:
+                bucket = self.wildcard
+            else:
+                name = expectation.step.node_test.name
+                bucket = self.by_tag.get(name)
+                if bucket is None:
+                    bucket = self.by_tag[name] = {}
+        bucket[expectation.serial] = expectation
+        expectation.bucket = bucket
+
+    def element_candidates(self, tag: Optional[str]) -> List[_Expectation]:
+        """Snapshot of the expectations a ``StartElement(tag)`` can match."""
+        exact = self.by_tag.get(tag)
+        candidates: List[_Expectation] = list(exact.values()) if exact else []
+        if self.wildcard:
+            candidates.extend(self.wildcard.values())
+        if self.any_node:
+            candidates.extend(self.any_node.values())
+        return candidates
+
+    def text_candidates(self) -> List[_Expectation]:
+        """Snapshot of the expectations a ``Text`` event can match."""
+        candidates: List[_Expectation] = list(self.text.values())
+        if self.any_node:
+            candidates.extend(self.any_node.values())
+        return candidates
+
+    def iter_all(self):
+        for bucket in self.by_tag.values():
+            yield from bucket.values()
+        yield from self.wildcard.values()
+        yield from self.any_node.values()
+        yield from self.text.values()
+
+    def clear(self) -> None:
+        self.by_tag = {}
+        self.wildcard = {}
+        self.any_node = {}
+        self.text = {}
 
 
 class _ValueCollector:
@@ -292,14 +402,22 @@ class Continuation:
 
     ``dead(core)`` reports whether the expectation can be dropped because no
     downstream consumer is still interested (e.g. an existence sink already
-    satisfied); ``proceed(core, ...)`` consumes a matched node *after* the
-    step's qualifiers have been turned into conditions.
+    satisfied); it is consulted once at spawn time.  ``register(core,
+    expectation)`` links a freshly spawned expectation into whatever watcher
+    registry can later kill it, so that satisfaction unlinks it immediately
+    instead of the engine re-checking ``dead`` on every event.
+    ``proceed(core, ...)`` consumes a matched node *after* the step's
+    qualifiers have been turned into conditions.
     """
 
     __slots__ = ()
 
     def dead(self, core: "MatcherCore") -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def register(self, core: "MatcherCore",
+                 expectation: _Expectation) -> None:
+        """Default: liveness never changes, nothing to watch."""
 
     def proceed(self, core: "MatcherCore", node_id: int, depth: int,
                 is_element: bool, tag: Optional[str], value: Optional[str],
@@ -320,6 +438,13 @@ class PathContinuation(Continuation):
 
     def dead(self, core: "MatcherCore") -> bool:
         return self.sink.satisfied
+
+    def register(self, core: "MatcherCore",
+                 expectation: _Expectation) -> None:
+        # Only an existence sink can ever flip to satisfied mid-stream; a
+        # collecting sink keeps accepting entries until the end.
+        if self.sink.exists_only:
+            core.watch_sink(self.sink, expectation)
 
     def proceed(self, core: "MatcherCore", node_id: int, depth: int,
                 is_element: bool, tag: Optional[str], value: Optional[str],
@@ -357,11 +482,29 @@ class MatcherCore:
     out.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, indexed: bool = True) -> None:
         self.stats = StreamStats()
+        self._indexed = indexed
         self._stack: List[_OpenElement] = []
-        self._expectations: List[_Expectation] = []
-        self._value_collectors: List[_ValueCollector] = []
+        #: Active expectations, bucketed by node test.
+        self._dispatch = _DispatchIndex(indexed=indexed)
+        #: ``following``/``following-sibling`` expectations waiting for their
+        #: anchor element to close, keyed by anchor node id.
+        self._waiting_by_anchor: Dict[int, List[_Expectation]] = {}
+        #: ``child``/``descendant``/``descendant-or-self`` expectations keyed
+        #: by the anchor whose close event expires them.
+        self._expiry_by_anchor: Dict[int, List[_Expectation]] = {}
+        #: ``following-sibling`` expectations keyed by the anchor's *parent*,
+        #: whose close event shuts the sibling window.
+        self._sibling_expiry_by_parent: Dict[int, List[_Expectation]] = {}
+        #: Expectations to unlink the moment an existence sink satisfies.
+        self._sink_watchers: Dict[_Sink, Dict[int, _Expectation]] = {}
+        #: Waiting + active expectations (expired ones are unlinked eagerly).
+        self._live = 0
+        self._serial = 0
+        #: Pending element string-value collectors, keyed by the element
+        #: whose close event finalizes them.
+        self._collectors_by_node: Dict[int, List[_ValueCollector]] = {}
         self._absolute_sinks: Dict[PathExpr, _Sink] = {}
         self._absolute_value_sinks: Dict[PathExpr, _Sink] = {}
         self._finished = False
@@ -440,9 +583,11 @@ class MatcherCore:
             self.stats.max_depth = max(self.stats.max_depth, len(self._stack) - 1)
         elif isinstance(event, Text):
             self._start_node(event.node_id, False, None, event.value)
-            for collector in self._value_collectors:
-                collector.parts.append(event.value)
-                self.stats.buffered_value_chars += len(event.value)
+            if self._collectors_by_node:
+                for collectors in self._collectors_by_node.values():
+                    for collector in collectors:
+                        collector.parts.append(event.value)
+                        self.stats.buffered_value_chars += len(event.value)
         elif isinstance(event, EndElement):
             self._end_node()
         elif isinstance(event, EndDocument):
@@ -477,7 +622,10 @@ class MatcherCore:
                     f"(got {to_string(member)})")
             if not member.steps:
                 # The path "/" selects the root itself.
+                was_satisfied = sink.satisfied
                 sink.add(_Entry(node_id=root_id, conditions=()))
+                if sink.satisfied and not was_satisfied:
+                    self._sink_satisfied(sink)
                 continue
             self.spawn_steps(member.steps, anchor_id=root_id,
                              anchor_depth=0, anchor_is_element=False,
@@ -487,59 +635,111 @@ class MatcherCore:
 
     def _start_node(self, node_id: int, is_element: bool, tag: Optional[str],
                     value: Optional[str]) -> None:
-        self.stats.nodes_seen += 1
+        stats = self.stats
+        stats.nodes_seen += 1
+        stats.linear_scan_checks += self._live
         depth = len(self._stack)
-        # Iterate over a snapshot: matching may spawn new expectations, which
-        # must not be matched against the node that created them.
-        for expectation in list(self._expectations):
-            if expectation.cont.dead(self):
+        # Snapshot the reachable buckets *before* matching: matching may spawn
+        # new expectations, which must not be matched against the node that
+        # created them.
+        if is_element:
+            candidates = self._dispatch.element_candidates(tag)
+        else:
+            candidates = self._dispatch.text_candidates()
+        if not candidates:
+            return
+        stats.expectations_checked += len(candidates)
+        indexed = self._indexed
+        for expectation in candidates:
+            if indexed:
+                # The bucket implies the node test; check state and depth.
+                if not expectation.admissible(depth):
+                    continue
+            elif not expectation.matches(depth, is_element, tag):
                 continue
-            if expectation.matches(depth, is_element, tag):
-                self._node_matched(expectation.step, expectation.cont,
-                                   node_id, depth, is_element, tag, value,
-                                   expectation.conditions)
+            self._node_matched(expectation.step, expectation.cont,
+                               node_id, depth, is_element, tag, value,
+                               expectation.conditions)
 
     def _end_node(self) -> None:
         closed = self._stack.pop()
-        still_alive: List[_Expectation] = []
-        for expectation in self._expectations:
-            if expectation.cont.dead(self):
-                continue
-            axis = expectation.step.axis
-            if expectation.anchor_id == closed.node_id:
-                if axis in (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
-                    expectation.state = _EXPIRED
-                elif axis in (Axis.FOLLOWING, Axis.FOLLOWING_SIBLING):
-                    if expectation.state is _WAITING:
-                        expectation.state = _ACTIVE
-            if (axis is Axis.FOLLOWING_SIBLING
-                    and expectation.state is _ACTIVE
-                    and expectation.anchor_depth == closed.depth + 1
-                    and self._parent_of_depth_closed(expectation, closed)):
-                expectation.state = _EXPIRED
-            if expectation.state is not _EXPIRED:
-                still_alive.append(expectation)
-        self._expectations = still_alive
+        node_id = closed.node_id
+        # Open the window of following/following-sibling expectations that
+        # were waiting for exactly this element to close.
+        waiting = self._waiting_by_anchor.pop(node_id, None)
+        if waiting is not None:
+            for expectation in waiting:
+                if expectation.state is _WAITING:
+                    expectation.state = _ACTIVE
+                    self._dispatch.insert(expectation)
+        # Expire child/descendant expectations anchored at the closed element.
+        expiring = self._expiry_by_anchor.pop(node_id, None)
+        if expiring is not None:
+            for expectation in expiring:
+                self._expire(expectation)
+        # A following-sibling window closes when the siblings' parent closes;
+        # the entries are keyed by that parent's id, so this pops exactly the
+        # affected expectations (the depth comparison the linear scan needed
+        # is implied by the key).
+        siblings = self._sibling_expiry_by_parent.pop(node_id, None)
+        if siblings is not None:
+            for expectation in siblings:
+                self._expire(expectation)
         # Finalize value collectors anchored at the closed element.
-        remaining_collectors: List[_ValueCollector] = []
-        for collector in self._value_collectors:
-            if collector.entry.node_id == closed.node_id:
+        collectors = self._collectors_by_node.pop(node_id, None)
+        if collectors is not None:
+            for collector in collectors:
                 collector.entry.value = "".join(collector.parts)
-            else:
-                remaining_collectors.append(collector)
-        self._value_collectors = remaining_collectors
 
-    def _parent_of_depth_closed(self, expectation: _Expectation,
-                                closed: _OpenElement) -> bool:
-        """A following-sibling window closes when the siblings' parent closes."""
-        return closed.depth == expectation.anchor_depth - 1
+    def _expire(self, expectation: _Expectation) -> None:
+        """Retire an expectation, unlinking it from index and watchers."""
+        if expectation.state is _EXPIRED:
+            return
+        expectation.state = _EXPIRED
+        self._live -= 1
+        bucket = expectation.bucket
+        if bucket is not None:
+            bucket.pop(expectation.serial, None)
+            expectation.bucket = None
+        watch = expectation.watch
+        if watch is not None:
+            watch.pop(expectation.serial, None)
+            expectation.watch = None
+
+    def watch_sink(self, sink: _Sink, expectation: _Expectation) -> None:
+        """Expire ``expectation`` the moment ``sink`` becomes satisfied."""
+        table = self._sink_watchers.setdefault(sink, {})
+        table[expectation.serial] = expectation
+        expectation.watch = table
+
+    def _sink_satisfied(self, sink: _Sink) -> None:
+        """``sink`` just flipped to satisfied: unlink everything feeding it."""
+        table = self._sink_watchers.pop(sink, None)
+        if table:
+            for expectation in list(table.values()):
+                self._expire(expectation)
+
+    def live_expectations(self) -> List[_Expectation]:
+        """Snapshot of all waiting + active expectations (diagnostics)."""
+        live = [expectation
+                for waiting in self._waiting_by_anchor.values()
+                for expectation in waiting
+                if expectation.state is _WAITING]
+        live.extend(self._dispatch.iter_all())
+        return live
 
     def _finish(self) -> None:
         self._finished = True
-        self._expectations = []
-        for collector in self._value_collectors:
-            collector.entry.value = "".join(collector.parts)
-        self._value_collectors = []
+        self._dispatch.clear()
+        self._waiting_by_anchor = {}
+        self._expiry_by_anchor = {}
+        self._sibling_expiry_by_parent = {}
+        self._sink_watchers = {}
+        self._live = 0
+        for collectors in self._collectors_by_node.values():
+            for collector in collectors:
+                collector.entry.value = "".join(collector.parts)
+        self._collectors_by_node = {}
 
     # -- spawning ----------------------------------------------------------
     def spawn_steps(self, steps: Tuple[Step, ...], anchor_id: int,
@@ -563,7 +763,16 @@ class MatcherCore:
 
         This is the per-step spawning primitive shared by the single-query
         matcher and the multi-subscription engine.
+
+        Invariant relied on for expiry registration: spawning only ever
+        happens while the anchor is the node currently being processed (or
+        the document root), so ``self._stack`` holds exactly the anchor's
+        proper ancestors.
         """
+        if cont.dead(self):
+            # Nothing downstream is still interested (e.g. the existence sink
+            # this would feed is already satisfied): don't spawn at all.
+            return
         axis = step.axis
         # The anchor is a text leaf when it is not an element but carries a
         # value; the document root is "not an element, no value".
@@ -590,13 +799,28 @@ class MatcherCore:
             # anchors are already closed when spawned; the document root
             # never closes before the end of the stream, so nothing follows it.
             state = _ACTIVE if anchor_is_text else _WAITING
+        self._serial += 1
         expectation = _Expectation(step=step, cont=cont,
                                    anchor_id=anchor_id, anchor_depth=anchor_depth,
-                                   conditions=conditions, state=state)
-        self._expectations.append(expectation)
+                                   conditions=conditions, state=state,
+                                   serial=self._serial)
+        if state is _ACTIVE:
+            self._dispatch.insert(expectation)
+        else:
+            self._waiting_by_anchor.setdefault(anchor_id, []).append(expectation)
+        if axis in (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
+            self._expiry_by_anchor.setdefault(anchor_id, []).append(expectation)
+        elif axis is Axis.FOLLOWING_SIBLING and anchor_depth >= 1:
+            # The sibling window shuts when the anchor's parent closes; that
+            # parent is on the open-element stack right below the anchor.
+            parent_id = self._stack[anchor_depth - 1].node_id
+            self._sibling_expiry_by_parent.setdefault(parent_id, []) \
+                .append(expectation)
+        cont.register(self, expectation)
+        self._live += 1
         self.stats.expectations_created += 1
-        self.stats.max_live_expectations = max(self.stats.max_live_expectations,
-                                               len(self._expectations))
+        if self._live > self.stats.max_live_expectations:
+            self.stats.max_live_expectations = self._live
 
     @staticmethod
     def _anchor_matches_test(step: Step, anchor_is_element: bool,
@@ -640,14 +864,18 @@ class MatcherCore:
                       collect_values: bool) -> None:
         """Deliver a final-step match into a sink, buffering values if needed."""
         entry = _Entry(node_id=node_id, conditions=conditions)
+        was_satisfied = sink.satisfied
         retained = sink.add(entry)
         if retained:
             self.stats.candidates_buffered += 1
             if collect_values or sink.collect_values:
                 if is_element:
-                    self._value_collectors.append(_ValueCollector(entry, depth))
+                    self._collectors_by_node.setdefault(node_id, []) \
+                        .append(_ValueCollector(entry, depth))
                 else:
                     entry.value = value or ""
+        if sink.satisfied and not was_satisfied:
+            self._sink_satisfied(sink)
 
     # -- conditions ---------------------------------------------------------
     def _build_condition(self, qual: Qualifier, node_id: int, depth: int,
@@ -720,12 +948,12 @@ class MatcherCore:
 class StreamingMatcher(MatcherCore):
     """Single-pass matcher for one reverse-axis-free path expression."""
 
-    def __init__(self, path: PathExpr):
+    def __init__(self, path: PathExpr, indexed: bool = True):
         if analysis.has_reverse_steps(path):
             raise ReverseAxisStreamingError(
                 f"path {to_string(path)} contains reverse axes; rewrite it with "
                 f"repro.rewrite.remove_reverse_axes first")
-        super().__init__()
+        super().__init__(indexed=indexed)
         self.path = path
         self._result_sink = _Sink()
         self._register_absolute_subpaths(self.path)

@@ -29,6 +29,15 @@ class StreamStats:
     #: Pending-match expectations created / maximum simultaneously alive.
     expectations_created: int = 0
     max_live_expectations: int = 0
+    #: Expectations actually examined against node events.  With the
+    #: tag-indexed dispatch of :class:`repro.streaming.matcher.MatcherCore`
+    #: only the buckets a node can match are consulted; this counter is the
+    #: per-event cost the index is built to shrink.
+    expectations_checked: int = 0
+    #: Expectations a per-event linear scan would have examined instead
+    #: (live expectations summed over node start events) — the counterfactual
+    #: cost of the pre-index engine, kept for the benchmark trajectory.
+    linear_scan_checks: int = 0
     #: Qualifier/join conditions created during the run.
     conditions_created: int = 0
     #: Candidate matches buffered awaiting qualifier/join resolution.
@@ -57,6 +66,8 @@ class StreamStats:
             "nodes_stored": self.nodes_stored,
             "candidates_buffered": self.candidates_buffered,
             "max_live_expectations": self.max_live_expectations,
+            "expectations_checked": self.expectations_checked,
+            "linear_scan_checks": self.linear_scan_checks,
             "buffered_value_chars": self.buffered_value_chars,
             "memory_units": self.memory_units,
             "results": self.results,

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 JOURNAL_TAGS = ("journal", "title", "editor", "authors", "name", "article", "price")
 
@@ -188,6 +188,41 @@ def subscription_workload(count: int, seed: int = 7,
                 inner_test = rng.choice(tuple(tags))
                 step += f"[{inner_axis}::{inner_test}]"
             parts.append(step)
+        subscriptions.append("/".join(parts))
+    return subscriptions
+
+
+#: Wide tag vocabulary of the low-overlap SDI workload (see
+#: :func:`low_overlap_workload`); ``tagged_sections_document`` in
+#: :mod:`repro.xmlmodel.generator` produces documents over the same names.
+def low_overlap_tags(tag_count: int = 48) -> Tuple[str, ...]:
+    return tuple(f"t{index:02d}" for index in range(tag_count))
+
+
+def low_overlap_workload(count: int, seed: int = 7,
+                         tags: Optional[Sequence[str]] = None,
+                         qualifier_probability: float = 0.25) -> List[str]:
+    """Subscriptions with almost no shared leading steps (anti-trie workload).
+
+    Each subscription roots at a different tag of a wide vocabulary, so the
+    prefix trie degenerates to one branch per subscription and per-event cost
+    is dominated by how many expectations a node event has to be checked
+    against.  This is the workload where tag-indexed expectation dispatch
+    pays off the most — and where a linear scan is at its worst.
+    """
+    if count < 1:
+        raise ValueError("need at least one subscription")
+    if tags is None:
+        tags = low_overlap_tags()
+    rng = random.Random(seed)
+    subscriptions: List[str] = []
+    for index in range(count):
+        parts = [f"/descendant::{tags[index % len(tags)]}"]
+        for _ in range(rng.randint(1, 2)):
+            axis = rng.choice(("child", "descendant", "child"))
+            parts.append(f"{axis}::{rng.choice(tags)}")
+        if rng.random() < qualifier_probability:
+            parts[-1] += f"[child::{rng.choice(tags)}]"
         subscriptions.append("/".join(parts))
     return subscriptions
 

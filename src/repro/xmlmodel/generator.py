@@ -150,6 +150,41 @@ def wide_document(width: int = 1000, tag: str = "item",
     return Document.from_tree(element("collection", *items))
 
 
+def tagged_sections_document(sections: int = 120,
+                             tags: Optional[Sequence[str]] = None,
+                             children_per_section: int = 4,
+                             depth: int = 3,
+                             seed: int = 0) -> Document:
+    """A document over a *wide* tag vocabulary: many distinct element names.
+
+    The root holds ``sections`` subtrees whose tags cycle through ``tags``;
+    inside each section, nesting continues for ``depth`` levels with random
+    vocabulary tags and occasional text leaves.  Together with the
+    low-overlap subscription workload this stresses per-event expectation
+    dispatch: most events are relevant to only a few subscriptions, which a
+    tag-indexed engine can exploit and a linear scan cannot.
+    """
+    if tags is None:
+        tags = tuple(f"t{index:02d}" for index in range(48))
+    rng = random.Random(seed)
+
+    def build(level: int) -> XMLNode:
+        tag = rng.choice(list(tags))
+        if level >= depth:
+            return element(tag, text(rng.choice(FIRST_NAMES)))
+        children: List[XMLNode] = [
+            build(level + 1) for _ in range(rng.randint(1, children_per_section))
+        ]
+        return element(tag, *children)
+
+    section_nodes = [
+        element(tags[index % len(tags)],
+                *[build(1) for _ in range(children_per_section)])
+        for index in range(sections)
+    ]
+    return Document.from_tree(element("db", *section_nodes))
+
+
 @dataclass
 class RandomDocumentPool:
     """A reproducible pool of random documents for equivalence testing.

@@ -83,6 +83,13 @@ def _parse_tag_name(content: str, offset: int) -> str:
 def iter_events(xml_text: str, keep_whitespace: bool = False) -> Iterator[Event]:
     """Tokenize ``xml_text`` into a stream of events.
 
+    Character data is *coalesced* exactly like the :mod:`xml.sax` front end
+    does: adjacent runs separated only by dropped markup (comments,
+    processing instructions, the XML declaration) and CDATA sections merge
+    into a single :class:`Text` event, flushed when the next element tag
+    arrives.  This keeps document-order node ids identical between the two
+    front ends.
+
     Parameters
     ----------
     xml_text:
@@ -99,19 +106,63 @@ def iter_events(xml_text: str, keep_whitespace: bool = False) -> Iterator[Event]
     yield StartDocument(node_id=0)
     next_id = 1
     open_tags: List[tuple] = []  # (tag, node_id)
+    pending_text: List[str] = []  # decoded character data awaiting a flush
+
+    def flush_text() -> Iterator[Event]:
+        nonlocal next_id
+        if not pending_text:
+            return
+        value = "".join(pending_text)
+        pending_text.clear()
+        if not open_tags:
+            # Character data outside the open element tree is dropped, as in
+            # the SAX adapter.
+            return
+        if not keep_whitespace:
+            value = value.strip()
+            if not value:
+                return
+        yield Text(value=value, node_id=next_id)
+        next_id += 1
+
     i = 0
     length = len(xml_text)
     while i < length:
         if xml_text[i] == "<":
+            if xml_text.startswith("<![CDATA[", i):
+                end = xml_text.find("]]>", i + 9)
+                if end == -1:
+                    raise XMLSyntaxError("unterminated CDATA section", i)
+                # CDATA is verbatim character data: no entity decoding, and
+                # it coalesces with surrounding text runs.
+                if end > i + 9:
+                    pending_text.append(xml_text[i + 9:end])
+                i = end + 3
+                continue
+            if xml_text.startswith("<!--", i):
+                end = xml_text.find("-->", i + 4)
+                if end == -1:
+                    raise XMLSyntaxError("unterminated comment", i)
+                # Dropped; surrounding character data coalesces across it.
+                i = end + 3
+                continue
+            if xml_text.startswith("<?", i):
+                end = xml_text.find("?>", i + 2)
+                if end == -1:
+                    raise XMLSyntaxError(
+                        "unterminated processing instruction", i)
+                i = end + 2
+                continue
             close = xml_text.find(">", i + 1)
             if close == -1:
                 raise XMLSyntaxError("unterminated tag", i)
             content = xml_text[i + 1:close]
-            if content.startswith("?") or content.startswith("!"):
-                # XML declaration, comments, doctype: ignored by the model.
+            if content.startswith("!"):
+                # Doctype and other declarations: ignored by the model.
                 i = close + 1
                 continue
             if content.startswith("/"):
+                yield from flush_text()
                 tag = _parse_tag_name(content[1:], i)
                 if not open_tags:
                     raise XMLSyntaxError(f"closing tag </{tag}> with no open element", i)
@@ -122,11 +173,13 @@ def iter_events(xml_text: str, keep_whitespace: bool = False) -> Iterator[Event]
                     )
                 yield EndElement(tag=tag, node_id=node_id)
             elif content.endswith("/"):
+                yield from flush_text()
                 tag = _parse_tag_name(content[:-1], i)
                 yield StartElement(tag=tag, node_id=next_id)
                 yield EndElement(tag=tag, node_id=next_id)
                 next_id += 1
             else:
+                yield from flush_text()
                 tag = _parse_tag_name(content, i)
                 yield StartElement(tag=tag, node_id=next_id)
                 open_tags.append((tag, next_id))
@@ -136,17 +189,12 @@ def iter_events(xml_text: str, keep_whitespace: bool = False) -> Iterator[Event]
             close = xml_text.find("<", i)
             if close == -1:
                 close = length
-            raw = xml_text[i:close]
-            value = _decode_entities(raw, i)
-            if open_tags and (keep_whitespace or value.strip()):
-                if not keep_whitespace:
-                    value = value.strip()
-                yield Text(value=value, node_id=next_id)
-                next_id += 1
+            pending_text.append(_decode_entities(xml_text[i:close], i))
             i = close
     if open_tags:
         tag, _ = open_tags[-1]
         raise XMLSyntaxError(f"unclosed element <{tag}> at end of document", length)
+    yield from flush_text()
     yield EndDocument(node_id=0)
 
 

@@ -1,0 +1,103 @@
+"""Differential tests: the two XML front ends produce identical streams.
+
+The hand tokenizer (:func:`repro.xmlmodel.parser.iter_events`) and the
+``xml.sax`` adapter (:func:`iter_events_sax`) must agree on the *exact*
+event stream — values and document-order node ids alike — or every query
+answer referring to node ids silently disagrees between the two front ends.
+Two historical bugs motivated this suite: character data split by a dropped
+comment used to become two ``Text`` events (SAX coalesces them, shifting
+every later node id), and CDATA sections were dropped entirely.
+"""
+
+import pytest
+
+from repro.xmlmodel.parser import iter_events, iter_events_sax, parse_xml
+
+#: Well-formed documents exercising the front-end corners where the two
+#: parsers could plausibly diverge.
+EDGE_CASE_DOCUMENTS = [
+    # Comments splitting character data (the node-id regression repro).
+    "<a>x<!--c-->y</a>",
+    "<a>x<!--one--><!--two-->y</a>",
+    "<a> x <!--c--> y </a>",
+    "<a><b/>tail<!--c-->more<b/></a>",
+    "<a><!--only a comment--></a>",
+    # CDATA sections (previously dropped entirely).
+    "<a><![CDATA[1 < 2]]></a>",
+    "<a>x<![CDATA[ raw & <b> markup ]]>y</a>",
+    "<a><![CDATA[]]></a>",
+    "<a><![CDATA[first]]><![CDATA[second]]></a>",
+    # Processing instructions inside character data.
+    "<a>pre<?target some > data?>post</a>",
+    "<a><?pi?><b>x</b></a>",
+    # Entity references, including numeric ones.
+    "<a>x &lt; y &amp; z &#65;&#x42;</a>",
+    "<a>&quot;q&quot; &apos;a&apos;</a>",
+    # Self-closing elements mixed with text.
+    "<a>x<b/>y<c/>z</a>",
+    "<a><b/><c/></a>",
+    # Whitespace runs (dropped by default, kept on request).
+    "<a>\n  <b/>\n  <c>  </c>\n</a>",
+    "<a>  leading and trailing  </a>",
+    # Everything at once.
+    "<catalogue><!--hdr--><journal>t1<![CDATA[&amp;]]>t2"
+    "<?pi x?><price/></journal> <journal>x &gt; y</journal></catalogue>",
+]
+
+
+@pytest.mark.parametrize("keep_whitespace", [False, True],
+                         ids=["strip-ws", "keep-ws"])
+@pytest.mark.parametrize("xml", EDGE_CASE_DOCUMENTS)
+def test_event_streams_identical(xml, keep_whitespace):
+    ours = list(iter_events(xml, keep_whitespace=keep_whitespace))
+    sax = list(iter_events_sax(xml, keep_whitespace=keep_whitespace))
+    # Events are frozen dataclasses: equality covers kind, tag/value AND
+    # node id, so any coalescing or numbering divergence fails loudly.
+    assert ours == sax
+
+
+@pytest.mark.parametrize("xml", EDGE_CASE_DOCUMENTS)
+def test_built_documents_identical(xml):
+    ours = parse_xml(xml)
+    sax = parse_xml(xml, use_sax=True)
+    assert [(n.kind, n.tag, n.value) for n in ours] == \
+           [(n.kind, n.tag, n.value) for n in sax]
+
+
+class TestCommentSplitRepro:
+    """Repro: ``<a>x<!--c-->y</a>`` must coalesce into one Text('xy')."""
+
+    def test_single_coalesced_text_event(self):
+        from repro.xmlmodel.events import Text
+        texts = [e for e in iter_events("<a>x<!--c-->y</a>")
+                 if isinstance(e, Text)]
+        assert [t.value for t in texts] == ["xy"]
+
+    def test_node_ids_agree_after_the_comment(self):
+        # The element after the split text must get the same id from both
+        # front ends (this is what the un-coalesced stream got wrong).
+        xml = "<a>x<!--c-->y<b/></a>"
+        ours = [(type(e).__name__, e.node_id) for e in iter_events(xml)]
+        sax = [(type(e).__name__, e.node_id) for e in iter_events_sax(xml)]
+        assert ours == sax
+
+
+class TestCDATARepro:
+    """Repro: ``<a><![CDATA[1 < 2]]></a>`` must keep its character data."""
+
+    def test_cdata_content_preserved(self):
+        from repro.xmlmodel.events import Text
+        texts = [e for e in iter_events("<a><![CDATA[1 < 2]]></a>")
+                 if isinstance(e, Text)]
+        assert [t.value for t in texts] == ["1 < 2"]
+
+    def test_cdata_is_not_entity_decoded(self):
+        from repro.xmlmodel.events import Text
+        texts = [e for e in iter_events("<a><![CDATA[a &amp; b]]></a>")
+                 if isinstance(e, Text)]
+        assert [t.value for t in texts] == ["a &amp; b"]
+
+    def test_unterminated_cdata_rejected(self):
+        from repro.errors import XMLSyntaxError
+        with pytest.raises(XMLSyntaxError):
+            list(iter_events("<a><![CDATA[oops</a>"))

@@ -161,6 +161,43 @@ class TestSubscriptionIndex:
         assert stats.events == len(events)
 
 
+class TestIndexedDispatch:
+    def test_linear_scan_reference_agrees(self, events):
+        index = SubscriptionIndex(OVERLAPPING)
+        indexed = index.evaluate(events)
+        linear = index.evaluate(events, indexed=False)
+        for key in OVERLAPPING:
+            assert indexed[key].node_ids == linear[key].node_ids
+            assert indexed[key].matched == linear[key].matched
+
+    def test_index_checks_fewer_expectations(self, events):
+        index = SubscriptionIndex(OVERLAPPING)
+        stats = index.evaluate(events).stats
+        assert 0 < stats.expectations_checked < stats.linear_scan_checks
+
+    def test_satisfied_subscriptions_stop_spawning(self, events):
+        # Verdict-only mode retires a trie branch the moment the last
+        # subscription below it is satisfied: later journals must not spawn
+        # new expectations for it.
+        index = SubscriptionIndex(
+            {"arts": "/descendant::journal/child::article"})
+        full = index.matcher()
+        full.process(events)
+        verdicts = index.matcher(matches_only=True)
+        result = verdicts.process(events)
+        assert result["arts"].matched
+        assert (verdicts.stats.expectations_created
+                < full.stats.expectations_created)
+
+    def test_matches_only_agrees_with_linear_reference(self, events):
+        queries = dict(OVERLAPPING, missing="/descendant::nosuchtag")
+        index = SubscriptionIndex(queries)
+        indexed = index.evaluate(events, matches_only=True)
+        linear = index.evaluate(events, matches_only=True, indexed=False)
+        for key in queries:
+            assert indexed[key].matched == linear[key].matched
+
+
 class TestQueryCacheIntegration:
     def test_repeated_texts_compile_once(self):
         cache = QueryCache()

@@ -121,6 +121,95 @@ class TestInputsAndErrors:
         assert not stream_matches("/descendant::missing", document_events(figure1))
 
 
+class TestDispatchIndex:
+    """The tag-indexed expectation dispatch is a pure optimization."""
+
+    QUERIES = (
+        "/descendant::name",
+        "/child::journal/child::authors/child::name",
+        "//name",
+        "/descendant::title/following-sibling::price",
+        "/descendant::journal[child::price]/child::title",
+        "/descendant::name[following::price == /descendant::price]",
+        "/descendant::name/child::text()",
+        "/child::journal/child::*",
+    )
+
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_linear_scan_reference_agrees(self, figure1, query):
+        events = list(document_events(figure1))
+        indexed = StreamingMatcher(parse_xpath(query))
+        linear = StreamingMatcher(parse_xpath(query), indexed=False)
+        assert indexed.process(events) == linear.process(events)
+
+    def test_index_checks_no_more_than_a_linear_scan(self, catalogue):
+        events = list(document_events(catalogue))
+        matcher = StreamingMatcher(
+            parse_xpath("/descendant::journal/child::editor"))
+        matcher.process(events)
+        stats = matcher.stats
+        assert 0 < stats.expectations_checked <= stats.linear_scan_checks
+
+    def test_named_tests_skip_unrelated_tags(self, catalogue):
+        # A single named-test step is only ever checked against elements of
+        # that tag: one check per matching start-element.
+        events = list(document_events(catalogue))
+        matcher = StreamingMatcher(parse_xpath("/descendant::price"))
+        result = matcher.process(events)
+        assert matcher.stats.expectations_checked == len(result)
+
+    def test_child_expectations_expire_with_their_anchor(self, figure1):
+        # /child::journal/child::authors/child::name: once </authors> is
+        # seen, the child::name expectation anchored at it must be gone even
+        # though the stream continues.
+        matcher = StreamingMatcher(
+            parse_xpath("/child::journal/child::authors/child::name"))
+        events = list(document_events(figure1))
+        from repro.xmlmodel.events import EndElement
+        authors_end = next(index for index, event in enumerate(events)
+                           if isinstance(event, EndElement)
+                           and event.tag == "authors")
+        for event in events[:authors_end + 1]:
+            matcher.feed(event)
+        names = [expectation for expectation in matcher.live_expectations()
+                 if expectation.step.node_test.name == "name"]
+        assert names == []
+
+    def test_satisfied_existence_sink_unlinks_its_expectations(self, figure1):
+        # [descendant::name] resolves at the first name; its expectation is
+        # unlinked the moment the sink satisfies, not at some later event.
+        matcher = StreamingMatcher(
+            parse_xpath("/child::journal[descendant::name]"))
+        events = list(document_events(figure1))
+        from repro.xmlmodel.events import StartElement
+        first_name = next(index for index, event in enumerate(events)
+                          if isinstance(event, StartElement)
+                          and event.tag == "name")
+        for event in events[:first_name + 1]:
+            matcher.feed(event)
+        qualifier_expectations = [
+            expectation for expectation in matcher.live_expectations()
+            if expectation.step.node_test.name == "name"]
+        assert qualifier_expectations == []
+        assert matcher.process(events[first_name + 1:]) == [1]
+
+    def test_following_sibling_window_pops_with_the_parent(self, figure1):
+        # title/following-sibling::price is anchored under journal; when
+        # </journal> arrives the sibling window must be dropped.
+        matcher = StreamingMatcher(
+            parse_xpath("/descendant::title/following-sibling::price"))
+        events = list(document_events(figure1))
+        from repro.xmlmodel.events import EndElement
+        journal_end = next(index for index, event in enumerate(events)
+                           if isinstance(event, EndElement)
+                           and event.tag == "journal")
+        for event in events[:journal_end + 1]:
+            matcher.feed(event)
+        siblings = [expectation for expectation in matcher.live_expectations()
+                    if expectation.step.node_test.name == "price"]
+        assert siblings == []
+
+
 class TestStatistics:
     def test_stats_are_populated(self, figure1):
         result = stream_evaluate("/descendant::name[following::price]",

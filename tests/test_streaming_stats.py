@@ -66,7 +66,7 @@ class TestCountersDuringARun:
         matcher.process(document_events(document))
         # After the stream all expectations are discarded, but the high-water
         # mark keeps the peak.
-        assert matcher._expectations == []
+        assert matcher.live_expectations() == []
         assert matcher.stats.max_live_expectations >= 2
 
     def test_empty_stream(self):
