@@ -12,10 +12,14 @@ written naturally often use reverse axes; this example
    axes are removed once per distinct subscription text (memoized by the
    compiled-query cache) and common leading steps are merged into one prefix
    trie,
-3. matches a batch of generated documents, each in a **single** streaming
-   pass for *all* subscribers at once, and
-4. prints the routing table, then contrasts the shared engine's per-event
-   work with one independent matcher per subscription.
+3. serves a feed of documents through a :class:`repro.DocumentBroker`: each
+   document arrives as raw XML text in small *chunks* (as it would from a
+   network socket), is tokenized incrementally, and is matched in a single
+   streaming pass for *all* subscribers at once over one reused engine
+   session, and
+4. prints the routing table and the broker's aggregate accounting, then
+   contrasts the shared engine's per-event work with one independent matcher
+   per subscription.
 
 Run with::
 
@@ -28,12 +32,14 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro import (  # noqa: E402
+    DocumentBroker,
     SubscriptionIndex,
     compile_cache_info,
     document_events,
     journal_document,
     stream_evaluate,
     to_string,
+    to_xml,
 )
 
 SUBSCRIPTIONS = {
@@ -56,6 +62,9 @@ DOCUMENTS = {
                                        authors_per_article=1, seed=3),
 }
 
+#: Documents reach the broker in pieces this small, as from a socket.
+CHUNK_SIZE = 64
+
 
 def main() -> None:
     print("Compiling subscriptions (reverse axes removed once, up front):")
@@ -73,13 +82,24 @@ def main() -> None:
           f"query cache: {cache.hits} hits / {cache.misses} misses")
     print()
 
-    print("Routing incoming documents (ONE streaming pass per document,")
-    print("all subscriptions advanced together):")
+    print("Routing the incoming feed (documents arrive as raw XML text in")
+    print(f"{CHUNK_SIZE}-byte chunks; ONE reused engine session, ONE streaming")
+    print("pass per document, all subscriptions advanced together):")
+    broker = DocumentBroker(index, matches_only=True)
     for name, document in DOCUMENTS.items():
-        events = list(document_events(document))
-        receivers = index.matching(events)
-        print(f"  {name:22s} ({len(document):5d} nodes) -> "
-              f"{', '.join(receivers) or '(no subscriber)'}")
+        xml_text = to_xml(document, indent=0)
+        chunks = [xml_text[start:start + CHUNK_SIZE]
+                  for start in range(0, len(xml_text), CHUNK_SIZE)]
+        result = broker.submit(name, chunks)
+        print(f"  {name:22s} ({len(chunks):3d} chunks) -> "
+              f"{', '.join(result.matching_keys) or '(no subscriber)'}")
+    totals = broker.stats
+    print()
+    print(f"Broker accounting: {totals.documents} documents, "
+          f"{totals.deliveries} deliveries, {totals.chunks} chunks tokenized "
+          f"(+{totals.chunks_skipped} skipped after early verdicts), "
+          f"{totals.events} events processed "
+          f"(+{totals.events_skipped} skipped).")
     print()
 
     # How much per-event work does the shared trie save against the naive

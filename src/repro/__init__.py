@@ -55,6 +55,7 @@ from repro.errors import (
 from repro.semantics import evaluate, paths_equivalent_on
 from repro.xmlmodel import (
     Document,
+    PushTokenizer,
     build_document,
     document_events,
     element,
@@ -82,6 +83,9 @@ from repro.rewrite import (
     simplify,
 )
 from repro.streaming import (
+    BrokerStats,
+    DocumentBroker,
+    DocumentRecord,
     MultiMatcher,
     MultiMatchResult,
     StreamResult,
@@ -117,6 +121,7 @@ __all__ = [
     "Document",
     "parse_xml",
     "iter_events",
+    "PushTokenizer",
     "build_document",
     "document_events",
     "element",
@@ -141,6 +146,10 @@ __all__ = [
     "SubscriptionResult",
     "MultiMatcher",
     "MultiMatchResult",
+    # push-mode serving layer
+    "DocumentBroker",
+    "BrokerStats",
+    "DocumentRecord",
     # errors
     "ReproError",
     "XMLSyntaxError",

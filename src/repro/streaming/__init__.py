@@ -10,6 +10,9 @@ provides:
   :class:`SubscriptionIndex` sharing the leading steps of thousands of
   subscriptions in a prefix trie, and the :class:`MultiMatcher` advancing
   all of them in one document pass (the paper's SDI use case at scale),
+* :mod:`repro.streaming.broker` — the push-mode serving layer: a
+  :class:`DocumentBroker` matching a continuous feed of chunked documents
+  against one compiled index through a reusable matcher session,
 * :mod:`repro.streaming.evaluator` — the public ``stream_evaluate`` /
   ``stream_matches`` API and the :class:`StreamResult` record,
 * :mod:`repro.streaming.dom_baseline` — the in-memory (DOM) baseline the
@@ -18,6 +21,60 @@ provides:
   answer reverse axes" baseline (first of the three options in Section 1),
 * :mod:`repro.streaming.stats` — memory/latency accounting shared by all of
   them, used by the benchmarks of experiment E9.
+
+Architecture: pull vs push
+--------------------------
+
+There are two ways to get a document through the engine.
+
+**Pull mode** — the caller owns the loop and hands the engine a finished
+iterable of events: :func:`stream_evaluate` for one query,
+:meth:`SubscriptionIndex.evaluate` for a whole index.  Events typically come
+from :func:`repro.xmlmodel.builder.document_events` (an in-memory document)
+or :func:`repro.xmlmodel.parser.iter_events` (XML text).  This is the right
+entry point for one-shot evaluation and for benchmarks, where the document
+is already at hand.
+
+**Push mode** — the *data source* owns the loop and the engine is fed as
+input arrives.  The pieces compose bottom-up:
+
+* :class:`repro.xmlmodel.parser.PushTokenizer` turns arbitrarily chunked
+  ``str``/``bytes`` input into events (``feed(chunk) -> [events]``,
+  ``close() -> [events]``), with chunk boundaries allowed anywhere — inside
+  tags, entities, comments, CDATA, even mid-UTF-8-sequence;
+* every matcher is itself push-driven (``feed(event)``), so tokenizer output
+  can be forwarded directly;
+* :class:`DocumentBroker` packages the loop: ``submit(document_id, chunks)``
+  tokenizes, matches, and returns the per-document
+  :class:`MultiMatchResult`, plus aggregate stats over the feed.
+
+Session lifecycle
+-----------------
+
+A :class:`MultiMatcher` is one *session*.  Freshly constructed it carries
+compiled per-subscription state (absolute sub-path registries, the
+verdict-mode branch countdowns) and no stream state.  ``feed`` accumulates
+stream state; ``EndDocument`` (or an early :meth:`~matcher.MatcherCore.halt`
+in verdict-only mode, once every subscription's verdict is decided —
+``stats.events_skipped`` counts what was never consumed) finishes the
+session: results become readable and every expectation registry is torn
+down.  :meth:`~matcher.MatcherCore.reset` then rewinds the session to serve
+the next document *without* re-running the constructor's per-subscription
+setup — between documents all engine-internal registries are empty
+(:meth:`~matcher.MatcherCore.registry_sizes`), so nothing leaks from one
+document into the next.
+
+When to use what
+----------------
+
+Use :meth:`SubscriptionIndex.evaluate` for a handful of documents you
+already hold in memory; every call builds a fresh matcher, which is simple
+and stateless but pays the per-subscription setup each time.  Use a
+:class:`DocumentBroker` for a *feed* — many (especially small) documents
+against the same standing subscriptions, arriving as text chunks — where
+session reuse amortizes that setup and verdict-only mode stops tokenizing a
+document the moment its routing is decided
+(``benchmarks/bench_document_broker.py`` quantifies both effects).
 """
 
 from repro.streaming.stats import StreamStats
@@ -29,6 +86,7 @@ from repro.streaming.engine import (
     SubscriptionIndex,
     SubscriptionResult,
 )
+from repro.streaming.broker import BrokerStats, DocumentBroker, DocumentRecord
 from repro.streaming.dom_baseline import dom_evaluate
 from repro.streaming.buffered import buffered_evaluate
 
@@ -42,6 +100,9 @@ __all__ = [
     "SubscriptionResult",
     "MultiMatcher",
     "MultiMatchResult",
+    "BrokerStats",
+    "DocumentBroker",
+    "DocumentRecord",
     "dom_evaluate",
     "buffered_evaluate",
 ]

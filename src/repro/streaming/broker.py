@@ -1,0 +1,281 @@
+"""Push-mode document broker: a continuous feed of documents through one
+compiled subscription index.
+
+This is the serving layer of the paper's SDI scenario.  A long-lived service
+receives *documents* — as raw XML text arriving in arbitrary network-sized
+chunks — and must route each one to the standing subscriptions it matches.
+:class:`DocumentBroker` ties the push-mode pieces together:
+
+* the subscriptions are compiled **once** into a
+  :class:`~repro.streaming.engine.SubscriptionIndex` (parse, reverse-axis
+  rewriting, prefix-trie merge);
+* one resumable :class:`~repro.streaming.engine.MultiMatcher` session is
+  created lazily and *reused* across documents via
+  :meth:`~repro.streaming.matcher.MatcherCore.reset`, so the per-document
+  cost is matching alone — not the per-subscription setup a fresh matcher
+  pays (``benchmarks/bench_document_broker.py`` measures the amortization);
+* each submitted document is tokenized incrementally with
+  :class:`~repro.xmlmodel.parser.PushTokenizer`, so callers hand over chunks
+  exactly as they arrive;
+* in verdict-only mode (``matches_only=True``) a document's session halts —
+  and the broker stops tokenizing its remaining chunks — the moment every
+  subscription's verdict is decided.
+
+:meth:`DocumentBroker.submit` returns the per-document
+:class:`~repro.streaming.engine.MultiMatchResult`; the broker additionally
+keeps aggregate counters (:class:`BrokerStats`) and a bounded per-document
+history for monitoring a long-running feed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    Deque,
+    Hashable,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Tuple,
+    Union as TypingUnion,
+)
+
+from repro.streaming.engine import (
+    MultiMatcher,
+    MultiMatchResult,
+    Subscription,
+    SubscriptionIndex,
+)
+from repro.xmlmodel.events import Event
+from repro.xmlmodel.parser import Chunk, PushTokenizer
+from repro.xpath.ast import PathExpr
+from repro.xpath.cache import QueryCache
+
+
+@dataclass
+class BrokerStats:
+    """Aggregate counters over every document a broker has served."""
+
+    #: Documents fully processed (errored submissions are not counted).
+    documents: int = 0
+    #: Documents that matched at least one subscription.
+    documents_matched: int = 0
+    #: Total (document, subscription) routing decisions delivered.
+    deliveries: int = 0
+    #: Chunks tokenized / skipped because the document's verdicts were
+    #: already decided (verdict-only sessions terminate early).
+    chunks: int = 0
+    chunks_skipped: int = 0
+    #: Events processed / events tokenized but dropped by early termination,
+    #: summed over documents.  Events of whole skipped chunks are never
+    #: tokenized and therefore appear only in ``chunks_skipped``.
+    events: int = 0
+    events_skipped: int = 0
+
+    def as_row(self) -> dict:
+        """Flat dictionary used by the benchmark reports."""
+        return {
+            "documents": self.documents,
+            "documents_matched": self.documents_matched,
+            "deliveries": self.deliveries,
+            "chunks": self.chunks,
+            "chunks_skipped": self.chunks_skipped,
+            "events": self.events,
+            "events_skipped": self.events_skipped,
+        }
+
+
+@dataclass(frozen=True)
+class DocumentRecord:
+    """One line of the broker's per-document history."""
+
+    document_id: Hashable
+    matched_keys: Tuple[Hashable, ...]
+    events: int
+    events_skipped: int
+
+
+class DocumentBroker:
+    """Serve many documents through one compiled subscription index.
+
+    ``subscriptions`` takes the same forms as
+    :class:`~repro.streaming.engine.SubscriptionIndex` (a ``{key: query}``
+    mapping, an iterable of queries, or ``None``) — or an already-built
+    ``SubscriptionIndex`` to share with other consumers.
+
+    ``matches_only`` selects the verdict-only SDI mode: per-subscription
+    booleans instead of node ids, with early termination both in the matcher
+    (events) and in the broker (chunks left untokenized).  Routing services
+    want this; leave it ``False`` to get full per-subscription node ids, as
+    :meth:`SubscriptionIndex.evaluate` would return them.
+
+    A broker is not thread-safe: it reuses one matcher session.  Run one
+    broker per worker and share the ``SubscriptionIndex`` (immutable once
+    built) between them.
+    """
+
+    def __init__(self,
+                 subscriptions: TypingUnion[None, SubscriptionIndex,
+                                            Mapping[Hashable, TypingUnion[str, PathExpr]],
+                                            Iterable[TypingUnion[str, PathExpr]]] = None,
+                 matches_only: bool = False,
+                 indexed: bool = True,
+                 keep_whitespace: bool = False,
+                 ruleset: str = "ruleset2",
+                 cache: Optional[QueryCache] = None,
+                 history_limit: Optional[int] = 256):
+        if isinstance(subscriptions, SubscriptionIndex):
+            self._index = subscriptions
+            self._owns_index = False
+        else:
+            self._index = SubscriptionIndex(subscriptions, ruleset=ruleset,
+                                            cache=cache)
+            self._owns_index = True
+        self._matches_only = matches_only
+        self._indexed = indexed
+        self._keep_whitespace = keep_whitespace
+        self._matcher: Optional[MultiMatcher] = None
+        self._session_used = False
+        self.stats = BrokerStats()
+        self._history: Deque[DocumentRecord] = deque(maxlen=history_limit)
+
+    # -- subscription management -------------------------------------------
+    @property
+    def index(self) -> SubscriptionIndex:
+        """The shared compiled index this broker matches against."""
+        return self._index
+
+    @property
+    def subscriptions(self) -> Tuple[Subscription, ...]:
+        return self._index.subscriptions
+
+    def __len__(self) -> int:
+        return len(self._index)
+
+    def add(self, query, key: Optional[Hashable] = None) -> Subscription:
+        """Register one more subscription; the session is rebuilt lazily.
+
+        Only available when the broker built its own index.  A
+        ``SubscriptionIndex`` handed in by the caller may be shared with
+        other brokers, which rely on it staying immutable — register every
+        subscription on it *before* constructing the brokers instead.
+        """
+        self._check_owns_index()
+        subscription = self._index.add(query, key=key)
+        self._matcher = None
+        return subscription
+
+    def add_many(self, subscriptions) -> List[Subscription]:
+        self._check_owns_index()
+        added = self._index.add_many(subscriptions)
+        self._matcher = None
+        return added
+
+    def _check_owns_index(self) -> None:
+        if not self._owns_index:
+            raise ValueError(
+                "cannot add subscriptions through a broker built on an "
+                "externally supplied SubscriptionIndex (it may be shared); "
+                "add them on the index before constructing the broker")
+
+    # -- the session -------------------------------------------------------
+    @property
+    def session(self) -> Optional[MultiMatcher]:
+        """The resumable matcher serving this broker (``None`` before the
+        first submit).  Exposed for diagnostics — see
+        :meth:`~repro.streaming.matcher.MatcherCore.registry_sizes`."""
+        return self._matcher
+
+    def _checkout(self) -> MultiMatcher:
+        matcher = self._matcher
+        if (matcher is None
+                or len(matcher._subscriptions) != len(self._index)):
+            # First document, subscriptions changed, or the previous
+            # submission died mid-document: build a fresh session.
+            matcher = self._index.matcher(matches_only=self._matches_only,
+                                          indexed=self._indexed)
+            self._matcher = matcher
+            self._session_used = False
+        if self._session_used:
+            matcher.reset()
+        self._session_used = True
+        return matcher
+
+    # -- submitting documents ----------------------------------------------
+    def submit(self, document_id: Hashable,
+               chunks: TypingUnion[Chunk, Iterable[Chunk]]) -> MultiMatchResult:
+        """Match one document, given as XML text in one or more chunks.
+
+        ``chunks`` is a single ``str``/``bytes`` or any iterable of them,
+        split at arbitrary byte boundaries.  Returns the per-document
+        :class:`MultiMatchResult`; raises
+        :class:`~repro.errors.XMLSyntaxError` if the document is not well
+        formed (in verdict-only mode only the prefix consumed before every
+        verdict was decided is checked).
+        """
+        matcher = self._checkout()
+        tokenizer = PushTokenizer(keep_whitespace=self._keep_whitespace)
+        if isinstance(chunks, (str, bytes, bytearray, memoryview)):
+            chunks = (chunks,)
+        try:
+            for chunk in chunks:
+                if matcher.halted:
+                    self.stats.chunks_skipped += 1
+                    continue
+                self.stats.chunks += 1
+                batch = tokenizer.feed(chunk)
+                for index, event in enumerate(batch):
+                    matcher.feed(event)
+                    if matcher.halted:
+                        # The rest of this batch was tokenized but is never
+                        # consumed; later chunks are skipped whole (counted
+                        # in ``chunks_skipped``, their events untokenized).
+                        matcher.stats.events_skipped += len(batch) - index - 1
+                        break
+            if not matcher.halted:
+                for event in tokenizer.close():
+                    matcher.feed(event)
+            result = matcher.results()
+        except Exception:
+            # The session is mid-document and cannot be resumed: discard it
+            # so the next submit starts from a clean matcher.
+            self._matcher = None
+            raise
+        return self._deliver(document_id, result)
+
+    def submit_events(self, document_id: Hashable,
+                      events: Iterable[Event]) -> MultiMatchResult:
+        """Match one document given as an already-tokenized event stream
+        (e.g. :func:`repro.xmlmodel.builder.document_events`)."""
+        matcher = self._checkout()
+        try:
+            result = matcher.process(events)
+        except Exception:
+            self._matcher = None
+            raise
+        return self._deliver(document_id, result)
+
+    # -- accounting ----------------------------------------------------------
+    def _deliver(self, document_id: Hashable,
+                 result: MultiMatchResult) -> MultiMatchResult:
+        stats = self.stats
+        stats.documents += 1
+        stats.events += result.stats.events
+        stats.events_skipped += result.stats.events_skipped
+        matching = result.matching_keys
+        stats.deliveries += len(matching)
+        if matching:
+            stats.documents_matched += 1
+        self._history.append(DocumentRecord(
+            document_id=document_id, matched_keys=tuple(matching),
+            events=result.stats.events,
+            events_skipped=result.stats.events_skipped))
+        return result
+
+    @property
+    def history(self) -> List[DocumentRecord]:
+        """The most recent per-document records (bounded by
+        ``history_limit``)."""
+        return list(self._history)

@@ -22,16 +22,16 @@ from repro.semantics.evaluator import evaluate
 from repro.streaming.evaluator import StreamResult
 from repro.streaming.stats import StreamStats
 from repro.xmlmodel.builder import build_document
-from repro.xmlmodel.events import Event, Text
+from repro.xmlmodel.events import Event, StartElement, Text
 from repro.xpath import analysis
-from repro.xpath.ast import PathExpr
+from repro.xpath.ast import NodeTestKind, PathExpr
 from repro.xpath.parser import parse_xpath
 
 
 def _needs_text(path: PathExpr) -> bool:
     """Whether the path mentions text nodes or value joins (then text is kept)."""
     for step in analysis.iter_steps(path):
-        if step.node_test.kind.value in ("text()", "node()"):
+        if step.node_test.kind in (NodeTestKind.TEXT, NodeTestKind.NODE):
             return True
     for comparison in analysis.iter_comparisons(path):
         if comparison.op == "=":
@@ -58,9 +58,9 @@ def buffered_evaluate(path: TypingUnion[str, PathExpr],
         if isinstance(event, Text) and not keep_text:
             dropped_text += 1
             continue
-        if hasattr(event, "tag") and not event.__class__.__name__.startswith("End"):
-            original_ids.append(event.node_id)
-        elif isinstance(event, Text):
+        # Every event that *opens* a node claims the next pruned-document
+        # position; end/document markers do not.
+        if isinstance(event, (StartElement, Text)):
             original_ids.append(event.node_id)
         buffered.append(event)
     document = build_document(buffered)

@@ -248,6 +248,36 @@ class MultiMatcher(MatcherCore):
         for subscription in self._subscriptions:
             self._register_absolute_subpaths(subscription.path)
 
+    # -- session reuse -----------------------------------------------------
+    def reset(self) -> None:
+        """Make the matcher ready for the next document of a session.
+
+        Construction is the expensive part at scale — it walks every
+        subscription's AST to register absolute sub-paths and (in
+        verdict-only mode) the whole trie to seed the per-branch countdowns.
+        ``reset`` keeps all of that and only clears the per-document state:
+        sinks, satisfied verdicts, retired branches and the core's
+        expectation registries.  This is what lets one
+        :class:`~repro.streaming.broker.DocumentBroker` session amortize the
+        compiled index over a continuous feed of documents.
+        """
+        super().reset()
+        for sink in self._sinks:
+            sink.entries.clear()
+            sink.satisfied = False
+        self._satisfied.clear()
+        self._dead_trie_nodes.clear()
+        if self._matches_only:
+            for node in self._trie_unsatisfied:
+                self._trie_unsatisfied[node] = len(node.sub_ids)
+            self._trie_watchers.clear()
+
+    def _should_halt(self) -> bool:
+        """Early termination: in verdict-only mode, once every subscription
+        is satisfied no later event can change a verdict."""
+        return (self._matches_only
+                and len(self._satisfied) == len(self._subscriptions))
+
     # -- spawning ----------------------------------------------------------
     def _spawn_roots(self, root_id: int) -> None:
         root = self._trie

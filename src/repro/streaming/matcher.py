@@ -508,6 +508,7 @@ class MatcherCore:
         self._absolute_sinks: Dict[PathExpr, _Sink] = {}
         self._absolute_value_sinks: Dict[PathExpr, _Sink] = {}
         self._finished = False
+        self._halted = False
 
     # -- setup -----------------------------------------------------------
     def _register_absolute_subpaths(self, expr: PathExpr) -> None:
@@ -565,13 +566,28 @@ class MatcherCore:
 
     # -- event loop --------------------------------------------------------
     def process(self, events: Iterable[Event]):
-        """Consume the whole event stream and return :meth:`results`."""
+        """Consume the event stream and return :meth:`results`.
+
+        Stops pulling from the stream as soon as the matcher :meth:`halt`\\ s
+        (a verdict-only session whose subscriptions are all decided).  When
+        the source has a known length the events left unread are recorded in
+        ``stats.events_skipped``.
+        """
+        consumed = 0
         for event in events:
+            consumed += 1
             self.feed(event)
+            if self._halted:
+                break
+        if self._halted and hasattr(events, "__len__"):
+            self.stats.events_skipped += len(events) - consumed
         return self.results()
 
     def feed(self, event: Event) -> None:
-        """Consume one event."""
+        """Consume one event (a no-op counted as skipped once halted)."""
+        if self._halted:
+            self.stats.events_skipped += 1
+            return
         self.stats.events += 1
         if isinstance(event, StartDocument):
             self._start_document(event)
@@ -594,6 +610,8 @@ class MatcherCore:
             self._finish()
         else:  # pragma: no cover - defensive
             raise StreamingError(f"unknown event {event!r}")
+        if not self._finished and self._should_halt():
+            self.halt()
 
     # -- internals ---------------------------------------------------------
     def _spawn_roots(self, root_id: int) -> None:  # pragma: no cover - abstract
@@ -728,18 +746,93 @@ class MatcherCore:
         live.extend(self._dispatch.iter_all())
         return live
 
-    def _finish(self) -> None:
-        self._finished = True
+    def _clear_stream_state(self) -> None:
+        """Tear down every per-document expectation registry.
+
+        Shared by :meth:`_finish` and :meth:`reset` so the two can never
+        drift apart — a registry cleared at end of stream is also cleared
+        between documents of a reused session.
+        """
+        self._stack = []
         self._dispatch.clear()
         self._waiting_by_anchor = {}
         self._expiry_by_anchor = {}
         self._sibling_expiry_by_parent = {}
         self._sink_watchers = {}
         self._live = 0
+
+    def _finish(self) -> None:
+        self._finished = True
+        self._clear_stream_state()
         for collectors in self._collectors_by_node.values():
             for collector in collectors:
                 collector.entry.value = "".join(collector.parts)
         self._collectors_by_node = {}
+
+    # -- session control ---------------------------------------------------
+    def _should_halt(self) -> bool:
+        """Whether the rest of the stream can no longer change any result.
+
+        Consulted after every event; the default matcher never halts (a
+        collecting sink accepts matches to the very end).  Verdict-only
+        subclasses override this.
+        """
+        return False
+
+    def halt(self) -> None:
+        """Stop consuming the stream early: results are already decided.
+
+        The expectation registries are torn down exactly as at end of
+        stream, :meth:`results` becomes readable, and any further
+        :meth:`feed` is a no-op counted in ``stats.events_skipped``.
+        """
+        if not self._finished:
+            self._finish()
+        self._halted = True
+
+    @property
+    def halted(self) -> bool:
+        """Whether the matcher stopped consuming events before end of stream."""
+        return self._halted
+
+    def reset(self) -> None:
+        """Clear all per-document stream state so the matcher can be reused.
+
+        This is the resumable-session path: one matcher instance serves a
+        whole feed of documents (see
+        :class:`repro.streaming.broker.DocumentBroker`) without re-running
+        the per-subscription setup its constructor performs — absolute
+        sub-path registration keeps its compiled registry keys and merely
+        gets fresh sinks.  Subclasses extend this with their own result
+        state.
+        """
+        self.stats = StreamStats()
+        self._clear_stream_state()
+        self._serial = 0
+        self._collectors_by_node = {}
+        for registry in (self._absolute_sinks, self._absolute_value_sinks):
+            for operand in list(registry):
+                registry[operand] = _Sink(
+                    collect_values=registry[operand].collect_values)
+        self._finished = False
+        self._halted = False
+
+    def registry_sizes(self) -> Dict[str, int]:
+        """Sizes of every engine-internal registry (diagnostics).
+
+        All entries are zero between documents of a reused session; the
+        broker's leak tests assert exactly that.
+        """
+        return {
+            "dispatch": sum(1 for _ in self._dispatch.iter_all()),
+            "waiting_by_anchor": len(self._waiting_by_anchor),
+            "expiry_by_anchor": len(self._expiry_by_anchor),
+            "sibling_expiry_by_parent": len(self._sibling_expiry_by_parent),
+            "sink_watchers": len(self._sink_watchers),
+            "collectors_by_node": len(self._collectors_by_node),
+            "live_expectations": self._live,
+            "open_elements": len(self._stack),
+        }
 
     # -- spawning ----------------------------------------------------------
     def spawn_steps(self, steps: Tuple[Step, ...], anchor_id: int,
@@ -961,6 +1054,10 @@ class StreamingMatcher(MatcherCore):
     def _spawn_roots(self, root_id: int) -> None:
         self.spawn_root_expr(self.path, self._result_sink,
                              collect_values=False, root_id=root_id)
+
+    def reset(self) -> None:
+        super().reset()
+        self._result_sink = _Sink()
 
     def results(self) -> List[int]:
         """Node ids selected by the path (requires the stream to be finished)."""

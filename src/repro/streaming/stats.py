@@ -19,6 +19,12 @@ class StreamStats:
 
     #: Number of SAX-like events processed.
     events: int = 0
+    #: Events the engine did *not* process because every verdict was already
+    #: decided (verdict-only sessions terminate early; see
+    #: :meth:`repro.streaming.matcher.MatcherCore.halt`).  Exact when the
+    #: event source has a known length; otherwise it counts the events that
+    #: were still offered to a halted matcher.
+    events_skipped: int = 0
     #: Number of document nodes seen on the stream (elements + texts + root).
     nodes_seen: int = 0
     #: Maximum element nesting depth observed.
@@ -62,6 +68,7 @@ class StreamStats:
         """Flat dictionary used by the benchmark reports."""
         return {
             "events": self.events,
+            "events_skipped": self.events_skipped,
             "nodes_seen": self.nodes_seen,
             "nodes_stored": self.nodes_stored,
             "candidates_buffered": self.candidates_buffered,

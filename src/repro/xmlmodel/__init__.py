@@ -26,7 +26,7 @@ from repro.xmlmodel.events import (
     StartElement,
     Text,
 )
-from repro.xmlmodel.parser import iter_events, parse_xml
+from repro.xmlmodel.parser import PushTokenizer, iter_events, parse_xml
 from repro.xmlmodel.builder import build_document, document_events
 from repro.xmlmodel.serialize import to_xml
 from repro.xmlmodel.generator import (
@@ -49,6 +49,7 @@ __all__ = [
     "StartElement",
     "EndElement",
     "Text",
+    "PushTokenizer",
     "iter_events",
     "parse_xml",
     "build_document",

@@ -2,11 +2,15 @@
 
 Two independent front ends produce the same event stream:
 
-* :func:`iter_events` — a small, dependency-free tokenizer for the simplified
-  XML dialect of the paper (elements and character data; attributes,
-  comments, processing instructions and the XML declaration are accepted on
-  input but dropped, matching Section 2 "specificities of XML that are
-  irrelevant to the issue of concern are left out").
+* :class:`PushTokenizer` / :func:`iter_events` — a small, dependency-free
+  tokenizer for the simplified XML dialect of the paper (elements and
+  character data; attributes, comments, processing instructions and the XML
+  declaration are accepted on input but dropped, matching Section 2
+  "specificities of XML that are irrelevant to the issue of concern are left
+  out").  The tokenizer is *incremental*: input arrives through
+  ``feed(chunk)`` in arbitrarily split ``str``/``bytes`` pieces — mid-tag,
+  mid-entity, mid-CDATA — and events come out as soon as they are complete.
+  :func:`iter_events` is a thin pull-mode wrapper over it.
 * :func:`iter_events_sax` — the same stream produced through the standard
   library's :mod:`xml.sax` parser, useful as a cross-check and for documents
   that use the full XML syntax.
@@ -18,10 +22,11 @@ evaluator directly.
 
 from __future__ import annotations
 
+import codecs
 import io
 import xml.sax
 import xml.sax.handler
-from typing import Iterator, List
+from typing import Iterator, List, Tuple, Union
 
 from repro.errors import XMLSyntaxError
 from repro.xmlmodel.builder import build_document
@@ -80,11 +85,290 @@ def _parse_tag_name(content: str, offset: int) -> str:
     return name
 
 
+#: Markup openers that need more than two characters to classify.  A buffer
+#: that is a proper prefix of one of these cannot be tokenized yet.
+_AMBIGUOUS_OPENERS = ("<!--", "<![CDATA[")
+
+Chunk = Union[str, bytes, bytearray, memoryview]
+
+
+class PushTokenizer:
+    """Incremental (push-mode) tokenizer for the paper's XML dialect.
+
+    Input arrives through :meth:`feed` as ``str`` or ``bytes`` chunks split
+    at *arbitrary* positions — in the middle of a tag, an entity reference, a
+    comment, a processing instruction, a CDATA section, or (for bytes) a
+    multi-byte UTF-8 sequence.  Each call returns the events that became
+    complete; :meth:`close` ends the document, returning the final events
+    (at least :class:`~repro.xmlmodel.events.EndDocument`).
+
+    The event stream — ids, coalescing, whitespace handling, errors — is
+    identical to tokenizing the concatenated input in one go, a property the
+    chunk-boundary tests assert at every 1-byte split.
+    ``StartDocument`` is emitted by the first ``feed`` (or by ``close`` on an
+    empty document).
+
+    Only the *current incomplete construct* is buffered: completed character
+    data and markup are consumed as soon as their end is visible, so memory
+    is bounded by the largest single token, not by the document.
+    """
+
+    def __init__(self, keep_whitespace: bool = False):
+        self._keep_whitespace = keep_whitespace
+        self._decoder = None  # incremental UTF-8 decoder, created on demand
+        #: Unconsumed input.  Invariant after every scan: empty, or starts
+        #: with the ``<`` of an incomplete markup construct.
+        self._buf = ""
+        #: Absolute document offset of ``_buf[0]`` (for error positions).
+        self._base = 0
+        #: Resume point for terminator searches inside an incomplete
+        #: construct, so byte-at-a-time feeding does not rescan the construct
+        #: from its start on every call.
+        self._search_from = 0
+        self._next_id = 1
+        self._open_tags: List[Tuple[str, int]] = []  # (tag, node_id)
+        #: Undecoded character data of the current run (between two markup
+        #: constructs); decoded as one unit so entity references may span
+        #: chunk boundaries but never markup.
+        self._raw_parts: List[str] = []
+        self._raw_start = 0
+        #: Decoded runs awaiting the flush that the next element tag forces;
+        #: runs separated only by dropped markup coalesce here.
+        self._pending_text: List[str] = []
+        self._started = False
+        self._closed = False
+
+    # -- input decoding ----------------------------------------------------
+    def _decode(self, chunk: Chunk) -> str:
+        if isinstance(chunk, str):
+            if self._decoder is not None and self._decoder.getstate()[0]:
+                raise XMLSyntaxError(
+                    "str chunk fed while a multi-byte UTF-8 sequence from a "
+                    "previous bytes chunk is still incomplete")
+            return chunk
+        if isinstance(chunk, (bytes, bytearray, memoryview)):
+            if self._decoder is None:
+                self._decoder = codecs.getincrementaldecoder("utf-8")()
+            try:
+                return self._decoder.decode(bytes(chunk))
+            except UnicodeDecodeError as exc:
+                raise XMLSyntaxError(f"undecodable UTF-8 input: {exc}") from exc
+        raise TypeError(f"expected str or bytes chunk, got {type(chunk).__name__}")
+
+    # -- public API --------------------------------------------------------
+    def feed(self, chunk: Chunk) -> List[Event]:
+        """Consume one chunk; return the events completed by it."""
+        if self._closed:
+            raise XMLSyntaxError("feed() called on a closed PushTokenizer")
+        events: List[Event] = []
+        if not self._started:
+            self._started = True
+            events.append(StartDocument(node_id=0))
+        text = self._decode(chunk)
+        if text:
+            self._buf += text
+            self._scan(events)
+        return events
+
+    def close(self) -> List[Event]:
+        """End the document; return the remaining events.
+
+        Raises :class:`XMLSyntaxError` if the input so far is not a complete
+        well-formed document (unterminated construct, unclosed element,
+        truncated UTF-8 sequence).
+        """
+        if self._closed:
+            raise XMLSyntaxError("close() called twice on PushTokenizer")
+        events: List[Event] = []
+        if not self._started:
+            self._started = True
+            events.append(StartDocument(node_id=0))
+        if self._decoder is not None:
+            try:
+                self._decoder.decode(b"", final=True)
+            except UnicodeDecodeError as exc:
+                raise XMLSyntaxError(
+                    f"truncated UTF-8 sequence at end of input: {exc}") from exc
+        self._closed = True
+        buf = self._buf
+        if buf:
+            # After a scan the buffer can only hold incomplete markup.
+            if buf.startswith("<![CDATA["):
+                raise XMLSyntaxError("unterminated CDATA section", self._base)
+            if buf.startswith("<!--"):
+                raise XMLSyntaxError("unterminated comment", self._base)
+            if buf.startswith("<?"):
+                raise XMLSyntaxError(
+                    "unterminated processing instruction", self._base)
+            raise XMLSyntaxError("unterminated tag", self._base)
+        self._flush_raw()
+        if self._open_tags:
+            tag, _ = self._open_tags[-1]
+            raise XMLSyntaxError(
+                f"unclosed element <{tag}> at end of document", self._base)
+        self._flush_pending(events)
+        events.append(EndDocument(node_id=0))
+        return events
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # -- scanning ----------------------------------------------------------
+    def _trim(self, count: int) -> None:
+        """Drop the consumed prefix of the buffer (once per scan, so the
+        per-token cost stays O(token), not O(remaining buffer))."""
+        if count:
+            self._buf = self._buf[count:]
+            self._base += count
+
+    def _flush_raw(self) -> None:
+        """Decode the completed character-data run into the pending buffer."""
+        if not self._raw_parts:
+            return
+        raw = "".join(self._raw_parts)
+        self._raw_parts.clear()
+        self._pending_text.append(_decode_entities(raw, self._raw_start))
+
+    def _flush_pending(self, events: List[Event]) -> None:
+        """Emit the coalesced character data as one :class:`Text` event."""
+        if not self._pending_text:
+            return
+        value = "".join(self._pending_text)
+        self._pending_text.clear()
+        if not self._open_tags:
+            # Character data outside the open element tree is dropped, as in
+            # the SAX adapter.
+            return
+        if not self._keep_whitespace:
+            value = value.strip()
+            if not value:
+                return
+        events.append(Text(value=value, node_id=self._next_id))
+        self._next_id += 1
+
+    def _scan_to(self, buf: str, terminator: str, construct_start: int,
+                 default_start: int) -> int:
+        """Find ``terminator``, remembering progress on a miss.
+
+        ``_search_from`` is kept relative to the construct's own start
+        (which becomes buffer position 0 after the trailing trim), so a
+        construct fed byte by byte is not rescanned from its beginning on
+        every call.
+        """
+        start = max(default_start, construct_start + self._search_from)
+        position = buf.find(terminator, start)
+        if position == -1:
+            # Anything before len - len(terminator) + 1 can never start a
+            # later match; skip it next time.
+            self._search_from = max(default_start - construct_start,
+                                    len(buf) - construct_start
+                                    - len(terminator) + 1)
+        else:
+            self._search_from = 0
+        return position
+
+    def _scan(self, events: List[Event]) -> None:
+        buf = self._buf
+        length = len(buf)
+        pos = 0
+        while pos < length:
+            if buf[pos] != "<":
+                if not self._raw_parts:
+                    self._raw_start = self._base + pos
+                lt = buf.find("<", pos)
+                if lt == -1:
+                    # The run may continue in the next chunk (and an entity
+                    # reference may be split): keep it undecoded.
+                    self._raw_parts.append(buf[pos:])
+                    pos = length
+                    break
+                self._raw_parts.append(buf[pos:lt])
+                pos = lt
+                continue
+            # ``<`` terminates the character-data run whatever markup follows.
+            self._flush_raw()
+            if length - pos < 2:
+                break
+            second = buf[pos + 1]
+            if second == "?":
+                end = self._scan_to(buf, "?>", pos, pos + 2)
+                if end == -1:
+                    break
+                # Dropped; surrounding character data coalesces across it.
+                pos = end + 2
+                continue
+            if second == "!":
+                if buf.startswith("<!--", pos):
+                    end = self._scan_to(buf, "-->", pos, pos + 4)
+                    if end == -1:
+                        break
+                    pos = end + 3
+                    continue
+                if buf.startswith("<![CDATA[", pos):
+                    end = self._scan_to(buf, "]]>", pos, pos + 9)
+                    if end == -1:
+                        break
+                    # CDATA is verbatim character data: no entity decoding,
+                    # and it coalesces with surrounding text runs.
+                    if end > pos + 9:
+                        self._pending_text.append(buf[pos + 9:end])
+                    pos = end + 3
+                    continue
+                head = buf[pos:pos + 9]  # the longest ambiguous opener
+                if any(opener.startswith(head)
+                       for opener in _AMBIGUOUS_OPENERS):
+                    # Could still become a comment or CDATA section.
+                    break
+                # Doctype and other declarations: ignored by the model.
+                end = self._scan_to(buf, ">", pos, pos + 2)
+                if end == -1:
+                    break
+                pos = end + 1
+                continue
+            close = self._scan_to(buf, ">", pos, pos + 1)
+            if close == -1:
+                break
+            content = buf[pos + 1:close]
+            position = self._base + pos
+            self._flush_pending(events)
+            if content.startswith("/"):
+                tag = _parse_tag_name(content[1:], position)
+                if not self._open_tags:
+                    raise XMLSyntaxError(
+                        f"closing tag </{tag}> with no open element", position)
+                expected, node_id = self._open_tags.pop()
+                if expected != tag:
+                    raise XMLSyntaxError(
+                        f"mismatched closing tag </{tag}>, "
+                        f"expected </{expected}>", position)
+                events.append(EndElement(tag=tag, node_id=node_id))
+            elif content.endswith("/"):
+                tag = _parse_tag_name(content[:-1], position)
+                events.append(StartElement(tag=tag, node_id=self._next_id))
+                events.append(EndElement(tag=tag, node_id=self._next_id))
+                self._next_id += 1
+            else:
+                tag = _parse_tag_name(content, position)
+                events.append(StartElement(tag=tag, node_id=self._next_id))
+                self._open_tags.append((tag, self._next_id))
+                self._next_id += 1
+            pos = close + 1
+        self._trim(pos)
+
+
+#: Chunk size used by :func:`iter_events` when driving the push tokenizer;
+#: keeps the per-batch event lists bounded for very large documents.
+_PULL_CHUNK = 1 << 16
+
+
 def iter_events(xml_text: str, keep_whitespace: bool = False) -> Iterator[Event]:
     """Tokenize ``xml_text`` into a stream of events.
 
-    Character data is *coalesced* exactly like the :mod:`xml.sax` front end
-    does: adjacent runs separated only by dropped markup (comments,
+    This is the pull-mode entry point: a thin wrapper that feeds the text
+    through a :class:`PushTokenizer` in large chunks and yields the resulting
+    events.  Character data is *coalesced* exactly like the :mod:`xml.sax`
+    front end does: adjacent runs separated only by dropped markup (comments,
     processing instructions, the XML declaration) and CDATA sections merge
     into a single :class:`Text` event, flushed when the next element tag
     arrives.  This keeps document-order node ids identical between the two
@@ -103,99 +387,10 @@ def iter_events(xml_text: str, keep_whitespace: bool = False) -> Iterator[Event]
     XMLSyntaxError
         If the text is not well formed (mismatched or unterminated tags).
     """
-    yield StartDocument(node_id=0)
-    next_id = 1
-    open_tags: List[tuple] = []  # (tag, node_id)
-    pending_text: List[str] = []  # decoded character data awaiting a flush
-
-    def flush_text() -> Iterator[Event]:
-        nonlocal next_id
-        if not pending_text:
-            return
-        value = "".join(pending_text)
-        pending_text.clear()
-        if not open_tags:
-            # Character data outside the open element tree is dropped, as in
-            # the SAX adapter.
-            return
-        if not keep_whitespace:
-            value = value.strip()
-            if not value:
-                return
-        yield Text(value=value, node_id=next_id)
-        next_id += 1
-
-    i = 0
-    length = len(xml_text)
-    while i < length:
-        if xml_text[i] == "<":
-            if xml_text.startswith("<![CDATA[", i):
-                end = xml_text.find("]]>", i + 9)
-                if end == -1:
-                    raise XMLSyntaxError("unterminated CDATA section", i)
-                # CDATA is verbatim character data: no entity decoding, and
-                # it coalesces with surrounding text runs.
-                if end > i + 9:
-                    pending_text.append(xml_text[i + 9:end])
-                i = end + 3
-                continue
-            if xml_text.startswith("<!--", i):
-                end = xml_text.find("-->", i + 4)
-                if end == -1:
-                    raise XMLSyntaxError("unterminated comment", i)
-                # Dropped; surrounding character data coalesces across it.
-                i = end + 3
-                continue
-            if xml_text.startswith("<?", i):
-                end = xml_text.find("?>", i + 2)
-                if end == -1:
-                    raise XMLSyntaxError(
-                        "unterminated processing instruction", i)
-                i = end + 2
-                continue
-            close = xml_text.find(">", i + 1)
-            if close == -1:
-                raise XMLSyntaxError("unterminated tag", i)
-            content = xml_text[i + 1:close]
-            if content.startswith("!"):
-                # Doctype and other declarations: ignored by the model.
-                i = close + 1
-                continue
-            if content.startswith("/"):
-                yield from flush_text()
-                tag = _parse_tag_name(content[1:], i)
-                if not open_tags:
-                    raise XMLSyntaxError(f"closing tag </{tag}> with no open element", i)
-                expected, node_id = open_tags.pop()
-                if expected != tag:
-                    raise XMLSyntaxError(
-                        f"mismatched closing tag </{tag}>, expected </{expected}>", i
-                    )
-                yield EndElement(tag=tag, node_id=node_id)
-            elif content.endswith("/"):
-                yield from flush_text()
-                tag = _parse_tag_name(content[:-1], i)
-                yield StartElement(tag=tag, node_id=next_id)
-                yield EndElement(tag=tag, node_id=next_id)
-                next_id += 1
-            else:
-                yield from flush_text()
-                tag = _parse_tag_name(content, i)
-                yield StartElement(tag=tag, node_id=next_id)
-                open_tags.append((tag, next_id))
-                next_id += 1
-            i = close + 1
-        else:
-            close = xml_text.find("<", i)
-            if close == -1:
-                close = length
-            pending_text.append(_decode_entities(xml_text[i:close], i))
-            i = close
-    if open_tags:
-        tag, _ = open_tags[-1]
-        raise XMLSyntaxError(f"unclosed element <{tag}> at end of document", length)
-    yield from flush_text()
-    yield EndDocument(node_id=0)
+    tokenizer = PushTokenizer(keep_whitespace=keep_whitespace)
+    for start in range(0, len(xml_text), _PULL_CHUNK):
+        yield from tokenizer.feed(xml_text[start:start + _PULL_CHUNK])
+    yield from tokenizer.close()
 
 
 class _SAXEventCollector(xml.sax.handler.ContentHandler):

@@ -1,9 +1,20 @@
 """Shared fixtures for the test suite."""
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.datasets import figure1_document, two_journal_document
 from repro.xmlmodel.generator import RandomDocumentPool, journal_document
+
+# Bounded profile for property tests on CI: no wall-clock deadline (shared
+# runners are noisy) and a fixed, moderate example budget so the suite's
+# runtime is predictable.  Tests that pin their own ``max_examples`` via
+# ``@settings`` keep their explicit budget.  Select with HYPOTHESIS_PROFILE=ci.
+settings.register_profile("ci", deadline=None, max_examples=40,
+                          derandomize=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))
 
 
 @pytest.fixture

@@ -1,8 +1,11 @@
 """Unit tests of the pruned-buffer baseline (repro.streaming.buffered)."""
 
+from dataclasses import dataclass
+
 from repro.streaming import buffered_evaluate, dom_evaluate
 from repro.xmlmodel.builder import document_events
 from repro.xmlmodel.document import Document, element, text
+from repro.xmlmodel.events import StartElement
 
 
 def _events(tree):
@@ -81,3 +84,28 @@ class TestEdgeCases:
         events = _events(element("a"))
         result = buffered_evaluate("/", events)
         assert result.node_ids == [0]
+
+
+@dataclass(frozen=True)
+class EndowedStartElement(StartElement):
+    """A StartElement subclass whose class name starts with ``End``.
+
+    Regression guard: event classification used to rely on
+    ``hasattr(event, "tag")`` plus ``__class__.__name__.startswith("End")``,
+    which misclassified an event like this one as a closing tag and silently
+    corrupted the pruned-buffer id mapping.  The ``isinstance`` checks must
+    classify by type, not by name.
+    """
+
+
+class TestEventClassification:
+    def test_start_element_subclasses_classified_by_type_not_name(self):
+        events = _events(element("a", text("pad"), element("b"), element("b")))
+        renamed = [
+            EndowedStartElement(tag=event.tag, node_id=event.node_id)
+            if type(event) is StartElement else event
+            for event in events
+        ]
+        plain = buffered_evaluate("/descendant::b", events)
+        subclassed = buffered_evaluate("/descendant::b", renamed)
+        assert subclassed.node_ids == plain.node_ids != []

@@ -1,10 +1,12 @@
 """Unit tests of the resource accounting record (repro.streaming.stats)."""
 
+from repro.streaming.engine import SubscriptionIndex
 from repro.streaming.matcher import StreamingMatcher
 from repro.streaming.stats import StreamStats
 from repro.xmlmodel.builder import document_events
 from repro.xmlmodel.document import Document, element, text
 from repro.xmlmodel.events import EndDocument, StartDocument
+from repro.xmlmodel.generator import journal_document
 from repro.xpath.parser import parse_xpath
 
 
@@ -96,3 +98,56 @@ class TestCountersDuringARun:
             parse_xpath("/descendant::b[self::node() = /descendant::c]"))
         matcher.process(document_events(document))
         assert matcher.stats.buffered_value_chars >= len("xyz")
+
+
+class TestEventsSkipped:
+    """Early termination of verdict-only sessions (``events_skipped``)."""
+
+    QUERIES = {
+        "journals": "/descendant::journal",
+        "titles": "/descendant::journal/descendant::title",
+    }
+
+    def _events(self):
+        document = journal_document(journals=40, articles_per_journal=3,
+                                    authors_per_article=2, seed=13)
+        return list(document_events(document))
+
+    def test_verdict_only_session_stops_early(self):
+        events = self._events()
+        index = SubscriptionIndex(self.QUERIES)
+        result = index.evaluate(events, matches_only=True)
+        stats = result.stats
+        # Both subscriptions are satisfied within the first journal, so the
+        # rest of the large document is never consumed.
+        assert all(row.matched for row in result)
+        assert stats.events < len(events)
+        assert stats.events_skipped > 0
+        assert stats.events + stats.events_skipped == len(events)
+        assert stats.as_row()["events_skipped"] == stats.events_skipped
+
+    def test_full_result_session_never_skips(self):
+        events = self._events()
+        stats = SubscriptionIndex(self.QUERIES).evaluate(events).stats
+        assert stats.events == len(events)
+        assert stats.events_skipped == 0
+
+    def test_undecided_verdict_prevents_early_termination(self):
+        events = self._events()
+        queries = dict(self.QUERIES, missing="/descendant::nosuchtag")
+        stats = SubscriptionIndex(queries).evaluate(
+            events, matches_only=True).stats
+        # One subscription stays undecided until end of stream: no skipping.
+        assert stats.events == len(events)
+        assert stats.events_skipped == 0
+
+    def test_feeding_a_halted_matcher_counts_skips(self):
+        events = self._events()
+        matcher = SubscriptionIndex(self.QUERIES).matcher(matches_only=True)
+        for event in events:
+            matcher.feed(event)
+        assert matcher.halted
+        assert matcher.stats.events + matcher.stats.events_skipped == len(events)
+        before = matcher.stats.events_skipped
+        matcher.feed(events[-1])
+        assert matcher.stats.events_skipped == before + 1

@@ -4,8 +4,19 @@ import pytest
 
 from repro.errors import XMLSyntaxError
 from repro.datasets import FIGURE1_XML
-from repro.xmlmodel.events import EndElement, StartDocument, StartElement, Text
-from repro.xmlmodel.parser import iter_events, iter_events_sax, parse_xml
+from repro.xmlmodel.events import (
+    EndDocument,
+    EndElement,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from repro.xmlmodel.parser import (
+    PushTokenizer,
+    iter_events,
+    iter_events_sax,
+    parse_xml,
+)
 
 
 class TestTokenizer:
@@ -70,6 +81,108 @@ class TestWellFormedness:
     def test_unknown_entity(self):
         with pytest.raises(XMLSyntaxError):
             list(iter_events("<a>&nope;</a>"))
+
+
+class TestPushTokenizer:
+    """Unit tests of the incremental front end (the chunk-boundary
+    *equivalence* is covered exhaustively by the property suite)."""
+
+    def test_start_document_on_first_feed(self):
+        tokenizer = PushTokenizer()
+        assert tokenizer.feed("") == [StartDocument(node_id=0)]
+        assert tokenizer.feed("<a>") == [StartElement(tag="a", node_id=1)]
+
+    def test_empty_document(self):
+        tokenizer = PushTokenizer()
+        assert tokenizer.close() == [StartDocument(node_id=0),
+                                     EndDocument(node_id=0)]
+
+    def test_events_emitted_as_soon_as_complete(self):
+        tokenizer = PushTokenizer()
+        assert tokenizer.feed("<a><b>he") == [
+            StartDocument(node_id=0),
+            StartElement(tag="a", node_id=1),
+            StartElement(tag="b", node_id=2),
+        ]
+        # Text is held until the next tag decides the coalesced run.
+        assert tokenizer.feed("llo</b") == []
+        assert tokenizer.feed(">") == [Text(value="hello", node_id=3),
+                                       EndElement(tag="b", node_id=2)]
+        assert tokenizer.feed("</a>") == [EndElement(tag="a", node_id=1)]
+        assert tokenizer.close() == [EndDocument(node_id=0)]
+
+    def test_split_inside_entity_reference(self):
+        tokenizer = PushTokenizer()
+        events = tokenizer.feed("<a>fish &a")
+        events += tokenizer.feed("mp; chips</a>")
+        events += tokenizer.close()
+        assert [e.value for e in events if isinstance(e, Text)] == \
+            ["fish & chips"]
+
+    def test_split_inside_cdata_marker(self):
+        tokenizer = PushTokenizer()
+        events = tokenizer.feed("<a><![CDA")
+        events += tokenizer.feed("TA[x <y>]]")
+        events += tokenizer.feed("></a>")
+        events += tokenizer.close()
+        assert [e.value for e in events if isinstance(e, Text)] == ["x <y>"]
+
+    def test_bytes_split_inside_multibyte_sequence(self):
+        encoded = "<a>π</a>".encode("utf-8")
+        tokenizer = PushTokenizer()
+        events = []
+        for index in range(len(encoded)):
+            events += tokenizer.feed(encoded[index:index + 1])
+        events += tokenizer.close()
+        assert [e.value for e in events if isinstance(e, Text)] == ["π"]
+
+    def test_mixed_str_and_bytes_chunks(self):
+        tokenizer = PushTokenizer()
+        events = tokenizer.feed(b"<a>x")
+        events += tokenizer.feed("y</a>")
+        events += tokenizer.close()
+        assert [e.value for e in events if isinstance(e, Text)] == ["xy"]
+
+    def test_str_chunk_inside_split_multibyte_sequence_rejected(self):
+        tokenizer = PushTokenizer()
+        tokenizer.feed("<a>".encode("utf-8") + "π".encode("utf-8")[:1])
+        with pytest.raises(XMLSyntaxError):
+            tokenizer.feed("x")
+
+    def test_truncated_utf8_at_close(self):
+        tokenizer = PushTokenizer()
+        tokenizer.feed("<a>x</a>".encode("utf-8") + "π".encode("utf-8")[:1])
+        with pytest.raises(XMLSyntaxError):
+            tokenizer.close()
+
+    def test_unterminated_constructs_reported_at_close(self):
+        for fragment, message in [
+            ("<a><![CDATA[x", "CDATA"),
+            ("<a><!-- x", "comment"),
+            ("<a><?pi x", "processing instruction"),
+            ("<a><b", "unterminated tag"),
+            ("<a><b>", "unclosed element"),
+        ]:
+            tokenizer = PushTokenizer()
+            tokenizer.feed(fragment)
+            with pytest.raises(XMLSyntaxError, match=message):
+                tokenizer.close()
+
+    def test_feed_after_close_rejected(self):
+        tokenizer = PushTokenizer()
+        tokenizer.feed("<a/>")
+        tokenizer.close()
+        assert tokenizer.closed
+        with pytest.raises(XMLSyntaxError):
+            tokenizer.feed("<b/>")
+        with pytest.raises(XMLSyntaxError):
+            tokenizer.close()
+
+    def test_mismatched_closing_tag_reported_at_feed_time(self):
+        tokenizer = PushTokenizer()
+        tokenizer.feed("<a><b>")
+        with pytest.raises(XMLSyntaxError, match="mismatched"):
+            tokenizer.feed("</a>")
 
 
 class TestParseXML:
