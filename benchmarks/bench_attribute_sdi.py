@@ -1,0 +1,110 @@
+"""E12 — attribute-qualified SDI: the attribute extension under load.
+
+Real publish/subscribe workloads (YFilter-style) are dominated by
+attribute-qualified subscriptions — ``//item[@id="42"]/price`` — which the
+paper's attribute-free fragment cannot express.  This benchmark compiles N
+such subscriptions (:func:`repro.workloads.queries.attribute_subscription_workload`,
+including reverse steps from attribute nodes that the rewrite driver's
+attribute lemmas remove) into one :class:`SubscriptionIndex` and matches an
+attribute-heavy item feed in a single pass.
+
+Two properties are pinned per configuration:
+
+* *correctness*: every subscription's streamed node ids equal the DOM
+  evaluator's answer on the materialized document (the differential
+  acceptance bar of the attribute extension);
+* *dispatch*: ``[@a]`` / ``[@a="v"]`` qualifiers and attribute steps are
+  decided at StartElement through the dispatch index's attribute buckets, so
+  per-event work stays bounded by the expectations an event *can* match.
+
+The smoke test writes an ``attribute_sdi`` section into
+``BENCH_multi_query_sdi.json`` so the attribute workload's trajectory is
+tracked alongside the attribute-free one.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.reporting import (
+    MULTI_QUERY_SDI_ARTIFACT,
+    Table,
+    artifact_path,
+    update_bench_artifact,
+)
+from repro.semantics.evaluator import select_positions
+from repro.streaming import SubscriptionIndex
+from repro.workloads.queries import attribute_subscription_workload
+from repro.xmlmodel.builder import document_events
+from repro.xmlmodel.generator import item_feed_document
+from repro.xpath.cache import QueryCache
+from repro.xpath.parser import parse_xpath
+
+DOCUMENT = item_feed_document(items=60, seed=9)
+EVENTS = list(document_events(DOCUMENT))
+
+SCALES = (10, 100, 1000)
+
+ARTIFACT_PATH = artifact_path(MULTI_QUERY_SDI_ARTIFACT)
+
+
+def _build_index(count):
+    queries = attribute_subscription_workload(count, seed=13, item_ids=60)
+    index = SubscriptionIndex(cache=QueryCache())
+    for position, query in enumerate(queries):
+        index.add(query, key=(position, query))
+    return index
+
+
+def _bench_scale(count, report):
+    index = _build_index(count)
+    start = time.perf_counter()
+    matcher = index.matcher()
+    result = matcher.process(EVENTS)
+    elapsed = time.perf_counter() - start
+
+    # Differential acceptance: streaming == DOM per subscription.
+    for row in result:
+        _, query = row.key
+        expected = select_positions(parse_xpath(query), DOCUMENT)
+        assert row.node_ids == expected, (query, row.node_ids, expected)
+
+    stats = matcher.stats
+    events = len(EVENTS)
+    table = Table(
+        f"Attribute-qualified SDI: {count} subscriptions over "
+        f"{events} events ({stats.attributes_seen} attribute nodes)",
+        ["engine", "expectations", "checked/event", "wall ms", "events/sec"],
+    )
+    table.add_row("shared index", stats.expectations_created,
+                  f"{stats.expectations_checked / events:.2f}",
+                  f"{elapsed * 1e3:.2f}", round(events / elapsed))
+    report(table.render())
+    return {
+        "subscriptions": count,
+        "events": events,
+        "attributes_seen": stats.attributes_seen,
+        "events_per_sec": round(events / elapsed),
+        "wall_ms": round(elapsed * 1e3, 3),
+        "expectations_created": stats.expectations_created,
+        "expectations_checked_per_event":
+            round(stats.expectations_checked / events, 3),
+        "matched_subscriptions":
+            sum(1 for row in result if row.matched),
+    }
+
+
+@pytest.mark.parametrize("count", SCALES, ids=[f"subs{n}" for n in SCALES])
+def test_attribute_sdi(report, count):
+    row = _bench_scale(count, report)
+    assert row["matched_subscriptions"] > 0
+
+
+def test_attribute_sdi_smoke(report):
+    """Fast CI smoke: differential correctness at every scale, plus the
+    ``attribute_sdi`` section of the trajectory artifact."""
+    rows = [_bench_scale(count, report) for count in SCALES]
+    update_bench_artifact(ARTIFACT_PATH, "attribute_sdi", {
+        "document_events": len(EVENTS),
+        "scales": rows,
+    })

@@ -10,8 +10,6 @@ and total output length under RuleSet2 next to RuleSet1's linear output, and
 the successive growth ratios demonstrating the super-linear shape.
 """
 
-import pytest
-
 from repro.bench.reporting import Table, growth_ratios
 from repro.rewrite import rare
 from repro.workloads.queries import following_reverse_chain, parent_chain

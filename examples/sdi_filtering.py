@@ -50,14 +50,21 @@ SUBSCRIPTIONS = {
     "article-digest": "//article/authors/name",
     # Same query text as the pricing team: compiled once, matched once.
     "pricing-mirror": "/descendant::price/preceding::name",
+    # Attribute-qualified subscriptions (the attribute extension, beyond the
+    # paper's fragment): attributes arrive complete on the StartElement
+    # event, so [@name="..."] verdicts are decided the moment the element
+    # opens — no buffering, and early termination in verdict-only mode.
+    "vip-watch": '//journal[@tier="gold"]',
+    "audit-log": "//journal/@tier",
 }
 
 DOCUMENTS = {
     "catalogue-with-prices": journal_document(journals=3, articles_per_journal=2,
-                                              authors_per_article=2, seed=1),
+                                              authors_per_article=2, seed=1,
+                                              with_attributes=True),
     "catalogue-no-prices": journal_document(journals=3, articles_per_journal=2,
                                             authors_per_article=2, with_price=False,
-                                            seed=2),
+                                            seed=2, with_attributes=True),
     "single-journal": journal_document(journals=1, articles_per_journal=1,
                                        authors_per_article=1, seed=3),
 }

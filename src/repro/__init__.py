@@ -59,6 +59,7 @@ from repro.xmlmodel import (
     build_document,
     document_events,
     element,
+    item_feed_document,
     iter_events,
     journal_document,
     parse_xml,
@@ -128,6 +129,7 @@ __all__ = [
     "text",
     "to_xml",
     "journal_document",
+    "item_feed_document",
     "figure1_document",
     "two_journal_document",
     "FIGURE1_XML",

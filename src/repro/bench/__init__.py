@@ -1,5 +1,10 @@
-"""Benchmark harness helpers (System S13)."""
+"""Benchmark harness helpers (System S13).
 
-from repro.bench.reporting import Table, format_table, linear_fit, growth_ratios
+The CI regression gate lives in :mod:`repro.bench.regression`; it is not
+re-exported here so that ``python -m repro.bench.regression`` runs without a
+double-import warning.
+"""
+
+from repro.bench.reporting import Table, format_table, growth_ratios, linear_fit
 
 __all__ = ["Table", "format_table", "linear_fit", "growth_ratios"]

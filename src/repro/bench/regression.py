@@ -1,0 +1,140 @@
+"""Benchmark regression gate for the CI pipeline.
+
+CI runs the multi-subscription SDI benchmark smoke on every build, which
+rewrites ``BENCH_multi_query_sdi.json``.  This module compares the fresh
+artifact against the baseline committed at the previous revision and fails
+(exit code 1) when throughput collapsed: events/sec at the N=1000 scale
+dropping by more than the tolerance (25% by default).
+
+The tolerance absorbs runner noise within one CI runner class; it does *not*
+make numbers comparable across machine generations — when the committed
+baseline was produced on very different hardware, re-baseline by committing
+a fresh artifact in the same change that explains why.
+
+Usage (what the CI job runs, after copying the committed artifact aside
+*before* the smoke overwrites it)::
+
+    python -m repro.bench.regression /tmp/bench-baseline.json \\
+        BENCH_multi_query_sdi.json --tolerance 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+#: Relative drop in events/sec beyond which the gate fails.
+DEFAULT_TOLERANCE = 0.25
+
+#: The artifact section and scale the gate pins.  N=1000 is the scale where
+#: dispatch-index regressions actually show; the small scales are dominated
+#: by fixed setup cost and timer noise.
+SECTION = "multi_query_sdi"
+METRIC = "events_per_sec_indexed"
+SUBSCRIPTIONS = 1000
+
+
+class RegressionGateError(ValueError):
+    """Raised when an artifact is missing the gated section or scale."""
+
+
+@dataclass(frozen=True)
+class RegressionReport:
+    """Outcome of one baseline/fresh comparison."""
+
+    baseline: float
+    fresh: float
+    tolerance: float
+    subscriptions: int = SUBSCRIPTIONS
+
+    @property
+    def ratio(self) -> float:
+        """fresh / baseline (1.0 = unchanged, < 1.0 = slower)."""
+        return self.fresh / self.baseline if self.baseline else float("inf")
+
+    @property
+    def ok(self) -> bool:
+        """Whether the fresh run is within tolerance of the baseline."""
+        return self.ratio >= 1.0 - self.tolerance
+
+    def describe(self) -> str:
+        verdict = "OK" if self.ok else "REGRESSION"
+        return (
+            f"{verdict}: events/sec at N={self.subscriptions} "
+            f"baseline={self.baseline:.0f} fresh={self.fresh:.0f} "
+            f"({self.ratio:.2%} of baseline, tolerance "
+            f"-{self.tolerance:.0%})"
+        )
+
+
+def extract_events_per_sec(artifact: dict,
+                           subscriptions: int = SUBSCRIPTIONS) -> float:
+    """The gated metric from a parsed ``BENCH_multi_query_sdi.json``."""
+    try:
+        scales = artifact[SECTION]["scales"]
+    except (KeyError, TypeError):
+        raise RegressionGateError(
+            f"artifact has no '{SECTION}' section with 'scales'") from None
+    for row in scales:
+        if row.get("subscriptions") == subscriptions:
+            try:
+                return float(row[METRIC])
+            except (KeyError, TypeError, ValueError):
+                raise RegressionGateError(
+                    f"scale N={subscriptions} carries no numeric "
+                    f"'{METRIC}'") from None
+    raise RegressionGateError(
+        f"artifact has no N={subscriptions} row under '{SECTION}'")
+
+
+def check_regression(baseline: dict, fresh: dict,
+                     tolerance: float = DEFAULT_TOLERANCE,
+                     subscriptions: int = SUBSCRIPTIONS) -> RegressionReport:
+    """Compare two parsed artifacts; never raises on a mere slowdown.
+
+    Raises :class:`RegressionGateError` only when either artifact lacks the
+    gated section — a broken pipeline should fail loudly, not vacuously
+    pass.
+    """
+    if not 0 <= tolerance < 1:
+        raise ValueError("tolerance must lie in [0, 1)")
+    return RegressionReport(
+        baseline=extract_events_per_sec(baseline, subscriptions),
+        fresh=extract_events_per_sec(fresh, subscriptions),
+        tolerance=tolerance,
+        subscriptions=subscriptions,
+    )
+
+
+def _load(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when benchmark throughput regressed beyond the "
+                    "tolerance.")
+    parser.add_argument("baseline", help="committed BENCH_multi_query_sdi.json")
+    parser.add_argument("fresh", help="freshly generated artifact")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="maximum allowed relative drop (default 0.25)")
+    parser.add_argument("--subscriptions", type=int, default=SUBSCRIPTIONS,
+                        help="gated scale (default 1000)")
+    args = parser.parse_args(argv)
+    try:
+        report = check_regression(_load(args.baseline), _load(args.fresh),
+                                  tolerance=args.tolerance,
+                                  subscriptions=args.subscriptions)
+    except (OSError, ValueError) as exc:
+        print(f"benchmark regression gate: {exc}", file=sys.stderr)
+        return 2
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

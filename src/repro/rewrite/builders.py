@@ -8,7 +8,7 @@ provides them.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 from repro.xpath.ast import (
     Comparison,
@@ -18,7 +18,6 @@ from repro.xpath.ast import (
     PathQualifier,
     Qualifier,
     Step,
-    Union,
     union_of,
 )
 from repro.xpath.axes import Axis

@@ -34,9 +34,9 @@ The four errata:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import List
 
-from repro.xmlmodel.document import Document, element, text
+from repro.xmlmodel.document import Document, element
 from repro.xpath.ast import PathExpr
 from repro.xpath.parser import parse_xpath
 

@@ -17,22 +17,9 @@ algorithm itself relies only on the generally valid cases.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import List
 
-from repro.rewrite.builders import rel, self_node, step
-from repro.xpath.ast import (
-    AndExpr,
-    Bottom,
-    Comparison,
-    LocationPath,
-    NodeTest,
-    PathExpr,
-    PathQualifier,
-    Step,
-    Union,
-    union_of,
-)
-from repro.xpath.axes import Axis
+from repro.xpath.ast import Bottom, PathExpr
 from repro.xpath.parser import parse_xpath
 
 

@@ -33,6 +33,16 @@ Figure 2) and why:
   the carrier.  Each of these is an equivalence on qualifiers (they hold at
   every context node) and is property-tested in
   ``tests/property/test_driver_lemmas.py``.
+* **Attribute lemmas** — the attribute axis (an extension beyond the paper's
+  fragment) has no symmetric axis, so the rule sets' symmetry arguments do
+  not apply to reverse steps evaluated *at attribute nodes*.  The driver
+  removes them first with equivalences specific to the attribute data model:
+  the parent of an attribute is its owner element, its ancestors are the
+  owner's ancestor-or-self, it has no siblings and precedes nothing, and the
+  downward/document-order forward axes from an attribute are empty.  Both
+  rule sets therefore only ever see reverse steps whose context nodes are
+  tree nodes, and their rewrites never route through attributes (forward
+  searches via ``descendant``/``following`` cannot reach attribute nodes).
 * **RR joins** are rejected with :class:`repro.errors.RRJoinError`
   (Definition 4.2 delimits the input class of ``rare``); the variable-based
   extension of :mod:`repro.rewrite.variables` covers them.
@@ -43,7 +53,13 @@ from __future__ import annotations
 from typing import List, Optional, Tuple
 
 from repro.errors import RewriteError, RRJoinError
-from repro.rewrite.builders import rel, replace_qualifier, replace_step, self_node
+from repro.rewrite.builders import (
+    rel,
+    replace_qualifier,
+    replace_step,
+    self_node,
+    with_appended_qualifier,
+)
 from repro.rewrite.rules import RuleApplication, RuleSetBase
 from repro.xpath import analysis
 from repro.xpath.ast import (
@@ -149,6 +165,12 @@ def _handle_spine_reverse(path: LocationPath, index: int,
             "repro.rewrite.variables"
         )
 
+    if steps[index - 1].axis is Axis.ATTRIBUTE:
+        # The context nodes of the reverse step are attribute nodes; neither
+        # rule set's symmetry argument applies there, so the driver removes
+        # the step with the attribute lemmas (valid for both rule sets).
+        return _attribute_spine_lemma(path, index)
+
     if ruleset.requires_or_self_decomposition:
         if reverse_step.axis is Axis.ANCESTOR_OR_SELF:
             return _decompose_or_self_step(path, index, "Lemma 3.1.6")
@@ -199,6 +221,227 @@ def _decompose_or_self_step(path: LocationPath, index: int,
 
 
 # ---------------------------------------------------------------------------
+# Attribute lemmas (extension): reverse steps evaluated at attribute nodes
+# ---------------------------------------------------------------------------
+
+#: Forward axes that select nothing from an attribute context node: an
+#: attribute has no children, no siblings, no attributes of its own, and
+#: takes part in neither following nor preceding.
+_EMPTY_AT_ATTRIBUTE = frozenset({
+    Axis.CHILD,
+    Axis.DESCENDANT,
+    Axis.FOLLOWING,
+    Axis.FOLLOWING_SIBLING,
+    Axis.ATTRIBUTE,
+})
+
+_ATTRIBUTE_LEMMA = "Lemma (attributes)"
+
+
+def _with_qualified_prefix(path: LocationPath, prefix: Tuple[Step, ...],
+                           hoisted: Qualifier) -> Optional[Tuple[Step, ...]]:
+    """``prefix`` with ``hoisted`` attached to its last step.
+
+    An empty prefix of an absolute path means the attribute step applies to
+    the document root, which carries no attributes — the caller maps ``None``
+    to ⊥.  An empty relative prefix gains an explicit ``self::node()``
+    carrier for the qualifier.
+    """
+    if prefix:
+        return with_appended_qualifier(prefix, hoisted)
+    if path.absolute:
+        return None
+    return (self_node().add_qualifiers(hoisted),)
+
+
+def _attribute_spine_lemma(path: LocationPath, index: int) -> RuleApplication:
+    """Remove a reverse step whose predecessor is an attribute step.
+
+    The attribute data model makes every case explicit:
+
+    * ``p/@a/parent::m``             ≡ ``p/self::m[@a]``
+    * ``p/@a/ancestor::m``           ≡ ``p[@a]/ancestor-or-self::m``
+    * ``p/@a/ancestor-or-self::m``   ≡ the ancestor form ∪ ``p/@a/self::m``
+    * ``p/@a/preceding::m``          ≡ ⊥ (attributes precede nothing)
+    * ``p/@a/preceding-sibling::m``  ≡ ⊥ (attributes have no siblings)
+
+    The ancestor forms keep a reverse step, but one anchored at a *tree*
+    node, which the ordinary rules remove on later iterations.
+    """
+    steps = path.steps
+    reverse_step = steps[index]
+    attribute_step = steps[index - 1]
+    prefix = steps[:index - 1]
+    rest = steps[index + 1:]
+    axis = reverse_step.axis
+    m, qr = reverse_step.node_test, reverse_step.qualifiers
+
+    if axis in (Axis.PRECEDING, Axis.PRECEDING_SIBLING):
+        return RuleApplication(
+            Bottom(), _ATTRIBUTE_LEMMA,
+            note=f"attribute nodes have no {axis.xpath_name} nodes")
+
+    if axis is Axis.PARENT:
+        owner = Step(Axis.SELF, m,
+                     qr + (PathQualifier(rel(attribute_step)),))
+        result = LocationPath(absolute=path.absolute,
+                              steps=prefix + (owner,) + rest)
+        return RuleApplication(
+            result, _ATTRIBUTE_LEMMA,
+            note="the parent of an attribute is its owner element")
+
+    # ancestor / ancestor-or-self: the ancestors of an attribute are the
+    # ancestor-or-self nodes of its owner.
+    anchored = _with_qualified_prefix(path, prefix,
+                                      PathQualifier(rel(attribute_step)))
+    if anchored is None:
+        return RuleApplication(
+            Bottom(), _ATTRIBUTE_LEMMA,
+            note="the document root carries no attributes")
+    ancestor_variant = LocationPath(
+        absolute=path.absolute,
+        steps=anchored + (Step(Axis.ANCESTOR_OR_SELF, m, qr),) + rest)
+    if axis is Axis.ANCESTOR:
+        return RuleApplication(
+            ancestor_variant, _ATTRIBUTE_LEMMA,
+            note="ancestors of an attribute are the owner's ancestor-or-self")
+    assert axis is Axis.ANCESTOR_OR_SELF
+    self_variant = LocationPath(
+        absolute=path.absolute,
+        steps=prefix + (attribute_step, Step(Axis.SELF, m, qr)) + rest)
+    return RuleApplication(
+        union_of(ancestor_variant, self_variant), _ATTRIBUTE_LEMMA,
+        note="ancestor-or-self decomposed at the attribute node")
+
+
+def _handle_attribute_carrier_qualifier(path: LocationPath, step_index: int,
+                                        qual_index: int, qual: Qualifier,
+                                        ruleset: RuleSetBase) -> RuleApplication:
+    """Rewrite a reverse step inside a qualifier of an attribute step.
+
+    The context nodes of such a qualifier are attribute nodes, so neither
+    RuleSet1's Rule (1) witness (which searches forward through
+    ``child``/``descendant``) nor RuleSet2's carrier rules apply.  Boolean
+    structure is dismantled with the generic congruences; a reverse step
+    heading the qualifier path is then removed with the attribute lemmas.
+    """
+    carrier = path.steps[step_index]
+
+    if isinstance(qual, AndExpr):
+        # [q1 and q2] ≡ [q1][q2] on the same step (generic congruence).
+        return _replace_qualifier_application(
+            path, step_index, qual_index, [qual.left, qual.right],
+            "Lemma (complex qualifiers)", "'and' qualifier split in two")
+    if isinstance(qual, OrExpr):
+        left_path = replace_step(
+            path, step_index,
+            [replace_qualifier(carrier, qual_index, [qual.left])])
+        right_path = replace_step(
+            path, step_index,
+            [replace_qualifier(carrier, qual_index, [qual.right])])
+        return RuleApplication(
+            union_of(left_path, right_path), "Lemma (complex qualifiers)",
+            note="'or' qualifier split into a union")
+    if isinstance(qual, Comparison):
+        new_qual, rule, note = _rewrite_comparison(qual, ruleset)
+        return _replace_qualifier_application(path, step_index, qual_index,
+                                              [new_qual], rule, note)
+    if not isinstance(qual, PathQualifier):
+        raise RewriteError(f"not a qualifier: {qual!r}")
+
+    inner_path = qual.path
+    if isinstance(inner_path, Union):
+        members = list(iter_union_members(inner_path))
+        new_qual: Qualifier = PathQualifier(members[0])
+        for member in members[1:]:
+            new_qual = OrExpr(left=new_qual, right=PathQualifier(member))
+        return _replace_qualifier_application(
+            path, step_index, qual_index, [new_qual],
+            "Lemma (complex qualifiers)", "union qualifier turned into 'or'")
+    assert isinstance(inner_path, LocationPath)
+    if inner_path.absolute:
+        inner = _rewrite_expr(inner_path, ruleset)
+        if inner is None:  # pragma: no cover - caller checked for reverse steps
+            raise RewriteError("expected a reverse step inside the qualifier")
+        return _replace_qualifier_application(
+            path, step_index, qual_index, [PathQualifier(inner.result)],
+            inner.rule, inner.note)
+
+    head = inner_path.steps[0]
+
+    if head.axis in _EMPTY_AT_ATTRIBUTE:
+        # The qualifier path starts with an axis that is empty at attribute
+        # nodes: the qualifier is false, the carrier selects nothing, the
+        # whole union member collapses.
+        return RuleApplication(
+            Bottom(), _ATTRIBUTE_LEMMA,
+            note=f"{head.axis.xpath_name} from an attribute node is empty")
+    if head.axis is Axis.DESCENDANT_OR_SELF:
+        # Only the self part can hold at an attribute node.
+        self_head = Step(Axis.SELF, head.node_test, head.qualifiers)
+        folded = PathQualifier(rel(self_head, *inner_path.steps[1:]))
+        return _replace_qualifier_application(
+            path, step_index, qual_index, [folded], _ATTRIBUTE_LEMMA,
+            "descendant-or-self from an attribute reduces to self")
+    if head.axis is Axis.SELF:
+        # Hoist self-headed qualifier paths onto the carrier (generic).
+        parts: List[Qualifier] = [PathQualifier(rel(head.without_qualifiers()))]
+        parts.extend(head.qualifiers)
+        if len(inner_path.steps) > 1:
+            parts.append(PathQualifier(rel(*inner_path.steps[1:])))
+        combined: Qualifier = parts[0]
+        for part in parts[1:]:
+            combined = AndExpr(left=combined, right=part)
+        return _replace_qualifier_application(
+            path, step_index, qual_index, [combined],
+            "Lemma (complex qualifiers)", "self-headed qualifier hoisted")
+
+    assert head.is_reverse
+    if len(inner_path.steps) > 1:
+        # Lemma 3.1.5 inside the qualifier: [Lr/rest] ≡ [Lr[rest]].
+        folded_head = head.add_qualifiers(
+            PathQualifier(rel(*inner_path.steps[1:])))
+        return _replace_qualifier_application(
+            path, step_index, qual_index, [PathQualifier(rel(folded_head))],
+            "Lemma 3.1.5", "trailing steps folded into the reverse step")
+
+    axis = head.axis
+    m, qm = head.node_test, head.qualifiers
+    if axis in (Axis.PRECEDING, Axis.PRECEDING_SIBLING):
+        return RuleApplication(
+            Bottom(), _ATTRIBUTE_LEMMA,
+            note=f"attribute nodes have no {axis.xpath_name} nodes")
+    if axis is Axis.ANCESTOR_OR_SELF:
+        decomposed = OrExpr(
+            left=PathQualifier(rel(Step(Axis.ANCESTOR, m, qm))),
+            right=PathQualifier(rel(Step(Axis.SELF, m, qm))))
+        return _replace_qualifier_application(
+            path, step_index, qual_index, [decomposed], _ATTRIBUTE_LEMMA,
+            "ancestor-or-self decomposed at the attribute node")
+
+    # parent / ancestor: the test moves to the owner element (the carrier's
+    # context), as a self/ancestor-or-self qualifier on the prefix.
+    if axis is Axis.PARENT:
+        hoisted: Qualifier = PathQualifier(rel(Step(Axis.SELF, m, qm)))
+        note = "the parent of an attribute is its owner element"
+    else:
+        assert axis is Axis.ANCESTOR
+        hoisted = PathQualifier(rel(Step(Axis.ANCESTOR_OR_SELF, m, qm)))
+        note = "ancestors of an attribute are the owner's ancestor-or-self"
+    prefix = path.steps[:step_index]
+    rest = path.steps[step_index + 1:]
+    new_carrier = replace_qualifier(carrier, qual_index, [])
+    anchored = _with_qualified_prefix(path, prefix, hoisted)
+    if anchored is None:
+        return RuleApplication(
+            Bottom(), _ATTRIBUTE_LEMMA,
+            note="the document root carries no attributes")
+    result = LocationPath(absolute=path.absolute,
+                          steps=anchored + (new_carrier,) + rest)
+    return RuleApplication(result, _ATTRIBUTE_LEMMA, note)
+
+
+# ---------------------------------------------------------------------------
 # Case B: the first reverse step lies inside a qualifier
 # ---------------------------------------------------------------------------
 
@@ -206,6 +449,10 @@ def _handle_qualifier(path: LocationPath, step_index: int, qual_index: int,
                       ruleset: RuleSetBase) -> RuleApplication:
     carrier = path.steps[step_index]
     qual = carrier.qualifiers[qual_index]
+
+    if carrier.axis is Axis.ATTRIBUTE:
+        return _handle_attribute_carrier_qualifier(path, step_index,
+                                                   qual_index, qual, ruleset)
 
     if isinstance(qual, PathQualifier):
         return _handle_path_qualifier(path, step_index, qual_index, qual, ruleset)

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 from repro.xpath.ast import LocationPath, PathExpr
 

@@ -34,7 +34,7 @@ reverse step stay attached to the ``m`` node test on every right-hand side.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Sequence, Tuple
 
 from repro.errors import RewriteError
 from repro.rewrite.builders import (
@@ -49,7 +49,6 @@ from repro.xpath.ast import (
     Bottom,
     LocationPath,
     NodeTest,
-    PathExpr,
     PathQualifier,
     Qualifier,
     Step,

@@ -36,8 +36,8 @@ the context node of the qualifier.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple, Union as TypingUnion
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Union as TypingUnion
 
 from repro.errors import UnsupportedPathError
 from repro.rewrite.builders import rel, self_node

@@ -1,8 +1,8 @@
 """Axis navigation and node tests over the in-memory document model.
 
 Each axis function returns the selected nodes in document order.  The
-definitions follow XPath 1.0 restricted to the paper's data model (no
-attributes or namespaces):
+definitions follow XPath 1.0 restricted to the paper's data model plus the
+attribute extension (namespaces stay out):
 
 * ``self`` — the context node,
 * ``child`` / ``descendant`` / ``descendant-or-self`` — structural downward axes,
@@ -12,7 +12,16 @@ attributes or namespaces):
 * ``following`` — all nodes after the context node in document order,
   excluding its descendants,
 * ``preceding`` — all nodes before the context node in document order,
-  excluding its ancestors.
+  excluding its ancestors,
+* ``attribute`` — the attribute nodes of an element context node.
+
+Attribute nodes deliberately sit outside the tree axes: they are selected
+*only* by the attribute axis, their upward axes (``parent``/``ancestor``)
+lead to the owner element, and they have no children, no siblings, and take
+part in neither ``following`` nor ``preceding`` (either as context or as
+result).  This is the invariant the reverse-axis rewrite lemmas rely on —
+a forward search through ``descendant``/``following`` can never accidentally
+route through an attribute node.
 """
 
 from __future__ import annotations
@@ -30,7 +39,9 @@ def node_test_matches(test: NodeTest, node: XMLNode) -> bool:
 
     Following XPath 1.0: a tag-name test and ``*`` match element nodes only,
     ``text()`` matches text nodes, ``node()`` matches every node (including
-    the root).
+    the root).  An attribute test matches attribute nodes — any of them for
+    ``@*``, by name otherwise; since only the attribute axis ever yields
+    attribute nodes, the test is axis-independent.
     """
     if test.kind is NodeTestKind.NODE:
         return True
@@ -40,6 +51,8 @@ def node_test_matches(test: NodeTest, node: XMLNode) -> bool:
         return node.is_element
     if test.kind is NodeTestKind.NAME:
         return node.is_element and node.tag == test.name
+    if test.kind is NodeTestKind.ATTRIBUTE:
+        return node.is_attribute and (test.name is None or node.tag == test.name)
     raise EvaluationError(f"unknown node test kind {test.kind!r}")
 
 
@@ -86,22 +99,32 @@ def _preceding_sibling(node: XMLNode) -> List[XMLNode]:
 def _following(node: XMLNode) -> List[XMLNode]:
     if node.document is None:
         raise EvaluationError("node is not attached to a document")
+    if node.is_attribute:
+        # Attribute nodes take part in neither following nor preceding.
+        return []
     end_of_subtree = node._subtree_end
     return [
         other
         for other in node.document.nodes[end_of_subtree + 1:]
+        if not other.is_attribute
     ]
 
 
 def _preceding(node: XMLNode) -> List[XMLNode]:
     if node.document is None:
         raise EvaluationError("node is not attached to a document")
+    if node.is_attribute:
+        return []
     ancestors = set(id(a) for a in node.iter_ancestors())
     return [
         other
         for other in node.document.nodes[: node.position]
-        if id(other) not in ancestors
+        if id(other) not in ancestors and not other.is_attribute
     ]
+
+
+def _attribute(node: XMLNode) -> List[XMLNode]:
+    return list(node.attributes)
 
 
 _AXIS_FUNCTIONS = {
@@ -116,6 +139,7 @@ _AXIS_FUNCTIONS = {
     Axis.PRECEDING_SIBLING: _preceding_sibling,
     Axis.FOLLOWING: _following,
     Axis.PRECEDING: _preceding,
+    Axis.ATTRIBUTE: _attribute,
 }
 
 

@@ -25,6 +25,7 @@ from repro.xpath.ast import (
     AndExpr,
     Bottom,
     Comparison,
+    Literal,
     LocationPath,
     OrExpr,
     PathExpr,
@@ -54,6 +55,10 @@ def _evaluate_path(path: PathExpr, document: Document,
                    context: XMLNode) -> Set[XMLNode]:
     if isinstance(path, Bottom):
         return set()
+    if isinstance(path, Literal):
+        raise EvaluationError(
+            "a string literal is not a node-selecting path; it may only "
+            "appear as a '=' comparison operand")
     if isinstance(path, Union):
         result: Set[XMLNode] = set()
         for member in path.members:
@@ -100,7 +105,8 @@ def evaluate_qualifier(qual: Qualifier, document: Document,
       (node-identity join),
     * ``p1 = p2`` is true iff some node selected by ``p1`` and some node
       selected by ``p2`` have equal string values (XPath 1.0 general
-      comparison restricted to node sets).
+      comparison restricted to node sets); an operand may also be a string
+      literal (attribute extension), contributing exactly that value.
     """
     if isinstance(qual, PathQualifier):
         return bool(_evaluate_path(qual.path, document, context))
@@ -111,14 +117,23 @@ def evaluate_qualifier(qual: Qualifier, document: Document,
         return (evaluate_qualifier(qual.left, document, context)
                 or evaluate_qualifier(qual.right, document, context))
     if isinstance(qual, Comparison):
-        left = _evaluate_path(qual.left, document, context)
-        right = _evaluate_path(qual.right, document, context)
         if qual.op == "==":
+            left = _evaluate_path(qual.left, document, context)
+            right = _evaluate_path(qual.right, document, context)
             return bool(left & right)
-        left_values = {node.text_content() for node in left}
-        right_values = {node.text_content() for node in right}
+        left_values = _operand_values(qual.left, document, context)
+        right_values = _operand_values(qual.right, document, context)
         return bool(left_values & right_values)
     raise EvaluationError(f"not a qualifier: {qual!r}")
+
+
+def _operand_values(operand: PathExpr, document: Document,
+                    context: XMLNode) -> Set[str]:
+    """The string values a ``=`` operand contributes to the comparison."""
+    if isinstance(operand, Literal):
+        return {operand.value}
+    return {node.text_content()
+            for node in _evaluate_path(operand, document, context)}
 
 
 def select_positions(path: PathExpr, document: Document,

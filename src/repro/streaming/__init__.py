@@ -22,6 +22,22 @@ provides:
 * :mod:`repro.streaming.stats` — memory/latency accounting shared by all of
   them, used by the benchmarks of experiment E9.
 
+Attribute extension
+-------------------
+
+Beyond the paper's fragment, the engine evaluates the attribute axis
+(``//item[@id="42"]/price``, ``//item/@id``, value comparisons against
+string literals) — the shapes that dominate real SDI subscription sets.
+Attributes are the cheapest possible match for a streaming engine: they
+arrive *complete* on the StartElement event, so attribute steps and
+``[@a]`` / ``[@a = "v"]`` qualifiers are decided during that very event
+(dedicated attribute buckets in the dispatch index; a per-element sweep
+resolves and then expires them), need no buffering, and in verdict-only
+sessions can settle a subscription — and halt the stream — at the element
+that carries the attribute.  Attribute *nodes* are numbered right after
+their owner element in document order, so streamed ids agree 1:1 with the
+DOM evaluator's positions.
+
 Architecture: pull vs push
 --------------------------
 

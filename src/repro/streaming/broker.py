@@ -30,7 +30,7 @@ history for monitoring a long-running feed.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import (
     Deque,
     Hashable,

@@ -59,9 +59,13 @@ def buffered_evaluate(path: TypingUnion[str, PathExpr],
             dropped_text += 1
             continue
         # Every event that *opens* a node claims the next pruned-document
-        # position; end/document markers do not.
+        # position; end/document markers do not.  An element's attributes
+        # claim the positions right after it, in both numberings.
         if isinstance(event, (StartElement, Text)):
             original_ids.append(event.node_id)
+            if isinstance(event, StartElement):
+                original_ids.extend(event.node_id + offset + 1
+                                    for offset in range(len(event.attributes)))
         buffered.append(event)
     document = build_document(buffered)
     stats.nodes_seen = len(document) + dropped_text

@@ -10,7 +10,7 @@ axis is cheap; its cost is that ``nodes_stored`` equals the document size.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Tuple, Union as TypingUnion
+from typing import Iterable, List, Union as TypingUnion
 
 from repro.semantics.evaluator import evaluate
 from repro.streaming.evaluator import StreamResult

@@ -136,7 +136,7 @@ class _TrieContinuation(Continuation):
 
     def proceed(self, core: "MultiMatcher", node_id: int, depth: int,
                 is_element: bool, tag, value,
-                conditions) -> None:
+                conditions, is_attribute: bool = False) -> None:
         node = self.node
         for ordinal in node.terminals:
             core._deliver(ordinal, node_id, depth, is_element, value,
@@ -147,7 +147,8 @@ class _TrieContinuation(Continuation):
             core.spawn_step(child.step, child.cont, anchor_id=node_id,
                             anchor_depth=depth, anchor_is_element=is_element,
                             anchor_tag=tag, anchor_value=value,
-                            conditions=conditions)
+                            conditions=conditions,
+                            anchor_is_attribute=is_attribute)
 
 
 # ---------------------------------------------------------------------------
@@ -229,6 +230,12 @@ class MultiMatcher(MatcherCore):
         self._matches_only = matches_only
         self._sinks = [_Sink(exists_only=matches_only)
                        for _ in self._subscriptions]
+        #: Reverse map for verdict bookkeeping: a result sink can satisfy
+        #: outside :meth:`_deliver` too (the end-of-event settlement pass
+        #: that decides ``[@a]``-style qualifiers at StartElement), so the
+        #: subscription lookup happens in :meth:`_sink_satisfied`.
+        self._ordinal_by_sink: Dict[int, int] = {
+            id(sink): ordinal for ordinal, sink in enumerate(self._sinks)}
         self._satisfied: set = set()
         #: Trie branches that no longer serve any unsatisfied subscription.
         self._dead_trie_nodes: set = set()
@@ -292,11 +299,21 @@ class MultiMatcher(MatcherCore):
 
     def _deliver(self, ordinal: int, node_id: int, depth: int,
                  is_element: bool, value, conditions) -> None:
-        """A subscription's final step matched ``node_id``."""
-        sink = self._sinks[ordinal]
-        self.add_candidate(sink, node_id, depth, is_element, value,
-                           conditions, collect_values=False)
-        if sink.satisfied and ordinal not in self._satisfied:
+        """A subscription's final step matched ``node_id``.
+
+        Verdict bookkeeping happens in :meth:`_sink_satisfied`, which fires
+        on *every* satisfaction path — immediate (unconditioned match) or
+        deferred to the end-of-event settlement pass (attribute-qualified
+        match decided by the same StartElement).
+        """
+        self.add_candidate(self._sinks[ordinal], node_id, depth, is_element,
+                           value, conditions, collect_values=False)
+
+    def _sink_satisfied(self, sink) -> None:
+        super()._sink_satisfied(sink)
+        ordinal = self._ordinal_by_sink.get(id(sink))
+        if (ordinal is not None and self._matches_only
+                and ordinal not in self._satisfied):
             self._satisfied.add(ordinal)
             self._retire_subscription(ordinal)
 

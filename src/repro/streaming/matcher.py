@@ -82,7 +82,7 @@ thousands of subscriptions at once (:mod:`repro.streaming.engine`):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ReverseAxisStreamingError, StreamingError
@@ -100,6 +100,7 @@ from repro.xpath.ast import (
     AndExpr,
     Bottom,
     Comparison,
+    Literal,
     LocationPath,
     NodeTestKind,
     OrExpr,
@@ -107,7 +108,6 @@ from repro.xpath.ast import (
     PathQualifier,
     Qualifier,
     Step,
-    Union,
     iter_union_members,
 )
 from repro.xpath.axes import Axis
@@ -176,6 +176,17 @@ class _Condition:
     def result(self) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def known_true(self) -> bool:
+        """Whether the condition is already *irrevocably* true mid-stream.
+
+        Conservative: ``False`` just means "not decided yet".  This is what
+        lets ``[@a]`` / ``[@a = "v"]`` qualifiers settle verdicts at the
+        StartElement that carries the attributes — their sub-sinks are final
+        the moment the per-element attribute sweep ends — instead of
+        waiting for the end of the stream.
+        """
+        return False
+
 
 class _ExistsCondition(_Condition):
     """True iff the attached sink ends up with at least one surviving entry."""
@@ -188,6 +199,10 @@ class _ExistsCondition(_Condition):
     def result(self) -> bool:
         return self.sink.nonempty()
 
+    def known_true(self) -> bool:
+        # A satisfied existence sink can never become unsatisfied.
+        return self.sink.satisfied
+
 
 class _FalseCondition(_Condition):
     """Constant false (e.g. a ``⊥`` qualifier)."""
@@ -196,6 +211,48 @@ class _FalseCondition(_Condition):
 
     def result(self) -> bool:
         return False
+
+
+class _TrueCondition(_Condition):
+    """Constant true (e.g. a literal-to-literal comparison that holds)."""
+
+    __slots__ = ()
+
+    def result(self) -> bool:
+        return True
+
+    def known_true(self) -> bool:
+        return True
+
+
+class _ValueMatchCondition(_Condition):
+    """A ``path = "literal"`` join: some surviving entry has that value.
+
+    For attribute operands (``[@id = "42"]``) the value arrives complete on
+    the StartElement event, so the sink entry's value is already final the
+    moment the qualifier is built.
+    """
+
+    __slots__ = ("sink", "value")
+
+    def __init__(self, sink: _Sink, value: str):
+        self.sink = sink
+        self.value = value
+
+    def result(self) -> bool:
+        return any((entry.value or "") == self.value
+                   for entry in self.sink.surviving())
+
+    def known_true(self) -> bool:
+        # Entry values are final once set (attributes and text at creation,
+        # elements when they close) and entries are never removed from a
+        # collecting sink, so a matching entry whose own conditions are
+        # irrevocable decides the comparison for good.
+        return any(
+            entry.value is not None and entry.value == self.value
+            and all(condition.known_true()
+                    for condition in entry.conditions)
+            for entry in self.sink.entries)
 
 
 class _AndCondition(_Condition):
@@ -207,6 +264,9 @@ class _AndCondition(_Condition):
     def result(self) -> bool:
         return all(part.result() for part in self.parts)
 
+    def known_true(self) -> bool:
+        return all(part.known_true() for part in self.parts)
+
 
 class _OrCondition(_Condition):
     __slots__ = ("parts",)
@@ -216,6 +276,9 @@ class _OrCondition(_Condition):
 
     def result(self) -> bool:
         return any(part.result() for part in self.parts)
+
+    def known_true(self) -> bool:
+        return any(part.known_true() for part in self.parts)
 
 
 class _JoinCondition(_Condition):
@@ -293,15 +356,23 @@ class _Expectation:
         # active window.
         return True
 
-    def matches(self, depth: int, is_element: bool, tag: Optional[str]) -> bool:
+    def matches(self, depth: int, is_element: bool, tag: Optional[str],
+                is_attribute: bool = False) -> bool:
         return (self.admissible(depth)
-                and _test_matches(self.step, is_element, tag))
+                and _test_matches(self.step, is_element, tag, is_attribute))
 
 
-def _test_matches(step: Step, is_element: bool, tag: Optional[str]) -> bool:
+def _test_matches(step: Step, is_element: bool, tag: Optional[str],
+                  is_attribute: bool = False) -> bool:
     kind = step.node_test.kind
+    if kind is NodeTestKind.ATTRIBUTE:
+        return is_attribute and (step.node_test.name is None
+                                 or tag == step.node_test.name)
     if kind is NodeTestKind.NODE:
         return True
+    if is_attribute:
+        # Attribute nodes satisfy only attribute tests and node().
+        return False
     if kind is NodeTestKind.TEXT:
         return not is_element
     if kind is NodeTestKind.WILDCARD:
@@ -317,9 +388,17 @@ class _DispatchIndex:
     ``indexed=False`` every expectation lands in the catch-all bucket and the
     caller re-applies the node test per event — the faithful linear-scan
     reference the benchmarks compare against.
+
+    Attribute-test expectations get buckets of their own (exact-name table
+    plus an ``@*`` bucket), consulted only by the per-element attribute sweep
+    — never by element or text dispatch — so attribute-heavy subscription
+    sets keep constant-time dispatch.  They are name-bucketed even in
+    ``indexed=False`` mode: the linear-scan reference predates the attribute
+    extension and its counterfactual is defined over tree-node events.
     """
 
-    __slots__ = ("indexed", "by_tag", "wildcard", "any_node", "text")
+    __slots__ = ("indexed", "by_tag", "wildcard", "any_node", "text",
+                 "by_attr", "attr_wildcard")
 
     def __init__(self, indexed: bool = True):
         self.indexed = indexed
@@ -331,23 +410,34 @@ class _DispatchIndex:
         self.any_node: Dict[int, _Expectation] = {}
         #: ``text()`` tests: text nodes only.
         self.text: Dict[int, _Expectation] = {}
+        #: attribute name -> {serial: expectation} for ``@name`` tests.
+        self.by_attr: Dict[str, Dict[int, _Expectation]] = {}
+        #: ``@*`` tests: any attribute.
+        self.attr_wildcard: Dict[int, _Expectation] = {}
 
     def insert(self, expectation: _Expectation) -> None:
-        if not self.indexed:
-            bucket = self.any_node
-        else:
-            kind = expectation.step.node_test.kind
-            if kind is NodeTestKind.NODE:
-                bucket = self.any_node
-            elif kind is NodeTestKind.TEXT:
-                bucket = self.text
-            elif kind is NodeTestKind.WILDCARD:
-                bucket = self.wildcard
+        kind = expectation.step.node_test.kind
+        if kind is NodeTestKind.ATTRIBUTE:
+            name = expectation.step.node_test.name
+            if name is None:
+                bucket = self.attr_wildcard
             else:
-                name = expectation.step.node_test.name
-                bucket = self.by_tag.get(name)
+                bucket = self.by_attr.get(name)
                 if bucket is None:
-                    bucket = self.by_tag[name] = {}
+                    bucket = self.by_attr[name] = {}
+        elif not self.indexed:
+            bucket = self.any_node
+        elif kind is NodeTestKind.NODE:
+            bucket = self.any_node
+        elif kind is NodeTestKind.TEXT:
+            bucket = self.text
+        elif kind is NodeTestKind.WILDCARD:
+            bucket = self.wildcard
+        else:
+            name = expectation.step.node_test.name
+            bucket = self.by_tag.get(name)
+            if bucket is None:
+                bucket = self.by_tag[name] = {}
         bucket[expectation.serial] = expectation
         expectation.bucket = bucket
 
@@ -368,18 +458,43 @@ class _DispatchIndex:
             candidates.extend(self.any_node.values())
         return candidates
 
+    def attribute_candidates(self, name: str) -> List[_Expectation]:
+        """Snapshot of the expectations an attribute ``name`` can match."""
+        exact = self.by_attr.get(name)
+        candidates: List[_Expectation] = list(exact.values()) if exact else []
+        if self.attr_wildcard:
+            candidates.extend(self.attr_wildcard.values())
+        return candidates
+
+    @property
+    def has_attribute_expectations(self) -> bool:
+        return bool(self.by_attr or self.attr_wildcard)
+
+    def attribute_expectations(self) -> List[_Expectation]:
+        """Snapshot of every live attribute expectation (for expiry)."""
+        out: List[_Expectation] = []
+        for bucket in self.by_attr.values():
+            out.extend(bucket.values())
+        out.extend(self.attr_wildcard.values())
+        return out
+
     def iter_all(self):
         for bucket in self.by_tag.values():
             yield from bucket.values()
         yield from self.wildcard.values()
         yield from self.any_node.values()
         yield from self.text.values()
+        for bucket in self.by_attr.values():
+            yield from bucket.values()
+        yield from self.attr_wildcard.values()
 
     def clear(self) -> None:
         self.by_tag = {}
         self.wildcard = {}
         self.any_node = {}
         self.text = {}
+        self.by_attr = {}
+        self.attr_wildcard = {}
 
 
 class _ValueCollector:
@@ -421,7 +536,8 @@ class Continuation:
 
     def proceed(self, core: "MatcherCore", node_id: int, depth: int,
                 is_element: bool, tag: Optional[str], value: Optional[str],
-                conditions: Tuple[_Condition, ...]) -> None:  # pragma: no cover
+                conditions: Tuple[_Condition, ...],
+                is_attribute: bool = False) -> None:  # pragma: no cover
         raise NotImplementedError
 
 
@@ -448,13 +564,15 @@ class PathContinuation(Continuation):
 
     def proceed(self, core: "MatcherCore", node_id: int, depth: int,
                 is_element: bool, tag: Optional[str], value: Optional[str],
-                conditions: Tuple[_Condition, ...]) -> None:
+                conditions: Tuple[_Condition, ...],
+                is_attribute: bool = False) -> None:
         if self.remaining:
             core.spawn_steps(self.remaining, anchor_id=node_id,
                              anchor_depth=depth, anchor_is_element=is_element,
                              anchor_tag=tag, anchor_value=value,
                              conditions=conditions, sink=self.sink,
-                             collect_values=self.collect_values)
+                             collect_values=self.collect_values,
+                             anchor_is_attribute=is_attribute)
             return
         core.add_candidate(self.sink, node_id, depth, is_element, value,
                            conditions, self.collect_values)
@@ -499,6 +617,11 @@ class MatcherCore:
         self._sibling_expiry_by_parent: Dict[int, List[_Expectation]] = {}
         #: Expectations to unlink the moment an existence sink satisfies.
         self._sink_watchers: Dict[_Sink, Dict[int, _Expectation]] = {}
+        #: Conditioned existence-sink entries delivered during the current
+        #: event; re-examined once the event (and its attribute sweep) is
+        #: complete, so qualifiers decidable *at* StartElement — ``[@a]``,
+        #: ``[@a = "v"]`` — settle verdicts without waiting for the stream.
+        self._event_entries: List[Tuple[_Sink, _Entry]] = []
         #: Waiting + active expectations (expired ones are unlinked eagerly).
         self._live = 0
         self._serial = 0
@@ -541,6 +664,9 @@ class MatcherCore:
 
     def _register_absolute_operand(self, operand: PathExpr,
                                    collect_values: bool) -> None:
+        if isinstance(operand, Literal):
+            # Literals are constants, not matched sub-paths.
+            return
         if not analysis.is_absolute(operand):
             # A relative operand is matched from its carrier when the carrier
             # is discovered; but it may itself mention absolute sub-paths in
@@ -592,7 +718,8 @@ class MatcherCore:
         if isinstance(event, StartDocument):
             self._start_document(event)
         elif isinstance(event, StartElement):
-            self._start_node(event.node_id, True, event.tag, None)
+            self._start_node(event.node_id, True, event.tag, None,
+                             event.attributes)
             self._stack.append(_OpenElement(event.node_id, event.tag,
                                             len(self._stack)))
             # Element nesting depth, not counting the document root entry.
@@ -652,7 +779,8 @@ class MatcherCore:
                              collect_values=collect_values)
 
     def _start_node(self, node_id: int, is_element: bool, tag: Optional[str],
-                    value: Optional[str]) -> None:
+                    value: Optional[str],
+                    attributes: Tuple[Tuple[str, str], ...] = ()) -> None:
         stats = self.stats
         stats.nodes_seen += 1
         stats.linear_scan_checks += self._live
@@ -664,20 +792,81 @@ class MatcherCore:
             candidates = self._dispatch.element_candidates(tag)
         else:
             candidates = self._dispatch.text_candidates()
-        if not candidates:
-            return
-        stats.expectations_checked += len(candidates)
-        indexed = self._indexed
-        for expectation in candidates:
-            if indexed:
-                # The bucket implies the node test; check state and depth.
-                if not expectation.admissible(depth):
+        if candidates:
+            stats.expectations_checked += len(candidates)
+            indexed = self._indexed
+            for expectation in candidates:
+                if indexed:
+                    # The bucket implies the node test; check state and depth.
+                    if not expectation.admissible(depth):
+                        continue
+                elif not expectation.matches(depth, is_element, tag):
                     continue
-            elif not expectation.matches(depth, is_element, tag):
+                self._node_matched(expectation.step, expectation.cont,
+                                   node_id, depth, is_element, tag, value,
+                                   expectation.conditions)
+        if is_element and (attributes
+                           or self._dispatch.has_attribute_expectations):
+            self._attribute_sweep(node_id, depth, attributes)
+        if self._event_entries:
+            self._settle_event_conditions()
+
+    def _settle_event_conditions(self) -> None:
+        """Satisfy existence sinks whose entry conditions are already final.
+
+        Runs at the end of every node event, after the attribute sweep:
+        attribute sub-sinks cannot change after it, so a candidate guarded
+        only by attribute qualifiers (or other already-irrevocable
+        conditions) decides its sink — and, in verdict-only sessions, its
+        subscription — right here.
+        """
+        entries = self._event_entries
+        self._event_entries = []
+        for sink, entry in entries:
+            if sink.satisfied:
                 continue
-            self._node_matched(expectation.step, expectation.cont,
-                               node_id, depth, is_element, tag, value,
-                               expectation.conditions)
+            if all(condition.known_true() for condition in entry.conditions):
+                sink.satisfied = True
+                sink.entries.clear()
+                self._sink_satisfied(sink)
+
+    def _attribute_sweep(self, node_id: int, depth: int,
+                         attributes: Tuple[Tuple[str, str], ...]) -> None:
+        """Visit the element's attribute nodes, then close the window.
+
+        Attribute expectations are spawned while their anchor element is
+        being processed (step matching above) and can only ever match that
+        element's own attributes, which are all present on its start event —
+        so they are resolved here, eagerly, and whatever is left expires
+        before the event ends.  ``[@a]`` existence qualifiers and
+        ``[@a = "v"]`` value joins are therefore decided *at* StartElement;
+        nothing attribute-related survives into later events.
+        """
+        dispatch = self._dispatch
+        stats = self.stats
+        for index, (name, value) in enumerate(attributes):
+            stats.nodes_seen += 1
+            stats.attributes_seen += 1
+            if not dispatch.has_attribute_expectations:
+                continue
+            stats.linear_scan_checks += self._live
+            candidates = dispatch.attribute_candidates(name)
+            if not candidates:
+                continue
+            stats.expectations_checked += len(candidates)
+            # Attribute nodes claim the ids right after their element.
+            attribute_id = node_id + 1 + index
+            for expectation in candidates:
+                if (expectation.state is not _ACTIVE
+                        or expectation.anchor_id != node_id):
+                    continue
+                self._node_matched(expectation.step, expectation.cont,
+                                   attribute_id, depth + 1, False, name,
+                                   value, expectation.conditions,
+                                   is_attribute=True)
+        if dispatch.has_attribute_expectations:
+            for expectation in dispatch.attribute_expectations():
+                self._expire(expectation)
 
     def _end_node(self) -> None:
         closed = self._stack.pop()
@@ -759,6 +948,7 @@ class MatcherCore:
         self._expiry_by_anchor = {}
         self._sibling_expiry_by_parent = {}
         self._sink_watchers = {}
+        self._event_entries = []
         self._live = 0
 
     def _finish(self) -> None:
@@ -839,19 +1029,22 @@ class MatcherCore:
                     anchor_depth: int, anchor_is_element: bool,
                     anchor_tag: Optional[str], anchor_value: Optional[str],
                     conditions: Tuple[_Condition, ...], sink: _Sink,
-                    collect_values: bool) -> None:
+                    collect_values: bool,
+                    anchor_is_attribute: bool = False) -> None:
         """Start matching a step sequence from the given anchor node."""
         self.spawn_step(steps[0],
                         PathContinuation(steps[1:], sink, collect_values),
                         anchor_id=anchor_id, anchor_depth=anchor_depth,
                         anchor_is_element=anchor_is_element,
                         anchor_tag=anchor_tag, anchor_value=anchor_value,
-                        conditions=conditions)
+                        conditions=conditions,
+                        anchor_is_attribute=anchor_is_attribute)
 
     def spawn_step(self, step: Step, cont: Continuation, anchor_id: int,
                    anchor_depth: int, anchor_is_element: bool,
                    anchor_tag: Optional[str], anchor_value: Optional[str],
-                   conditions: Tuple[_Condition, ...]) -> None:
+                   conditions: Tuple[_Condition, ...],
+                   anchor_is_attribute: bool = False) -> None:
         """Expect one step from the given anchor, continuing with ``cont``.
 
         This is the per-step spawning primitive shared by the single-query
@@ -868,26 +1061,43 @@ class MatcherCore:
             return
         axis = step.axis
         # The anchor is a text leaf when it is not an element but carries a
-        # value; the document root is "not an element, no value".
-        anchor_is_text = (not anchor_is_element) and anchor_value is not None
+        # value and is not an attribute; the document root is "not an
+        # element, no value".
+        anchor_is_text = ((not anchor_is_element) and (not anchor_is_attribute)
+                          and anchor_value is not None)
 
-        if axis in (Axis.SELF, Axis.DESCENDANT_OR_SELF):
+        if axis is Axis.ATTRIBUTE:
+            # Attribute steps can only match the anchor's own attributes,
+            # which are all delivered on the anchor's start event.  The
+            # expectation goes into the dispatch index's attribute buckets
+            # and is resolved (then expired) by the attribute sweep of the
+            # very event being processed; non-element anchors — the document
+            # root, text leaves, attribute nodes — carry no attributes.
+            if not anchor_is_element:
+                return
+        elif axis in (Axis.SELF, Axis.DESCENDANT_OR_SELF):
             # The anchor itself may match the first step.
             if self._anchor_matches_test(step, anchor_is_element, anchor_tag,
-                                         anchor_is_text):
+                                         anchor_is_text, anchor_is_attribute):
                 self._node_matched(step, cont, anchor_id, anchor_depth,
                                    anchor_is_element, anchor_tag, anchor_value,
-                                   conditions)
+                                   conditions,
+                                   is_attribute=anchor_is_attribute)
             if axis is Axis.SELF:
                 return
 
         if axis in (Axis.CHILD, Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF):
-            if anchor_is_text:
-                # Text leaves have no descendants; nothing can ever match.
+            if anchor_is_text or anchor_is_attribute:
+                # Text and attribute leaves have no descendants; nothing can
+                # ever match.
                 return
 
         state = _ACTIVE
         if axis in (Axis.FOLLOWING, Axis.FOLLOWING_SIBLING):
+            if anchor_is_attribute:
+                # Attribute nodes have no siblings and take part in neither
+                # following nor preceding: the window is empty.
+                return
             # Wait for the anchor to close before the window opens.  Text
             # anchors are already closed when spawned; the document root
             # never closes before the end of the stream, so nothing follows it.
@@ -907,8 +1117,8 @@ class MatcherCore:
             # The sibling window shuts when the anchor's parent closes; that
             # parent is on the open-element stack right below the anchor.
             parent_id = self._stack[anchor_depth - 1].node_id
-            self._sibling_expiry_by_parent.setdefault(parent_id, []) \
-                .append(expectation)
+            self._sibling_expiry_by_parent.setdefault(
+                parent_id, []).append(expectation)
         cont.register(self, expectation)
         self._live += 1
         self.stats.expectations_created += 1
@@ -918,15 +1128,22 @@ class MatcherCore:
     @staticmethod
     def _anchor_matches_test(step: Step, anchor_is_element: bool,
                              anchor_tag: Optional[str],
-                             anchor_is_text: bool) -> bool:
+                             anchor_is_text: bool,
+                             anchor_is_attribute: bool = False) -> bool:
         """Node-test check for the anchor itself (``self``/``-or-self`` axes).
 
         The document root only matches ``node()``; text anchors match
-        ``text()`` and ``node()``; elements match by tag.
+        ``text()`` and ``node()``; attribute anchors match ``node()`` and
+        attribute tests (by name); elements match by tag.
         """
         kind = step.node_test.kind
         if kind is NodeTestKind.NODE:
             return True
+        if kind is NodeTestKind.ATTRIBUTE:
+            return anchor_is_attribute and (step.node_test.name is None
+                                            or anchor_tag == step.node_test.name)
+        if anchor_is_attribute:
+            return False
         if kind is NodeTestKind.TEXT:
             return anchor_is_text
         if kind is NodeTestKind.WILDCARD:
@@ -936,7 +1153,8 @@ class MatcherCore:
     def _node_matched(self, step: Step, cont: Continuation, node_id: int,
                       depth: int, is_element: bool, tag: Optional[str],
                       value: Optional[str],
-                      inherited: Tuple[_Condition, ...]) -> None:
+                      inherited: Tuple[_Condition, ...],
+                      is_attribute: bool = False) -> None:
         """A node matched ``step``; evaluate its qualifiers and continue.
 
         The qualifier conditions are built exactly once per matched node —
@@ -946,10 +1164,12 @@ class MatcherCore:
         if step.qualifiers:
             conditions = list(inherited)
             for qual in step.qualifiers:
-                conditions.append(self._build_condition(qual, node_id, depth,
-                                                        is_element, tag, value))
+                conditions.append(self._build_condition(
+                    qual, node_id, depth, is_element, tag, value,
+                    is_attribute))
             inherited = tuple(conditions)
-        cont.proceed(self, node_id, depth, is_element, tag, value, inherited)
+        cont.proceed(self, node_id, depth, is_element, tag, value, inherited,
+                     is_attribute)
 
     def add_candidate(self, sink: _Sink, node_id: int, depth: int,
                       is_element: bool, value: Optional[str],
@@ -963,45 +1183,71 @@ class MatcherCore:
             self.stats.candidates_buffered += 1
             if collect_values or sink.collect_values:
                 if is_element:
-                    self._collectors_by_node.setdefault(node_id, []) \
-                        .append(_ValueCollector(entry, depth))
+                    self._collectors_by_node.setdefault(node_id, []).append(
+                        _ValueCollector(entry, depth))
                 else:
                     entry.value = value or ""
+            if sink.exists_only and conditions:
+                # Conditioned entries get one more look once the current
+                # event's attribute sweep has run (_settle_event_conditions).
+                self._event_entries.append((sink, entry))
         if sink.satisfied and not was_satisfied:
             self._sink_satisfied(sink)
 
     # -- conditions ---------------------------------------------------------
     def _build_condition(self, qual: Qualifier, node_id: int, depth: int,
                          is_element: bool, tag: Optional[str],
-                         value: Optional[str]) -> _Condition:
+                         value: Optional[str],
+                         is_attribute: bool = False) -> _Condition:
         self.stats.conditions_created += 1
         if isinstance(qual, PathQualifier):
             return self._existence_condition(qual.path, node_id, depth,
                                              is_element, tag, value,
-                                             collect_values=False)
+                                             collect_values=False,
+                                             is_attribute=is_attribute)
         if isinstance(qual, AndExpr):
             return _AndCondition([
-                self._build_condition(qual.left, node_id, depth, is_element, tag, value),
-                self._build_condition(qual.right, node_id, depth, is_element, tag, value),
+                self._build_condition(qual.left, node_id, depth, is_element,
+                                      tag, value, is_attribute),
+                self._build_condition(qual.right, node_id, depth, is_element,
+                                      tag, value, is_attribute),
             ])
         if isinstance(qual, OrExpr):
             return _OrCondition([
-                self._build_condition(qual.left, node_id, depth, is_element, tag, value),
-                self._build_condition(qual.right, node_id, depth, is_element, tag, value),
+                self._build_condition(qual.left, node_id, depth, is_element,
+                                      tag, value, is_attribute),
+                self._build_condition(qual.right, node_id, depth, is_element,
+                                      tag, value, is_attribute),
             ])
         if isinstance(qual, Comparison):
+            left_literal = isinstance(qual.left, Literal)
+            right_literal = isinstance(qual.right, Literal)
+            if left_literal or right_literal:
+                if qual.op != "=":  # pragma: no cover - parser rejects
+                    raise StreamingError(
+                        "'==' joins need node operands on both sides")
+                if left_literal and right_literal:
+                    return (_TrueCondition()
+                            if qual.left.value == qual.right.value
+                            else _FalseCondition())
+                literal = qual.left if left_literal else qual.right
+                operand = qual.right if left_literal else qual.left
+                sink = self._operand_sink(operand, node_id, depth, is_element,
+                                          tag, value, collect_values=True,
+                                          is_attribute=is_attribute)
+                return _ValueMatchCondition(sink, literal.value)
             collect = qual.op == "="
             left = self._operand_sink(qual.left, node_id, depth, is_element,
-                                      tag, value, collect)
+                                      tag, value, collect, is_attribute)
             right = self._operand_sink(qual.right, node_id, depth, is_element,
-                                       tag, value, collect)
+                                       tag, value, collect, is_attribute)
             return _JoinCondition(left, right, qual.op)
         raise StreamingError(f"not a qualifier: {qual!r}")
 
     def _existence_condition(self, path: PathExpr, node_id: int, depth: int,
                              is_element: bool, tag: Optional[str],
-                             value: Optional[str],
-                             collect_values: bool) -> _Condition:
+                             value: Optional[str], collect_values: bool,
+                             is_attribute: bool = False) -> _Condition:
         if isinstance(path, Bottom):
             return _FalseCondition()
         if analysis.is_absolute(path):
@@ -1014,12 +1260,14 @@ class MatcherCore:
             self.spawn_steps(member.steps, anchor_id=node_id, anchor_depth=depth,
                              anchor_is_element=is_element, anchor_tag=tag,
                              anchor_value=value, conditions=(), sink=sink,
-                             collect_values=collect_values)
+                             collect_values=collect_values,
+                             anchor_is_attribute=is_attribute)
         return _ExistsCondition(sink)
 
     def _operand_sink(self, operand: PathExpr, node_id: int, depth: int,
                       is_element: bool, tag: Optional[str],
-                      value: Optional[str], collect_values: bool) -> _Sink:
+                      value: Optional[str], collect_values: bool,
+                      is_attribute: bool = False) -> _Sink:
         if analysis.is_absolute(operand):
             return self._absolute_sink(operand, collect_values)
         sink = _Sink(collect_values=collect_values)
@@ -1030,7 +1278,8 @@ class MatcherCore:
             self.spawn_steps(member.steps, anchor_id=node_id, anchor_depth=depth,
                              anchor_is_element=is_element, anchor_tag=tag,
                              anchor_value=value, conditions=(), sink=sink,
-                             collect_values=collect_values)
+                             collect_values=collect_values,
+                             anchor_is_attribute=is_attribute)
         return sink
 
 

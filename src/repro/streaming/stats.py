@@ -10,7 +10,7 @@ buffering) can be reported side by side.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 @dataclass
@@ -25,8 +25,12 @@ class StreamStats:
     #: event source has a known length; otherwise it counts the events that
     #: were still offered to a halted matcher.
     events_skipped: int = 0
-    #: Number of document nodes seen on the stream (elements + texts + root).
+    #: Number of document nodes seen on the stream (elements + attributes +
+    #: texts + root).
     nodes_seen: int = 0
+    #: Attribute nodes visited (they ride on StartElement events; the
+    #: per-element attribute sweep counts them here).
+    attributes_seen: int = 0
     #: Maximum element nesting depth observed.
     max_depth: int = 0
     #: Document nodes materialized in memory (the whole document for DOM,
@@ -70,6 +74,7 @@ class StreamStats:
             "events": self.events,
             "events_skipped": self.events_skipped,
             "nodes_seen": self.nodes_seen,
+            "attributes_seen": self.attributes_seen,
             "nodes_stored": self.nodes_stored,
             "candidates_buffered": self.candidates_buffered,
             "max_live_expectations": self.max_live_expectations,

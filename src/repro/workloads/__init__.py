@@ -5,7 +5,9 @@ from repro.workloads.queries import (
     SUBSCRIPTION_PREFIXES,
     PaperQuery,
     ancestor_chain,
+    attribute_subscription_workload,
     following_reverse_chain,
+    low_overlap_workload,
     mixed_reverse_path,
     parent_chain,
     preceding_chain,
@@ -31,6 +33,8 @@ __all__ = [
     "random_reverse_path",
     "SUBSCRIPTION_PREFIXES",
     "subscription_workload",
+    "attribute_subscription_workload",
+    "low_overlap_workload",
     "WorkloadDocument",
     "STREAMING_DOCUMENTS",
     "streaming_documents",

@@ -10,7 +10,7 @@ while staying fast enough for a benchmark suite.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import List
 
 from repro.xmlmodel.document import Document
 from repro.xmlmodel.generator import DocumentSpec, journal_document

@@ -19,6 +19,8 @@ import random
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
+from repro.xmlmodel.generator import ITEM_CATEGORIES, ITEM_CURRENCIES
+
 JOURNAL_TAGS = ("journal", "title", "editor", "authors", "name", "article", "price")
 
 REVERSE_AXES = ("parent", "ancestor", "ancestor-or-self", "preceding",
@@ -224,6 +226,54 @@ def low_overlap_workload(count: int, seed: int = 7,
         if rng.random() < qualifier_probability:
             parts[-1] += f"[child::{rng.choice(tags)}]"
         subscriptions.append("/".join(parts))
+    return subscriptions
+
+
+#: Attribute vocabulary of :func:`attribute_subscription_workload` — the
+#: *same* tuples the document generator uses, so subscriptions and
+#: :func:`repro.xmlmodel.generator.item_feed_document` can never drift apart.
+ITEM_FEED_CATEGORIES = ITEM_CATEGORIES
+ITEM_FEED_CURRENCIES = ITEM_CURRENCIES
+
+
+def attribute_subscription_workload(count: int, seed: int = 7,
+                                    item_ids: int = 50,
+                                    categories: Sequence[str] = ITEM_FEED_CATEGORIES,
+                                    reverse_probability: float = 0.15) -> List[str]:
+    """Attribute-qualified SDI subscriptions (YFilter-style, extension).
+
+    Real publish/subscribe workloads are dominated by attribute-qualified
+    subscriptions — ``//item[@id="42"]/price`` and friends — which the
+    paper's attribute-free fragment cannot express.  This generator produces
+    exactly those shapes over the :func:`item_feed_document` vocabulary:
+    value-qualified ids and categories, attribute existence tests, attribute
+    selections (``/@id``), and (with ``reverse_probability``) a reverse step
+    that the subscription index rewrites away — including reverse steps
+    *from attribute nodes*, exercising the driver's attribute lemmas.
+    """
+    if count < 1:
+        raise ValueError("need at least one subscription")
+    rng = random.Random(seed)
+    shapes = (
+        lambda: f'//item[@id="{rng.randrange(item_ids)}"]/price',
+        lambda: f'//item[@category="{rng.choice(categories)}"]',
+        lambda: f'//item[@category="{rng.choice(categories)}"]/title',
+        lambda: f'//price[@currency="{rng.choice(ITEM_FEED_CURRENCIES)}"]',
+        lambda: '//item[@featured]/price',
+        lambda: f'//item[@id="{rng.randrange(item_ids)}"]/@category',
+        lambda: '/descendant::item/attribute::id',
+        lambda: '//item[@featured="yes" or @category="books"]',
+        lambda: f'//price[@currency][. = "{rng.randint(1, 99)}"]',
+    )
+    reverse_shapes = (
+        lambda: f'//price[@currency="{rng.choice(ITEM_FEED_CURRENCIES)}"]/parent::item',
+        lambda: f'//item/@id/parent::item[@category="{rng.choice(categories)}"]',
+        lambda: '//price/@currency/ancestor::item/title',
+    )
+    subscriptions: List[str] = []
+    for _ in range(count):
+        pool = reverse_shapes if rng.random() < reverse_probability else shapes
+        subscriptions.append(rng.choice(pool)())
     return subscriptions
 
 

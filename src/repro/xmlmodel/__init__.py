@@ -32,6 +32,7 @@ from repro.xmlmodel.serialize import to_xml
 from repro.xmlmodel.generator import (
     DocumentSpec,
     deep_chain_document,
+    item_feed_document,
     journal_document,
     random_document,
     wide_document,
@@ -60,4 +61,5 @@ __all__ = [
     "random_document",
     "deep_chain_document",
     "wide_document",
+    "item_feed_document",
 ]

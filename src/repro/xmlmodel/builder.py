@@ -43,6 +43,8 @@ def build_document(events: Iterable[Event]) -> Document:
             saw_end = True
         elif isinstance(event, StartElement):
             node = XMLNode(NodeKind.ELEMENT, tag=event.tag)
+            if event.attributes:
+                node.set_attributes(event.attributes)
             stack[-1].append_child(node)
             stack.append(node)
         elif isinstance(event, EndElement):
@@ -79,7 +81,11 @@ def document_events(document: Document) -> Iterator[Event]:
         if node.is_text:
             yield Text(value=node.value or "", node_id=node.position)
             return
-        yield StartElement(tag=node.tag or "", node_id=node.position)
+        # Attribute nodes occupy the positions right after their element in
+        # the finalized document, so the attribute payload of the start event
+        # implicitly carries their ids (position + 1, position + 2, ...).
+        yield StartElement(tag=node.tag or "", node_id=node.position,
+                           attributes=node.attribute_items())
         for child in node.children:
             yield from walk(child)
         yield EndElement(tag=node.tag or "", node_id=node.position)

@@ -24,21 +24,40 @@ which is exactly the document of Figure 1 in the paper (see
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Union
+from typing import (
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
 from repro.xmlmodel.node import NodeKind, XMLNode
 
 TreeSpec = Union[XMLNode, str]
+AttributeSpec = Union[None, Mapping[str, str], Sequence[Tuple[str, str]]]
 
 
-def element(tag: str, *children: TreeSpec) -> XMLNode:
+def element(tag: str, *children: TreeSpec,
+            attributes: AttributeSpec = None) -> XMLNode:
     """Create a detached element node with the given children.
 
     Children may be :class:`XMLNode` instances or plain strings (which are
     converted to text nodes), mirroring how XML nests elements and character
-    data.
+    data.  ``attributes`` takes ``(name, value)`` pairs or a mapping, in
+    document order::
+
+        element("item", element("price", text("9")),
+                attributes={"id": "42"})
     """
     node = XMLNode(NodeKind.ELEMENT, tag=tag)
+    if attributes:
+        items = (attributes.items()
+                 if isinstance(attributes, Mapping) else attributes)
+        node.set_attributes(items)
     for child in children:
         if isinstance(child, str):
             child = text(child)
@@ -85,7 +104,13 @@ class Document:
         return cls(root)
 
     def _finalize(self) -> None:
-        """Assign document-order positions and subtree intervals."""
+        """Assign document-order positions and subtree intervals.
+
+        Attribute nodes take the positions immediately after their owner
+        element and before its first child — exactly where they appear on a
+        SAX stream — so streaming node ids and document positions agree
+        without the streaming side ever materializing attribute nodes.
+        """
         position = 0
         order: List[XMLNode] = []
 
@@ -96,6 +121,13 @@ class Document:
             order.append(node)
             position += 1
             last = node.position
+            for attribute in node.attributes:
+                attribute.position = position
+                attribute.document = self
+                attribute._subtree_end = position
+                order.append(attribute)
+                last = position
+                position += 1
             for index, child in enumerate(node.children):
                 child._sibling_index = index
                 last = visit(child)
@@ -149,6 +181,7 @@ class Document:
         """Simple size statistics used by benchmarks and reports."""
         element_count = sum(1 for node in self._nodes if node.is_element)
         text_count = sum(1 for node in self._nodes if node.is_text)
+        attribute_count = sum(1 for node in self._nodes if node.is_attribute)
         depth = 0
         for node in self._nodes:
             node_depth = sum(1 for _ in node.iter_ancestors())
@@ -157,6 +190,7 @@ class Document:
             "nodes": len(self._nodes),
             "elements": element_count,
             "texts": text_count,
+            "attributes": attribute_count,
             "max_depth": depth,
         }
 

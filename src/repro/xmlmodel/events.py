@@ -15,7 +15,11 @@ evaluator.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Tuple, Union
+
+#: Attribute payload of a :class:`StartElement`: ``(name, value)`` pairs in
+#: document order.  A tuple (not a dict) so events stay frozen and hashable.
+Attributes = Tuple[Tuple[str, str], ...]
 
 
 @dataclass(frozen=True)
@@ -34,10 +38,20 @@ class EndDocument:
 
 @dataclass(frozen=True)
 class StartElement:
-    """Opens an element node."""
+    """Opens an element node.
+
+    ``attributes`` holds the element's attributes as ``(name, value)`` pairs
+    in document order.  Attribute *nodes* occupy the document-order positions
+    immediately after their owner element (``node_id + 1`` ...
+    ``node_id + len(attributes)``), so producers advance their id counter
+    past them; the whole attribute list is complete at this event, which is
+    what lets the streaming engine decide attribute steps and ``[@a]``
+    qualifiers instantly.
+    """
 
     tag: str
     node_id: int
+    attributes: Attributes = ()
 
 
 @dataclass(frozen=True)
@@ -66,6 +80,10 @@ def describe(event: Event) -> str:
     if isinstance(event, EndDocument):
         return "end-document"
     if isinstance(event, StartElement):
+        if event.attributes:
+            rendered = " ".join(f'{name}="{value}"'
+                                for name, value in event.attributes)
+            return f"<{event.tag} {rendered}> (node {event.node_id})"
         return f"<{event.tag}> (node {event.node_id})"
     if isinstance(event, EndElement):
         return f"</{event.tag}> (node {event.node_id})"

@@ -52,6 +52,10 @@ class DocumentSpec:
     with_price:
         Whether journals carry an empty ``price`` element (needed by the
         worked examples of the paper, which query names preceding a price).
+    with_attributes:
+        Whether journals carry ``id`` and ``tier`` attributes (the attribute
+        extension; off by default so the paper's attribute-free documents —
+        and their node positions — stay exactly as before).
     seed:
         Random seed used for names/topics, making documents reproducible.
     """
@@ -60,6 +64,7 @@ class DocumentSpec:
     articles_per_journal: int = 5
     authors_per_article: int = 3
     with_price: bool = True
+    with_attributes: bool = False
     seed: int = 7
 
 
@@ -95,33 +100,57 @@ def journal_document(spec: Optional[DocumentSpec] = None, **overrides) -> Docume
             )
         if spec.with_price:
             children.append(element("price"))
-        journals.append(element("journal", *children))
+        attributes = None
+        if spec.with_attributes:
+            attributes = {"id": f"j{j}",
+                          "tier": ("gold", "silver", "bronze")[j % 3]}
+        journals.append(element("journal", *children, attributes=attributes))
     return Document.from_tree(element("catalogue", *journals))
+
+
+#: Attribute vocabulary of the random generator; deliberately small so
+#: attribute node tests and value joins actually hit.
+DEFAULT_ATTRIBUTE_NAMES = ("id", "kind", "lang")
+DEFAULT_ATTRIBUTE_VALUES = ("1", "2", "x", "y")
 
 
 def random_document(max_depth: int = 4, max_children: int = 4,
                     tags: Sequence[str] = DEFAULT_TAGS,
                     text_probability: float = 0.2,
+                    attribute_probability: float = 0.0,
                     seed: int = 0) -> Document:
     """Generate a random document over a small tag alphabet.
 
     The property-based tests evaluate both sides of each paper equivalence on
     many such documents; small alphabets maximize the chance of node-test
-    matches while random shapes exercise all axis relationships.
+    matches while random shapes exercise all axis relationships.  With
+    ``attribute_probability`` > 0 each element independently gains up to two
+    attributes over a small name/value vocabulary, which is how the
+    attribute-extension tests get documents where attribute steps actually
+    select something.
     """
     rng = random.Random(seed)
+
+    def attributes() -> dict:
+        out = {}
+        if attribute_probability <= 0:
+            return out
+        for name in rng.sample(DEFAULT_ATTRIBUTE_NAMES, 2):
+            if rng.random() < attribute_probability:
+                out[name] = rng.choice(DEFAULT_ATTRIBUTE_VALUES)
+        return out
 
     def build(depth: int) -> XMLNode:
         tag = rng.choice(list(tags))
         if depth >= max_depth:
-            return element(tag)
+            return element(tag, attributes=attributes())
         children: List[XMLNode] = []
         for _ in range(rng.randint(0, max_children)):
             if rng.random() < text_probability:
                 children.append(text(rng.choice(FIRST_NAMES)))
             else:
                 children.append(build(depth + 1))
-        return element(tag, *children)
+        return element(tag, *children, attributes=attributes())
 
     return Document.from_tree(build(0))
 
@@ -185,6 +214,50 @@ def tagged_sections_document(sections: int = 120,
     return Document.from_tree(element("db", *section_nodes))
 
 
+#: Categories of the item-feed workload (YFilter-style publish/subscribe
+#: messages); subscriptions qualify on them with ``[@category="..."]``.
+ITEM_CATEGORIES = ("books", "music", "tools", "games", "news")
+ITEM_CURRENCIES = ("EUR", "USD", "GBP")
+
+
+def item_feed_document(items: int = 50,
+                       categories: Sequence[str] = ITEM_CATEGORIES,
+                       seed: int = 0) -> Document:
+    """An attribute-heavy publish/subscribe message: a feed of ``item``\\ s.
+
+    Every ``item`` carries ``id`` (unique, dense) and ``category``
+    attributes; its ``price`` child carries a ``currency`` attribute and a
+    numeric text value; roughly every third item adds a ``featured`` flag.
+    This is the document side of the attribute-qualified SDI workload
+    (:func:`repro.workloads.queries.attribute_subscription_workload`): the
+    shapes real YFilter-style subscription sets are dominated by —
+    ``//item[@id="42"]/price`` and friends — actually select here.
+    """
+    rng = random.Random(seed)
+    nodes: List[XMLNode] = []
+    for index in range(items):
+        attributes = {
+            "id": str(index),
+            "category": categories[index % len(categories)],
+        }
+        if index % 3 == 0:
+            attributes["featured"] = "yes"
+        price = element(
+            "price",
+            text(str(rng.randint(1, 99))),
+            attributes={"currency": rng.choice(ITEM_CURRENCIES)},
+        )
+        nodes.append(
+            element(
+                "item",
+                element("title", text(rng.choice(TOPICS))),
+                price,
+                attributes=attributes,
+            )
+        )
+    return Document.from_tree(element("feed", *nodes))
+
+
 @dataclass
 class RandomDocumentPool:
     """A reproducible pool of random documents for equivalence testing.
@@ -198,6 +271,9 @@ class RandomDocumentPool:
     max_depth: int = 4
     max_children: int = 4
     tags: Sequence[str] = DEFAULT_TAGS
+    #: With > 0, pool documents carry random attributes — used by the
+    #: attribute-extension equivalence tests.
+    attribute_probability: float = 0.0
 
     def documents(self) -> List[Document]:
         """Materialize the pool (documents are rebuilt on every call)."""
@@ -206,6 +282,7 @@ class RandomDocumentPool:
                 max_depth=self.max_depth,
                 max_children=self.max_children,
                 tags=self.tags,
+                attribute_probability=self.attribute_probability,
                 seed=seed,
             )
             for seed in self.seeds

@@ -1,30 +1,40 @@
 """Node model for the simplified XML documents of the paper (Section 2).
 
 The paper leaves out namespaces, comments, processing instructions,
-attributes, references and whitespace handling, so a document consists of
+references and whitespace handling; this reproduction extends the paper's
+attribute-free model with *attribute* nodes (real SDI subscription workloads
+are dominated by attribute-qualified queries), so a document consists of
 
 * exactly one *root* node (the document node of DOM / the XQuery data model,
   which is **not** the outermost element),
-* *element* nodes with a tag name, and
+* *element* nodes with a tag name and an ordered list of attributes,
+* *attribute* nodes (name/value pairs owned by an element), and
 * *text* nodes (leaves).
 
 Every node carries a ``position``: its index in document order (pre-order,
-root = 0).  Document order is the basis of the ``preceding``/``following``
-axes and of node identity comparisons in the streaming evaluator.
+root = 0).  Attribute nodes occupy the positions immediately after their
+owner element and before its first child, mirroring when they appear on a
+SAX stream.  Document order is the basis of the ``preceding``/``following``
+axes and of node identity comparisons in the streaming evaluator — with the
+model's deliberate restriction that attribute nodes are reachable *only*
+through the ``attribute`` axis (downward) and ``parent``/``ancestor``
+(upward): they have no siblings, no descendants, and take part in neither
+``preceding`` nor ``following``.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import Iterator, List, Optional
+from typing import Iterable, Iterator, List, Optional, Tuple
 
 
 class NodeKind(enum.Enum):
-    """The three node kinds of the simplified data model."""
+    """The four node kinds of the (attribute-extended) data model."""
 
     ROOT = "root"
     ELEMENT = "element"
     TEXT = "text"
+    ATTRIBUTE = "attribute"
 
 
 class XMLNode:
@@ -39,13 +49,20 @@ class XMLNode:
     kind:
         One of :class:`NodeKind`.
     tag:
-        The element tag name (``None`` for root and text nodes).
+        The element tag name, or the attribute name for attribute nodes
+        (``None`` for root and text nodes).
     value:
-        The character content (``None`` for root and element nodes).
+        The character content of text nodes and the value of attribute nodes
+        (``None`` for root and element nodes).
     parent:
-        The parent node, or ``None`` for the root.
+        The parent node, or ``None`` for the root.  The parent of an
+        attribute node is its owner element.
     children:
-        List of child nodes in document order.
+        List of child nodes in document order.  Attribute nodes are **not**
+        children; they live in :attr:`attributes`.
+    attributes:
+        The element's attribute nodes in document order (always empty for
+        non-element nodes).
     position:
         Pre-order index of this node within its document (root is 0).
     """
@@ -56,6 +73,7 @@ class XMLNode:
         "value",
         "parent",
         "children",
+        "attributes",
         "position",
         "_subtree_end",
         "_sibling_index",
@@ -70,11 +88,14 @@ class XMLNode:
             raise ValueError("text nodes require a value")
         if kind is NodeKind.ROOT and (tag or value):
             raise ValueError("the root node carries no tag and no value")
+        if kind is NodeKind.ATTRIBUTE and (not tag or value is None):
+            raise ValueError("attribute nodes require a name and a value")
         self.kind = kind
         self.tag = tag
         self.value = value
         self.parent: Optional[XMLNode] = None
         self.children: List[XMLNode] = []
+        self.attributes: List[XMLNode] = []
         self.position: int = -1
         # Index of the last position in this node's subtree; filled in when
         # the document is finalized.  Used for O(1) descendant checks.
@@ -101,6 +122,11 @@ class XMLNode:
         return self.kind is NodeKind.TEXT
 
     @property
+    def is_attribute(self) -> bool:
+        """``True`` for attribute nodes."""
+        return self.kind is NodeKind.ATTRIBUTE
+
+    @property
     def is_leaf(self) -> bool:
         """``True`` when the node has no children (empty element or text)."""
         return not self.children
@@ -112,12 +138,46 @@ class XMLNode:
 
     def append_child(self, child: "XMLNode") -> "XMLNode":
         """Attach ``child`` as the last child of this node and return it."""
-        if self.is_text:
-            raise ValueError("text nodes cannot have children")
+        if self.is_text or self.is_attribute:
+            raise ValueError("text and attribute nodes cannot have children")
+        if child.is_attribute:
+            raise ValueError(
+                "attribute nodes are not children; use set_attributes()")
         child.parent = self
         child._sibling_index = len(self.children)
         self.children.append(child)
         return child
+
+    def set_attributes(self, attributes: Iterable[Tuple[str, str]]) -> None:
+        """Replace this element's attributes with ``(name, value)`` pairs.
+
+        Attribute nodes keep document order; duplicate names are rejected as
+        they would be by the XML parser.
+        """
+        if not self.is_element:
+            raise ValueError("only element nodes carry attributes")
+        nodes: List[XMLNode] = []
+        seen = set()
+        for name, value in attributes:
+            if name in seen:
+                raise ValueError(f"duplicate attribute {name!r}")
+            seen.add(name)
+            attribute = XMLNode(NodeKind.ATTRIBUTE, tag=name, value=value)
+            attribute.parent = self
+            nodes.append(attribute)
+        self.attributes = nodes
+
+    def get_attribute(self, name: str) -> Optional[str]:
+        """The value of the attribute ``name``, or ``None`` when absent."""
+        for attribute in self.attributes:
+            if attribute.tag == name:
+                return attribute.value
+        return None
+
+    def attribute_items(self) -> Tuple[Tuple[str, str], ...]:
+        """The attributes as ``(name, value)`` pairs in document order."""
+        return tuple((attribute.tag or "", attribute.value or "")
+                     for attribute in self.attributes)
 
     # ------------------------------------------------------------------
     # Document-order relationships (used by the axis implementations)
@@ -161,8 +221,12 @@ class XMLNode:
             node = node.parent
 
     def iter_following_siblings(self) -> Iterator["XMLNode"]:
-        """Yield siblings after this node, in document order."""
-        if self.parent is None:
+        """Yield siblings after this node, in document order.
+
+        Attribute nodes have no siblings (they are not children of their
+        owner), so the iterator is empty for them.
+        """
+        if self.parent is None or self.is_attribute:
             return
         yield from self.parent.children[self._sibling_index + 1:]
 
@@ -173,14 +237,18 @@ class XMLNode:
         evaluator turns results back into document-ordered sets, so the
         iteration order here only matters for readability of traces.
         """
-        if self.parent is None:
+        if self.parent is None or self.is_attribute:
             return
         for child in reversed(self.parent.children[: self._sibling_index]):
             yield child
 
     def text_content(self) -> str:
-        """Concatenated character data of the subtree (string value)."""
-        if self.is_text:
+        """Concatenated character data of the subtree (string value).
+
+        The string value of an attribute node is its value; attribute values
+        do not contribute to their owner element's string value (XPath 1.0).
+        """
+        if self.is_text or self.is_attribute:
             return self.value or ""
         return "".join(child.text_content() for child in self.children)
 
@@ -194,6 +262,8 @@ class XMLNode:
         if self.is_text:
             preview = (self.value or "")[:20]
             return f"#text({preview!r})"
+        if self.is_attribute:
+            return f"@{self.tag}={(self.value or '')[:20]!r}"
         return f"<{self.tag}>@{self.position}"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

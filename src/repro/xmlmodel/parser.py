@@ -3,13 +3,17 @@
 Two independent front ends produce the same event stream:
 
 * :class:`PushTokenizer` / :func:`iter_events` — a small, dependency-free
-  tokenizer for the simplified XML dialect of the paper (elements and
-  character data; attributes, comments, processing instructions and the XML
-  declaration are accepted on input but dropped, matching Section 2
-  "specificities of XML that are irrelevant to the issue of concern are left
-  out").  The tokenizer is *incremental*: input arrives through
-  ``feed(chunk)`` in arbitrarily split ``str``/``bytes`` pieces — mid-tag,
-  mid-entity, mid-CDATA — and events come out as soon as they are complete.
+  tokenizer for the simplified XML dialect of the paper extended with
+  attributes (elements, attributes and character data; comments, processing
+  instructions and the XML declaration are accepted on input but dropped,
+  matching Section 2 "specificities of XML that are irrelevant to the issue
+  of concern are left out").  Attributes are parsed from start tags — quoted
+  values with either quote style, entity references inside values, XML
+  whitespace normalization — and delivered on the
+  :class:`~repro.xmlmodel.events.StartElement` event.  The tokenizer is
+  *incremental*: input arrives through ``feed(chunk)`` in arbitrarily split
+  ``str``/``bytes`` pieces — mid-tag, mid-attribute-value, mid-entity,
+  mid-CDATA — and events come out as soon as they are complete.
   :func:`iter_events` is a thin pull-mode wrapper over it.
 * :func:`iter_events_sax` — the same stream produced through the standard
   library's :mod:`xml.sax` parser, useful as a cross-check and for documents
@@ -78,11 +82,104 @@ def _decode_entities(raw: str, offset: int) -> str:
 
 
 def _parse_tag_name(content: str, offset: int) -> str:
-    """Extract the element name from the inside of a tag."""
+    """Extract the element name from the inside of a (closing) tag."""
     name = content.split()[0] if content.split() else ""
     if not name:
         raise XMLSyntaxError("empty tag name", offset)
     return name
+
+
+_WHITESPACE = " \t\n\r"
+
+
+def _normalize_attribute_value(raw: str, offset: int) -> str:
+    """Decode an attribute value: whitespace normalization, then entities.
+
+    XML end-of-line handling collapses a literal ``\\r\\n`` pair to one
+    newline first; then literal tabs/newlines become spaces, all *before*
+    entity decoding so character references (``&#10;``) survive verbatim —
+    the order prescribed by the XML attribute-value normalization algorithm
+    and implemented by expat, keeping the hand tokenizer byte-for-byte
+    compatible with the :mod:`xml.sax` front end.
+    """
+    if "\r" in raw:
+        raw = raw.replace("\r\n", "\n")
+    for char in "\t\n\r":
+        if char in raw:
+            raw = raw.replace(char, " ")
+    return _decode_entities(raw, offset)
+
+
+def _parse_start_tag(content: str, offset: int):
+    """Parse the inside of a start tag into ``(name, attributes)``.
+
+    ``attributes`` is a tuple of ``(name, value)`` pairs in document order.
+    Values must be quoted (either quote style); the five predefined entities
+    and character references are decoded; duplicate attribute names are
+    rejected, as the SAX front end rejects them.
+    """
+    length = len(content)
+    i = 0
+    while i < length and content[i] not in _WHITESPACE:
+        i += 1
+    name = content[:i]
+    if not name:
+        raise XMLSyntaxError("empty tag name", offset)
+    attributes = []
+    seen = set()
+    while True:
+        while i < length and content[i] in _WHITESPACE:
+            i += 1
+        if i >= length:
+            break
+        start = i
+        while i < length and content[i] not in _WHITESPACE and content[i] != "=":
+            i += 1
+        attr_name = content[start:i]
+        if not attr_name or not (attr_name[0].isalpha()
+                                 or attr_name[0] in "_:"):
+            raise XMLSyntaxError(
+                f"malformed attribute name {attr_name!r} in <{name}> tag",
+                offset + start)
+        while i < length and content[i] in _WHITESPACE:
+            i += 1
+        if i >= length or content[i] != "=":
+            raise XMLSyntaxError(
+                f"attribute {attr_name!r} is missing '=value'", offset + i)
+        i += 1
+        while i < length and content[i] in _WHITESPACE:
+            i += 1
+        if i >= length or content[i] not in "\"'":
+            raise XMLSyntaxError(
+                f"attribute {attr_name!r} requires a quoted value",
+                offset + i)
+        quote = content[i]
+        i += 1
+        end = content.find(quote, i)
+        if end == -1:
+            raise XMLSyntaxError(
+                f"unterminated value of attribute {attr_name!r}", offset + i)
+        if "<" in content[i:end]:
+            # XML 1.0 forbids a raw '<' in attribute values (write &lt;);
+            # the SAX front end rejects it, so the hand tokenizer must too.
+            raise XMLSyntaxError(
+                f"literal '<' in value of attribute {attr_name!r}",
+                offset + i)
+        if attr_name in seen:
+            raise XMLSyntaxError(
+                f"duplicate attribute {attr_name!r} in <{name}> tag",
+                offset + start)
+        seen.add(attr_name)
+        attributes.append(
+            (attr_name, _normalize_attribute_value(content[i:end], offset + i)))
+        i = end + 1
+        if i < length and content[i] not in _WHITESPACE:
+            # '<a x="1"y="2">' — conforming parsers (and the SAX front end)
+            # require whitespace between attributes.
+            raise XMLSyntaxError(
+                f"missing whitespace after attribute {attr_name!r} in "
+                f"<{name}> tag", offset + i)
+    return name, tuple(attributes)
 
 
 #: Markup openers that need more than two characters to classify.  A buffer
@@ -125,6 +222,9 @@ class PushTokenizer:
         #: construct, so byte-at-a-time feeding does not rescan the construct
         #: from its start on every call.
         self._search_from = 0
+        #: Open quote character while resuming inside an element tag whose
+        #: attribute value contains ``>`` (the tag-end scan is quote-aware).
+        self._tag_quote = ""
         self._next_id = 1
         self._open_tags: List[Tuple[str, int]] = []  # (tag, node_id)
         #: Undecoded character data of the current run (between two markup
@@ -268,6 +368,36 @@ class PushTokenizer:
             self._search_from = 0
         return position
 
+    def _scan_tag_end(self, buf: str, construct_start: int) -> int:
+        """Find the ``>`` closing an element tag, skipping quoted values.
+
+        Attribute values may contain a literal ``>``, so the plain
+        terminator search of :meth:`_scan_to` would truncate the tag.  Like
+        :meth:`_scan_to` this resumes where the previous miss stopped
+        (``_search_from``), additionally carrying the open-quote state across
+        chunk boundaries in ``_tag_quote``.
+        """
+        start = max(construct_start + 1,
+                    construct_start + self._search_from)
+        quote = self._tag_quote
+        length = len(buf)
+        i = start
+        while i < length:
+            char = buf[i]
+            if quote:
+                if char == quote:
+                    quote = ""
+            elif char == '"' or char == "'":
+                quote = char
+            elif char == ">":
+                self._search_from = 0
+                self._tag_quote = ""
+                return i
+            i += 1
+        self._search_from = length - construct_start
+        self._tag_quote = quote
+        return -1
+
     def _scan(self, events: List[Event]) -> None:
         buf = self._buf
         length = len(buf)
@@ -326,7 +456,7 @@ class PushTokenizer:
                     break
                 pos = end + 1
                 continue
-            close = self._scan_to(buf, ">", pos, pos + 1)
+            close = self._scan_tag_end(buf, pos)
             if close == -1:
                 break
             content = buf[pos + 1:close]
@@ -344,15 +474,20 @@ class PushTokenizer:
                         f"expected </{expected}>", position)
                 events.append(EndElement(tag=tag, node_id=node_id))
             elif content.endswith("/"):
-                tag = _parse_tag_name(content[:-1], position)
-                events.append(StartElement(tag=tag, node_id=self._next_id))
-                events.append(EndElement(tag=tag, node_id=self._next_id))
-                self._next_id += 1
+                tag, attributes = _parse_start_tag(content[:-1], position)
+                node_id = self._next_id
+                events.append(StartElement(tag=tag, node_id=node_id,
+                                           attributes=attributes))
+                events.append(EndElement(tag=tag, node_id=node_id))
+                # Attribute nodes claim the ids right after their element.
+                self._next_id += 1 + len(attributes)
             else:
-                tag = _parse_tag_name(content, position)
-                events.append(StartElement(tag=tag, node_id=self._next_id))
-                self._open_tags.append((tag, self._next_id))
-                self._next_id += 1
+                tag, attributes = _parse_start_tag(content, position)
+                node_id = self._next_id
+                events.append(StartElement(tag=tag, node_id=node_id,
+                                           attributes=attributes))
+                self._open_tags.append((tag, node_id))
+                self._next_id += 1 + len(attributes)
             pos = close + 1
         self._trim(pos)
 
@@ -427,9 +562,15 @@ class _SAXEventCollector(xml.sax.handler.ContentHandler):
 
     def startElement(self, name, attrs):  # noqa: N802
         self._flush_text()
-        self.events.append(StartElement(tag=name, node_id=self._next_id))
+        # ``attrs`` preserves document order (expat fills an insertion-
+        # ordered dict); attribute nodes claim the ids right after their
+        # element, exactly as the hand tokenizer numbers them.
+        attributes = tuple((attr_name, attrs.getValue(attr_name))
+                           for attr_name in attrs.getNames())
+        self.events.append(StartElement(tag=name, node_id=self._next_id,
+                                        attributes=attributes))
         self._open_ids.append((name, self._next_id))
-        self._next_id += 1
+        self._next_id += 1 + len(attributes)
 
     def endElement(self, name):  # noqa: N802
         self._flush_text()

@@ -13,6 +13,18 @@ _ESCAPES = {
     ">": "&gt;",
 }
 
+_ATTRIBUTE_ESCAPES = {
+    "&": "&amp;",
+    "<": "&lt;",
+    ">": "&gt;",
+    '"': "&quot;",
+    # Whitespace as character references: a literal tab/newline would be
+    # normalized to a space on re-parse, corrupting the value round-trip.
+    "\t": "&#9;",
+    "\n": "&#10;",
+    "\r": "&#13;",
+}
+
 
 def escape_text(value: str) -> str:
     """Escape character data for inclusion in XML text."""
@@ -20,6 +32,23 @@ def escape_text(value: str) -> str:
     for char, entity in _ESCAPES.items():
         out = out.replace(char, entity)
     return out
+
+
+def escape_attribute(value: str) -> str:
+    """Escape an attribute value for inclusion in a double-quoted literal."""
+    out = value
+    for char, entity in _ATTRIBUTE_ESCAPES.items():
+        out = out.replace(char, entity)
+    return out
+
+
+def _start_tag_body(node: XMLNode) -> str:
+    """The inside of a start tag: tag name plus serialized attributes."""
+    parts = [node.tag or ""]
+    for attribute in node.attributes:
+        parts.append(
+            f'{attribute.tag}="{escape_attribute(attribute.value or "")}"')
+    return " ".join(parts)
 
 
 def to_xml(document: Document, indent: int = 2) -> str:
@@ -37,15 +66,16 @@ def to_xml(document: Document, indent: int = 2) -> str:
             lines.append(f"{pad}{escape_text(node.value or '')}")
             return
         tag = node.tag or ""
+        body = _start_tag_body(node)
         if not node.children:
-            lines.append(f"{pad}<{tag} />")
+            lines.append(f"{pad}<{body} />")
             return
         only_text = all(child.is_text for child in node.children)
         if only_text:
             content = "".join(escape_text(child.value or "") for child in node.children)
-            lines.append(f"{pad}<{tag}>{content}</{tag}>")
+            lines.append(f"{pad}<{body}>{content}</{tag}>")
             return
-        lines.append(f"{pad}<{tag}>")
+        lines.append(f"{pad}<{body}>")
         for child in node.children:
             render(child, depth + 1)
         lines.append(f"{pad}</{tag}>")

@@ -5,6 +5,29 @@ syntax, a lexer and recursive-descent parser accepting both abbreviated and
 unabbreviated XPath syntax, a serializer producing unabbreviated syntax, and
 structural analysis helpers (path length, reverse-step detection, RR-join
 detection).
+
+Supported grammar — the paper's fragment::
+
+    path     ::= path | path  |  / path  |  path / path  |  path [ qualif ]
+              |  axis :: nodetest  |  ⊥
+    qualif   ::= qualif and qualif  |  qualif or qualif  |  ( qualif )
+              |  path = path  |  path == path  |  path
+    axis     ::= self | child | descendant | descendant-or-self | following
+              |  following-sibling | parent | ancestor | ancestor-or-self
+              |  preceding | preceding-sibling
+    nodetest ::= tagname | * | text() | node()
+
+plus the **attribute extension** (beyond the paper's fragment, motivated by
+real SDI subscription workloads; see
+:func:`repro.xpath.analysis.has_attribute_steps` to detect its use)::
+
+    axis     ::= ... | attribute            (abbreviated @)
+    nodetest ::= ... | @tagname | @*        (on the attribute axis)
+    qualif   ::= ... | path = "literal" | "literal" = path
+
+Abbreviations ``//``, ``.``, ``..``, ``@name`` and bare tag names expand
+during parsing.  The namespace axis stays outside the model and is rejected
+with an error naming the offending token.
 """
 
 from repro.xpath.axes import Axis
@@ -12,6 +35,7 @@ from repro.xpath.ast import (
     AndExpr,
     Bottom,
     Comparison,
+    Literal,
     LocationPath,
     NodeTest,
     NodeTestKind,
@@ -48,6 +72,7 @@ __all__ = [
     "LocationPath",
     "Union",
     "Bottom",
+    "Literal",
     "PathExpr",
     "Qualifier",
     "PathQualifier",

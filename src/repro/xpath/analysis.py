@@ -20,6 +20,7 @@ from repro.xpath.ast import (
     AndExpr,
     Bottom,
     Comparison,
+    Literal,
     LocationPath,
     OrExpr,
     PathExpr,
@@ -28,6 +29,7 @@ from repro.xpath.ast import (
     Step,
     Union,
 )
+from repro.xpath.axes import Axis
 
 
 # ---------------------------------------------------------------------------
@@ -39,9 +41,10 @@ def iter_steps(path: PathExpr) -> Iterator[Step]:
 
     Steps are yielded in left-to-right reading order: for each spine step,
     the step itself first, then the steps of its qualifiers.  This is the
-    order in which ``rare`` eliminates reverse steps.
+    order in which ``rare`` eliminates reverse steps.  String literals
+    (comparison operands of the attribute extension) contain no steps.
     """
-    if isinstance(path, Bottom):
+    if isinstance(path, (Bottom, Literal)):
         return
     if isinstance(path, Union):
         for member in path.members:
@@ -84,7 +87,7 @@ def path_length(path: PathExpr) -> int:
 
 def spine_length(path: PathExpr) -> int:
     """Number of steps on the main spine only (maximum over union members)."""
-    if isinstance(path, Bottom):
+    if isinstance(path, (Bottom, Literal)):
         return 0
     if isinstance(path, Union):
         return max(spine_length(member) for member in path.members)
@@ -95,7 +98,7 @@ def spine_length(path: PathExpr) -> int:
 
 def union_term_count(path: PathExpr) -> int:
     """Number of top-level union members (1 for a plain path, 0 for ⊥)."""
-    if isinstance(path, Bottom):
+    if isinstance(path, (Bottom, Literal)):
         return 0
     if isinstance(path, Union):
         return sum(union_term_count(member) or 1 for member in path.members)
@@ -117,6 +120,25 @@ def has_reverse_steps(path: PathExpr) -> bool:
     return any(step.is_reverse for step in iter_steps(path))
 
 
+def count_attribute_steps(path: PathExpr) -> int:
+    """Number of attribute-axis steps anywhere in the expression."""
+    return sum(1 for step in iter_steps(path) if step.axis is Axis.ATTRIBUTE)
+
+
+def has_attribute_steps(path: PathExpr) -> bool:
+    """Whether the expression uses the attribute extension anywhere.
+
+    True when any step navigates the attribute axis *or* any comparison
+    operand is a string literal — both lie outside the paper's fragment.
+    """
+    if any(step.axis is Axis.ATTRIBUTE for step in iter_steps(path)):
+        return True
+    return any(
+        isinstance(comparison.left, Literal)
+        or isinstance(comparison.right, Literal)
+        for comparison in iter_comparisons(path))
+
+
 def count_joins(path: PathExpr) -> int:
     """Number of join comparisons (``=`` or ``==``) anywhere in the expression.
 
@@ -126,7 +148,7 @@ def count_joins(path: PathExpr) -> int:
     counter.
     """
     count = 0
-    if isinstance(path, Bottom):
+    if isinstance(path, (Bottom, Literal)):
         return 0
     if isinstance(path, Union):
         return sum(count_joins(member) for member in path.members)
@@ -156,9 +178,10 @@ def is_absolute(path: PathExpr) -> bool:
     """Whether the path is absolute in the sense of Section 2.1.
 
     A union is absolute iff all of its members are; ⊥ is treated as absolute
-    (it is the canonical equivalent of absolute paths selecting nothing).
+    (it is the canonical equivalent of absolute paths selecting nothing), and
+    so are string literals (their value never depends on the context node).
     """
-    if isinstance(path, Bottom):
+    if isinstance(path, (Bottom, Literal)):
         return True
     if isinstance(path, Union):
         return all(is_absolute(member) for member in path.members)
@@ -182,7 +205,7 @@ def is_rr_join(comparison: Comparison) -> bool:
 
 def iter_comparisons(path: PathExpr) -> Iterator[Comparison]:
     """Yield every comparison qualifier anywhere in the expression."""
-    if isinstance(path, Bottom):
+    if isinstance(path, (Bottom, Literal)):
         return
     if isinstance(path, Union):
         for member in path.members:
@@ -240,7 +263,7 @@ def spine_sequences(path: PathExpr) -> List[Tuple[Step, ...]]:
     two subscriptions share matching state exactly on the common prefixes of
     these sequences.
     """
-    if isinstance(path, Bottom):
+    if isinstance(path, (Bottom, Literal)):
         return []
     if isinstance(path, Union):
         sequences: List[Tuple[Step, ...]] = []
@@ -311,6 +334,7 @@ def summarize(path: PathExpr) -> dict:
         "union_terms": union_term_count(path),
         "reverse_steps": count_reverse_steps(path),
         "forward_steps": count_forward_steps(path),
+        "attribute_steps": count_attribute_steps(path),
         "joins": count_joins(path),
         "absolute": is_absolute(path),
     }

@@ -25,24 +25,27 @@ paths structurally.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Iterable, Iterator, Optional, Tuple, Union as TypingUnion
 
 from repro.xpath.axes import Axis
 
 
 class NodeTestKind(enum.Enum):
-    """The four node tests of xPath."""
+    """The four node tests of xPath, plus the attribute extension."""
 
     NAME = "name"        # a tag name
     WILDCARD = "*"       # any element
     TEXT = "text()"      # any text node
     NODE = "node()"      # any node
+    #: Extension: an attribute node, optionally restricted to one name
+    #: (``@price`` / ``attribute::price``) or any (``@*``).
+    ATTRIBUTE = "attribute"
 
 
 @dataclass(frozen=True)
 class NodeTest:
-    """A node test: tag name, ``*``, ``text()`` or ``node()``."""
+    """A node test: tag name, ``*``, ``text()``, ``node()`` or ``@name``."""
 
     kind: NodeTestKind
     name: Optional[str] = None
@@ -50,7 +53,8 @@ class NodeTest:
     def __post_init__(self):
         if self.kind is NodeTestKind.NAME and not self.name:
             raise ValueError("NAME node tests require a tag name")
-        if self.kind is not NodeTestKind.NAME and self.name is not None:
+        if (self.kind not in (NodeTestKind.NAME, NodeTestKind.ATTRIBUTE)
+                and self.name is not None):
             raise ValueError(f"{self.kind} node tests carry no name")
 
     # Convenience constructors ------------------------------------------------
@@ -74,14 +78,26 @@ class NodeTest:
         """The ``node()`` node test (any node)."""
         return NodeTest(NodeTestKind.NODE)
 
+    @staticmethod
+    def attribute(name: Optional[str] = None) -> "NodeTest":
+        """An attribute node test: ``@name``, or ``@*`` when ``name`` is None."""
+        return NodeTest(NodeTestKind.ATTRIBUTE, name)
+
     @property
     def is_node(self) -> bool:
         """``True`` for the ``node()`` test."""
         return self.kind is NodeTestKind.NODE
 
+    @property
+    def is_attribute(self) -> bool:
+        """``True`` for attribute node tests (named or ``@*``)."""
+        return self.kind is NodeTestKind.ATTRIBUTE
+
     def __str__(self) -> str:
         if self.kind is NodeTestKind.NAME:
             return self.name or ""
+        if self.kind is NodeTestKind.ATTRIBUTE:
+            return self.name or "*"
         return self.kind.value
 
 
@@ -249,6 +265,21 @@ class Bottom(PathExpr):
     """The canonical empty path ``⊥`` which never selects any node."""
 
 
+@dataclass(frozen=True)
+class Literal(PathExpr):
+    """A string literal, usable only as a ``=`` comparison operand.
+
+    Part of the attribute extension: qualifiers like ``[@id = "42"]``
+    compare a node set's string values against a constant.  A literal is not
+    a node-selecting path — the parser only accepts it as an operand of a
+    value comparison, never on the spine, in a union, or beside ``==``
+    (node-identity needs nodes on both sides).  It is context-independent,
+    so the analysis helpers treat it like an absolute operand.
+    """
+
+    value: str
+
+
 # ---------------------------------------------------------------------------
 # Convenience constructors used pervasively by the rewrite rules and tests
 # ---------------------------------------------------------------------------
@@ -258,10 +289,18 @@ def step(axis: Axis, node_test: TypingUnion[NodeTest, str],
     """Build a step; string node tests are interpreted like the parser does.
 
     ``"*"`` becomes the wildcard test, ``"node()"`` / ``"text()"`` the
-    corresponding kind tests, anything else a tag-name test.
+    corresponding kind tests, ``"@name"`` / ``"@*"`` attribute tests, and
+    anything else a tag-name test.  On the attribute axis a bare name or
+    ``*`` is normalized to the attribute test, as the parser does.
     """
     if isinstance(node_test, str):
-        if node_test == "*":
+        if node_test.startswith("@"):
+            name = node_test[1:]
+            node_test = NodeTest.attribute(None if name in ("", "*") else name)
+        elif axis is Axis.ATTRIBUTE:
+            node_test = NodeTest.attribute(None if node_test in ("*", "node()")
+                                           else node_test)
+        elif node_test == "*":
             node_test = NodeTest.any_element()
         elif node_test == "node()":
             node_test = NodeTest.node()

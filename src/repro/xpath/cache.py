@@ -49,8 +49,8 @@ class QueryCache:
         if maxsize < 1:
             raise ValueError("maxsize must be positive")
         self.maxsize = maxsize
-        self._entries: "OrderedDict[Tuple[Hashable, Hashable], PathExpr]" = \
-            OrderedDict()
+        self._entries: "OrderedDict[Tuple[Hashable, Hashable], PathExpr]" = (
+            OrderedDict())
         self._hits = 0
         self._misses = 0
 

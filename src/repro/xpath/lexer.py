@@ -33,6 +33,7 @@ class TokenType(enum.Enum):
     STAR = "*"
     AT = "@"
     NAME = "name"
+    LITERAL = "literal"
     BOTTOM = "bottom"
     END = "end"
 
@@ -68,11 +69,15 @@ def _is_name_char(char: str) -> bool:
 def tokenize(expression: str) -> List[Token]:
     """Tokenize ``expression`` into a list ending with an END token.
 
+    Quoted string literals (``"v"`` or ``'v'``, no escapes — XPath 1.0
+    style) are produced as ``LITERAL`` tokens; the parser only accepts them
+    as value-comparison operands.  This is part of the attribute extension
+    (``[@id = "42"]``), beyond the paper's fragment.
+
     Raises
     ------
     XPathSyntaxError
-        On characters outside the language (e.g. quotes — literals are not
-        part of the paper's fragment).
+        On characters outside the language and on unterminated literals.
     """
     tokens: List[Token] = []
     i = 0
@@ -115,6 +120,14 @@ def tokenize(expression: str) -> List[Token]:
         if char in _SIMPLE_TOKENS:
             tokens.append(Token(_SIMPLE_TOKENS[char], char, i))
             i += 1
+            continue
+        if char in "\"'":
+            end = expression.find(char, i + 1)
+            if end == -1:
+                raise XPathSyntaxError("unterminated string literal", i,
+                                       expression)
+            tokens.append(Token(TokenType.LITERAL, expression[i + 1:end], i))
+            i = end + 1
             continue
         if char == "⊥":  # ⊥
             tokens.append(Token(TokenType.BOTTOM, char, i))

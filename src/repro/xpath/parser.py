@@ -5,28 +5,34 @@ The parser accepts both the unabbreviated syntax used throughout the paper
 (``//price``, ``.``, ``..``, bare tag names for ``child::``).  Abbreviations
 are expanded during parsing, so the AST only ever contains explicit axes.
 
-The attribute axis (``@``) is outside the paper's data model and is rejected
-with a clear error message.
+Beyond the paper's fragment, the parser supports the attribute extension:
+``@name`` / ``@*`` (abbreviations for ``attribute::name`` /
+``attribute::*``), the explicit ``attribute::`` axis, and string literals as
+value-comparison operands (``[@id = "42"]``).  Node tests on the attribute
+axis are normalized to the attribute node-test kind, so ``@price`` and
+``attribute::price`` produce identical ASTs.  The namespace axis stays
+outside the model and is rejected with an error naming the offending token.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from repro.errors import XPathSyntaxError
 from repro.xpath.ast import (
     AndExpr,
     Bottom,
     Comparison,
+    Literal,
     LocationPath,
     NodeTest,
+    NodeTestKind,
     OrExpr,
     PathExpr,
     PathQualifier,
     Qualifier,
     Step,
     Union,
-    union_of,
 )
 from repro.xpath.axes import Axis
 from repro.xpath.lexer import Token, TokenType, tokenize
@@ -124,7 +130,11 @@ class _Parser:
     def parse_step(self) -> Step:
         token = self.current
         if token.type is TokenType.AT:
-            raise self.error("the attribute axis is outside the paper's language")
+            # ``@name`` / ``@*`` abbreviate ``attribute::name`` / ``@*``.
+            self.advance()
+            node_test = self._attribute_node_test(self.parse_node_test())
+            return self._with_predicates(
+                Step(axis=Axis.ATTRIBUTE, node_test=node_test))
         if token.type is TokenType.DOT:
             self.advance()
             return self._with_predicates(Step(axis=Axis.SELF, node_test=NodeTest.node()))
@@ -136,11 +146,34 @@ class _Parser:
             try:
                 axis = Axis.from_name(token.value)
             except KeyError:
-                raise self.error(f"unknown axis {token.value!r}") from None
+                # Genuinely unsupported constructs keep a rejection message
+                # that names the offending token (the attribute axis is an
+                # accepted extension and no longer lands here).
+                raise self.error(
+                    f"the axis {token.value!r} is outside the supported "
+                    f"language (paper fragment plus the attribute "
+                    f"extension)") from None
             self.advance()
             self.advance()  # '::'
         node_test = self.parse_node_test()
+        if axis is Axis.ATTRIBUTE:
+            node_test = self._attribute_node_test(node_test)
         return self._with_predicates(Step(axis=axis, node_test=node_test))
+
+    def _attribute_node_test(self, node_test: NodeTest) -> NodeTest:
+        """Normalize a node test on the attribute axis.
+
+        A bare name selects the attribute with that name; ``*`` and
+        ``node()`` select any attribute (the axis only holds attribute
+        nodes); ``text()`` can never match and is rejected.
+        """
+        if node_test.kind is NodeTestKind.NAME:
+            return NodeTest.attribute(node_test.name)
+        if node_test.kind in (NodeTestKind.WILDCARD, NodeTestKind.NODE):
+            return NodeTest.attribute(None)
+        if node_test.kind is NodeTestKind.ATTRIBUTE:  # pragma: no cover
+            return node_test
+        raise self.error("text() cannot occur on the attribute axis")
 
     def parse_node_test(self) -> NodeTest:
         token = self.current
@@ -193,6 +226,20 @@ class _Parser:
         return left
 
     def parse_comparison(self) -> Qualifier:
+        if self.current.type is TokenType.LITERAL:
+            # A literal can only be the operand of a value comparison.
+            left: PathExpr = Literal(self.advance().value)
+            if self.current.type is TokenType.NODE_EQUALS:
+                raise self.error(
+                    "'==' is node identity; string literals only compare "
+                    "with '='")
+            if self.current.type is not TokenType.EQUALS:
+                raise self.error(
+                    "a string literal must be compared with '=' "
+                    "(bare literals are not qualifiers)")
+            self.advance()
+            return Comparison(left=left, op="=",
+                              right=self._parse_operand("="))
         if self.current.type is TokenType.LPAREN:
             self.advance()
             inner = self.parse_qualifier()
@@ -203,16 +250,25 @@ class _Parser:
                     and isinstance(inner, PathQualifier)):
                 op = "==" if self.current.type is TokenType.NODE_EQUALS else "="
                 self.advance()
-                right = self.parse_union()
-                return Comparison(left=inner.path, op=op, right=right)
+                return Comparison(left=inner.path, op=op,
+                                  right=self._parse_operand(op))
             return inner
         left = self.parse_union()
         if self.current.type in (TokenType.EQUALS, TokenType.NODE_EQUALS):
             op = "==" if self.current.type is TokenType.NODE_EQUALS else "="
             self.advance()
-            right = self.parse_union()
-            return Comparison(left=left, op=op, right=right)
+            return Comparison(left=left, op=op, right=self._parse_operand(op))
         return PathQualifier(path=left)
+
+    def _parse_operand(self, op: str) -> PathExpr:
+        """The right operand of a comparison: a union path or a literal."""
+        if self.current.type is TokenType.LITERAL:
+            if op == "==":
+                raise self.error(
+                    "'==' is node identity; string literals only compare "
+                    "with '='")
+            return Literal(self.advance().value)
+        return self.parse_union()
 
 
 def parse_xpath(expression: str) -> PathExpr:

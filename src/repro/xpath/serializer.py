@@ -12,6 +12,7 @@ from repro.xpath.ast import (
     AndExpr,
     Bottom,
     Comparison,
+    Literal,
     LocationPath,
     OrExpr,
     PathExpr,
@@ -25,14 +26,31 @@ BOTTOM_SYMBOL = "⊥"
 
 
 def to_string(path: PathExpr) -> str:
-    """Render a path expression as unabbreviated xPath text."""
+    """Render a path expression as unabbreviated xPath text.
+
+    Attribute steps render with the explicit axis (``attribute::price``)
+    like every other step; string literals pick whichever quote style does
+    not occur in the value (XPath 1.0 literals have no escapes).
+    """
     if isinstance(path, Bottom):
         return BOTTOM_SYMBOL
+    if isinstance(path, Literal):
+        return _literal(path)
     if isinstance(path, Union):
         return " | ".join(to_string(member) for member in path.members)
     if isinstance(path, LocationPath):
         return _location_path(path)
     raise TypeError(f"not a path expression: {path!r}")
+
+
+def _literal(literal: Literal) -> str:
+    if '"' not in literal.value:
+        return f'"{literal.value}"'
+    if "'" not in literal.value:
+        return f"'{literal.value}'"
+    raise ValueError(
+        f"string literal {literal.value!r} mixes both quote styles and "
+        f"cannot be written as an XPath 1.0 literal")
 
 
 def step_to_string(step: Step) -> str:

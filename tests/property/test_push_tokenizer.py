@@ -4,8 +4,10 @@ Feeding a document to :class:`repro.xmlmodel.parser.PushTokenizer` split at
 *every* 1-character boundary, at every 1-**byte** boundary (UTF-8, so splits
 land inside multi-byte sequences), and at random multi-character boundaries
 must produce exactly the event stream of :func:`iter_events` on the whole
-string — including when the splits fall inside tags, entity references,
-comments, processing instructions and CDATA sections.
+string — including when the splits fall inside tags, attribute names,
+quoted attribute values (with entity references, ``>`` characters and
+multi-byte text inside), entity references in character data, comments,
+processing instructions and CDATA sections.
 """
 
 from hypothesis import given, settings, strategies as st
@@ -29,6 +31,22 @@ CDATA_SECTIONS = (
     "<![CDATA[verbatim <&> text]]>", "<![CDATA[]]>", "<![CDATA[a]b]]c]]>",
 )
 TAGS = ("a", "b", "list-item", "n1")
+#: Attribute payloads of start tags; chunk splits land inside the names,
+#: inside quoted values (either quote style), inside entity and character
+#: references within values, inside multi-byte value text, and right at a
+#: ``>`` that sits *inside* a quoted value.
+ATTRIBUTE_PAYLOADS = (
+    "",
+    ' id="1"',
+    " id='1'",
+    ' long-name="x &amp; y"',
+    ' a="1" b-c="2>3"',
+    ' x="café 漢字"',
+    ' refs="&#65;&#x42;&quot;"',
+    ' mixed=\'say "hi"\'',
+    '  spaced  =  "v"  flag=""',
+    ' ws="a\tb\nc"',
+)
 
 
 @st.composite
@@ -45,10 +63,11 @@ def _content(draw, depth):
 @st.composite
 def _element(draw, depth):
     tag = draw(st.sampled_from(TAGS))
+    attributes = draw(st.sampled_from(ATTRIBUTE_PAYLOADS))
     if depth <= 0 and draw(st.booleans()):
-        return f"<{tag}/>"
+        return f"<{tag}{attributes}/>"
     body = draw(_content(depth))
-    return f"<{tag}>{body}</{tag}>"
+    return f"<{tag}{attributes}>{body}</{tag}>"
 
 
 @st.composite

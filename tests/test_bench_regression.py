@@ -1,0 +1,114 @@
+"""Unit tests for the CI benchmark regression gate (repro.bench.regression)."""
+
+import json
+
+import pytest
+
+from repro.bench.regression import (
+    DEFAULT_TOLERANCE,
+    RegressionGateError,
+    check_regression,
+    extract_events_per_sec,
+    main,
+)
+
+
+def artifact(events_per_sec, subscriptions=1000, extra_scales=()):
+    scales = [{"subscriptions": 10, "events_per_sec_indexed": 99999}]
+    scales.extend(extra_scales)
+    scales.append({"subscriptions": subscriptions,
+                   "events_per_sec_indexed": events_per_sec})
+    return {"multi_query_sdi": {"scales": scales}}
+
+
+class TestExtract:
+    def test_picks_the_gated_scale(self):
+        assert extract_events_per_sec(artifact(2500)) == 2500
+
+    def test_missing_section_fails_loudly(self):
+        with pytest.raises(RegressionGateError):
+            extract_events_per_sec({"other_section": {}})
+
+    def test_missing_scale_fails_loudly(self):
+        data = {"multi_query_sdi": {"scales": [
+            {"subscriptions": 10, "events_per_sec_indexed": 1}]}}
+        with pytest.raises(RegressionGateError):
+            extract_events_per_sec(data)
+
+    def test_missing_metric_fails_loudly(self):
+        data = {"multi_query_sdi": {"scales": [{"subscriptions": 1000}]}}
+        with pytest.raises(RegressionGateError):
+            extract_events_per_sec(data)
+
+
+class TestCheckRegression:
+    def test_unchanged_throughput_passes(self):
+        report = check_regression(artifact(2000), artifact(2000))
+        assert report.ok
+        assert report.ratio == 1.0
+
+    def test_improvement_passes(self):
+        assert check_regression(artifact(2000), artifact(3000)).ok
+
+    def test_drop_within_tolerance_passes(self):
+        # 25% tolerance: 1500/2000 = 75% is exactly at the edge and passes.
+        assert check_regression(artifact(2000), artifact(1500)).ok
+
+    def test_drop_beyond_tolerance_fails(self):
+        report = check_regression(artifact(2000), artifact(1499))
+        assert not report.ok
+        assert "REGRESSION" in report.describe()
+
+    def test_custom_tolerance(self):
+        assert not check_regression(artifact(2000), artifact(1900),
+                                    tolerance=0.01).ok
+        assert check_regression(artifact(2000), artifact(1900),
+                                tolerance=0.10).ok
+
+    def test_tolerance_validated(self):
+        with pytest.raises(ValueError):
+            check_regression(artifact(1), artifact(1), tolerance=1.5)
+
+    def test_default_tolerance_is_25_percent(self):
+        assert DEFAULT_TOLERANCE == 0.25
+
+
+class TestMain:
+    def write(self, tmp_path, name, data):
+        path = tmp_path / name
+        path.write_text(json.dumps(data), encoding="utf-8")
+        return str(path)
+
+    def test_ok_exit_code(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", artifact(2000))
+        fresh = self.write(tmp_path, "fresh.json", artifact(2100))
+        assert main([base, fresh]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_regression_exit_code(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", artifact(2000))
+        fresh = self.write(tmp_path, "fresh.json", artifact(100))
+        assert main([base, fresh]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_broken_artifact_exit_code(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json", {"nope": 1})
+        fresh = self.write(tmp_path, "fresh.json", artifact(2000))
+        assert main([base, fresh]) == 2
+        assert "regression gate" in capsys.readouterr().err
+
+    def test_missing_file_exit_code(self, tmp_path):
+        fresh = self.write(tmp_path, "fresh.json", artifact(2000))
+        assert main([str(tmp_path / "absent.json"), fresh]) == 2
+
+    def test_gate_accepts_the_committed_artifact(self):
+        # The artifact committed at the repository root must always satisfy
+        # the gate's schema, or CI would fail on every build.
+        from repro.bench.reporting import (
+            MULTI_QUERY_SDI_ARTIFACT,
+            artifact_path,
+        )
+        with open(artifact_path(MULTI_QUERY_SDI_ARTIFACT),
+                  encoding="utf-8") as handle:
+            committed = json.load(handle)
+        assert extract_events_per_sec(committed) > 0

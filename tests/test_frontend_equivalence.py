@@ -39,9 +39,24 @@ EDGE_CASE_DOCUMENTS = [
     # Whitespace runs (dropped by default, kept on request).
     "<a>\n  <b/>\n  <c>  </c>\n</a>",
     "<a>  leading and trailing  </a>",
+    # Attributes: both quote styles, entities and character references in
+    # values, '>' inside a quoted value, whitespace normalization, and the
+    # node-id accounting for attribute nodes (they claim the ids right
+    # after their element, so every later node id shifts when they drift).
+    '<a id="1">x</a>',
+    "<a id='1' name='n'><b/></a>",
+    '<a title="x &amp; y &lt;z&gt;">t</a>',
+    '<a exp="1 &gt; 0" raw="2>3"/>',
+    '<a refs="&#65;&#x42;&quot;"/>',
+    "<a ws=\"one\ttwo\nthree\">v</a>",
+    '<item id="42"><price currency="EUR">9.99</price></item>',
+    '<a x="1">pre<b y="2"/>mid<c z="3">t</c>post</a>',
+    '<a empty=""/>',
     # Everything at once.
     "<catalogue><!--hdr--><journal>t1<![CDATA[&amp;]]>t2"
     "<?pi x?><price/></journal> <journal>x &gt; y</journal></catalogue>",
+    '<catalogue><journal issn="1234"><!--c-->x<price currency="USD"/>'
+    "y</journal></catalogue>",
 ]
 
 
@@ -80,6 +95,67 @@ class TestCommentSplitRepro:
         ours = [(type(e).__name__, e.node_id) for e in iter_events(xml)]
         sax = [(type(e).__name__, e.node_id) for e in iter_events_sax(xml)]
         assert ours == sax
+
+
+class TestAttributeParity:
+    """The attribute extension: both front ends agree on attributes AND ids."""
+
+    def test_attribute_values_identical(self):
+        xml = '<a id="1" name="x &amp; y">t</a>'
+        (ours,) = [e for e in iter_events(xml)
+                   if type(e).__name__ == "StartElement"]
+        (sax,) = [e for e in iter_events_sax(xml)
+                  if type(e).__name__ == "StartElement"]
+        assert ours.attributes == (("id", "1"), ("name", "x & y"))
+        assert ours == sax
+
+    def test_attribute_nodes_shift_later_ids(self):
+        # <a> is node 1, its two attributes claim 2 and 3, <b> gets 4.
+        xml = '<a p="1" q="2"><b/></a>'
+        ids = {e.tag: e.node_id for e in iter_events(xml)
+               if type(e).__name__ == "StartElement"}
+        assert ids == {"a": 1, "b": 4}
+        sax_ids = {e.tag: e.node_id for e in iter_events_sax(xml)
+                   if type(e).__name__ == "StartElement"}
+        assert sax_ids == ids
+
+    def test_crlf_in_value_collapses_to_one_space(self):
+        # XML end-of-line handling runs before attribute normalization:
+        # a literal \r\n pair becomes ONE space, as expat does.
+        xml = "<a x=\"p\r\nq\"/>"
+        (ours,) = [e for e in iter_events(xml)
+                   if type(e).__name__ == "StartElement"]
+        assert ours.attributes == (("x", "p q"),)
+        assert list(iter_events(xml)) == list(iter_events_sax(xml))
+
+    def test_duplicate_attribute_rejected(self):
+        from repro.errors import XMLSyntaxError
+        with pytest.raises(XMLSyntaxError):
+            list(iter_events('<a x="1" x="2"/>'))
+
+    def test_unquoted_value_rejected(self):
+        from repro.errors import XMLSyntaxError
+        with pytest.raises(XMLSyntaxError):
+            list(iter_events("<a x=1/>"))
+
+    def test_missing_whitespace_between_attributes_rejected(self):
+        # SAX rejects '<a x="1"y="2"/>'; the hand tokenizer must agree on
+        # what is well formed, not only on well-formed streams.
+        from repro.errors import XMLSyntaxError
+        with pytest.raises(XMLSyntaxError):
+            list(iter_events('<a x="1"y="2"/>'))
+
+    def test_invalid_attribute_name_start_rejected(self):
+        from repro.errors import XMLSyntaxError
+        with pytest.raises(XMLSyntaxError):
+            list(iter_events('<a 1x="v"/>'))
+
+    def test_literal_lt_in_value_rejected(self):
+        # XML 1.0 forbids a raw '<' in attribute values; SAX rejects it and
+        # the hand tokenizer must agree (write &lt; instead).
+        from repro.errors import XMLSyntaxError
+        with pytest.raises(XMLSyntaxError):
+            list(iter_events('<a x="1<2"/>'))
 
 
 class TestCDATARepro:

@@ -14,7 +14,7 @@ from repro.rewrite import (
     union_terms,
 )
 from repro.xpath import analysis
-from repro.xpath.ast import Bottom, Union
+from repro.xpath.ast import Bottom
 from repro.xpath.parser import parse_xpath
 from repro.xpath.serializer import to_string
 

@@ -10,7 +10,7 @@ import pytest
 
 from repro.semantics.axes_impl import axis_nodes, node_test_matches
 from repro.xpath.ast import NodeTest
-from repro.xpath.axes import Axis
+from repro.xpath.axes import FORWARD_AXES, REVERSE_AXES, Axis
 
 
 def positions(document, position, axis):
@@ -112,8 +112,12 @@ class TestNodeTests:
 
 
 class TestAxisMetadata:
+    #: The eleven axes of the paper's Section 2.1 table; the attribute
+    #: extension stands outside the symmetry arguments.
+    PAPER_AXES = FORWARD_AXES + REVERSE_AXES
+
     def test_symmetry_is_involutive(self):
-        for axis in Axis:
+        for axis in self.PAPER_AXES:
             assert axis.symmetric.symmetric is axis
 
     def test_forward_reverse_partition(self):
@@ -121,7 +125,7 @@ class TestAxisMetadata:
             assert axis.is_forward != axis.is_reverse
 
     def test_symmetric_flips_direction(self):
-        for axis in Axis:
+        for axis in self.PAPER_AXES:
             if axis is Axis.SELF:
                 continue
             assert axis.is_forward != axis.symmetric.is_forward
@@ -130,6 +134,13 @@ class TestAxisMetadata:
         for axis in Axis:
             assert Axis.from_name(axis.xpath_name) is axis
 
-    def test_from_name_rejects_attribute_axis(self):
+    def test_attribute_axis_is_forward_but_asymmetric(self):
+        assert Axis.ATTRIBUTE.is_forward
+        assert not Axis.ATTRIBUTE.is_reverse
+        assert Axis.ATTRIBUTE not in FORWARD_AXES  # outside the paper table
+        with pytest.raises(ValueError):
+            Axis.ATTRIBUTE.symmetric
+
+    def test_from_name_rejects_namespace_axis(self):
         with pytest.raises(KeyError):
-            Axis.from_name("attribute")
+            Axis.from_name("namespace")

@@ -7,7 +7,7 @@ from repro.streaming import stream_evaluate, stream_matches
 from repro.streaming.matcher import StreamingMatcher
 from repro.xmlmodel.builder import document_events
 from repro.xmlmodel.parser import iter_events
-from repro.datasets import FIGURE1_XML, figure1_document
+from repro.datasets import FIGURE1_XML
 from repro.xpath.parser import parse_xpath
 
 

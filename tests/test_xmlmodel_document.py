@@ -3,7 +3,6 @@
 import pytest
 
 from repro.xmlmodel.document import Document, element, text
-from repro.xmlmodel.node import NodeKind, XMLNode
 
 
 class TestConstruction:

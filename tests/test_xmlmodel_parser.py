@@ -55,10 +55,12 @@ class TestTokenizer:
         tags = [e.tag for e in events if isinstance(e, StartElement)]
         assert tags == ["a", "b"]
 
-    def test_attributes_are_dropped(self):
+    def test_attributes_become_attribute_nodes(self):
         doc = parse_xml('<a id="1"><b name="x"/></a>')
         assert doc.document_element.tag == "a"
-        assert len(doc) == 3
+        # root, <a>, @id, <b>, @name
+        assert len(doc) == 5
+        assert doc.document_element.get_attribute("id") == "1"
 
 
 class TestWellFormedness:

@@ -61,6 +61,11 @@ class TestErrors:
         with pytest.raises(XPathSyntaxError):
             tokenize("a$%b")
 
-    def test_quotes_rejected(self):
+    def test_quotes_lex_as_string_literals(self):
+        tokens = tokenize("a['text']")
+        literal = [t for t in tokens if t.type is TokenType.LITERAL]
+        assert [t.value for t in literal] == ["text"]
+
+    def test_unterminated_literal_rejected(self):
         with pytest.raises(XPathSyntaxError):
-            tokenize("a['text']")
+            tokenize('a["oops]')

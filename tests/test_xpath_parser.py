@@ -73,9 +73,15 @@ class TestAbbreviatedSyntax:
         assert [step.axis for step in path.steps] == [
             Axis.CHILD, Axis.DESCENDANT_OR_SELF, Axis.CHILD]
 
-    def test_attribute_axis_rejected(self):
-        with pytest.raises(XPathSyntaxError):
-            parse_xpath("/journal/@id")
+    def test_attribute_abbreviation_expands(self):
+        # The attribute extension: ``@id`` abbreviates ``attribute::id``.
+        path = parse_xpath("/journal/@id")
+        assert path == parse_xpath("/child::journal/attribute::id")
+
+    def test_namespace_axis_rejected_with_token_text(self):
+        with pytest.raises(XPathSyntaxError) as excinfo:
+            parse_xpath("/journal/namespace::x")
+        assert "'namespace'" in str(excinfo.value)
 
 
 class TestQualifiers:
