@@ -10,6 +10,9 @@ provides:
   :class:`SubscriptionIndex` sharing the leading steps of thousands of
   subscriptions in a prefix trie, and the :class:`MultiMatcher` advancing
   all of them in one document pass (the paper's SDI use case at scale),
+* :mod:`repro.streaming.automaton` — the lazy-DFA structural dispatch
+  backend (``backend="dfa"``): subscription spines compiled into one shared
+  automaton, DFA states materialized lazily at match time,
 * :mod:`repro.streaming.broker` — the push-mode serving layer: a
   :class:`DocumentBroker` matching a continuous feed of chunked documents
   against one compiled index through a reusable matcher session,
@@ -80,6 +83,43 @@ setup — between documents all engine-internal registries are empty
 (:meth:`~matcher.MatcherCore.registry_sizes`), so nothing leaks from one
 document into the next.
 
+Backends: expectation engine vs lazy DFA
+----------------------------------------
+
+Every matching entry point — :class:`StreamingMatcher`,
+:meth:`SubscriptionIndex.matcher`/``evaluate``, :class:`DocumentBroker`,
+:func:`stream_evaluate` — takes ``backend="expectations" | "dfa"``
+(``None`` defers to the ``REPRO_STREAMING_BACKEND`` environment variable;
+the default stays ``"expectations"``).  Both backends are exact: the
+three-way differential suite pins DFA == expectations == DOM on every
+generated document/query pool.
+
+``"expectations"`` advances one live expectation per (trie node, anchor);
+per-event cost scales with the expectations the event could match.  It
+handles every forward axis uniformly and needs no warmup — the right
+choice for few subscriptions, one-shot documents, or spines dominated by
+``following``/``following-sibling`` steps.
+
+``"dfa"`` compiles each subscription's structural spine
+(``self``/``child``/``descendant``/``descendant-or-self``/``attribute``
+steps) into NFA fragments merged into one shared automaton and
+materializes DFA states lazily: once the transition table is warm a
+StartElement costs one dictionary lookup plus a stack push, *independent
+of the number of subscriptions*.  Structurally decided subscriptions (no
+qualifiers) are answered by DFA accept sets alone; qualifier-carrying ones
+run the expectation machinery only past a DFA *gate* — i.e. only on
+structurally-viable elements.  Memory is bounded on both axes: the
+transition table holds at most ``SubscriptionIndex(dfa_transition_cap=...)``
+entries (default 65536, FIFO eviction with on-the-fly subset construction
+past it), and the materialized state set itself is flushed and lazily
+rebuilt when it outgrows the same bound — so even a feed of documents
+with ever-new tag combinations cannot grow the automaton without limit
+(``StreamStats.transition_cache_evictions`` counts both kinds of
+overflow).
+Pick it for large standing subscription sets served over many documents —
+a broker session keeps the warmed table across documents, which is where
+the ≥3x events/sec of ``benchmarks/bench_automaton_sdi.py`` comes from.
+
 When to use what
 ----------------
 
@@ -94,6 +134,12 @@ document the moment its routing is decided
 """
 
 from repro.streaming.stats import StreamStats
+from repro.streaming.automaton import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    SubscriptionAutomaton,
+    resolve_backend,
+)
 from repro.streaming.evaluator import StreamResult, stream_evaluate, stream_matches
 from repro.streaming.engine import (
     MultiMatcher,
@@ -107,6 +153,10 @@ from repro.streaming.dom_baseline import dom_evaluate
 from repro.streaming.buffered import buffered_evaluate
 
 __all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKENDS",
+    "SubscriptionAutomaton",
+    "resolve_backend",
     "StreamStats",
     "StreamResult",
     "stream_evaluate",

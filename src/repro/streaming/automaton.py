@@ -1,0 +1,545 @@
+"""Lazy-DFA structural dispatch for the subscription engine (``backend="dfa"``).
+
+The expectation engine of :mod:`repro.streaming.matcher` pays per event for
+every *live* expectation a node could match; at thousands of subscriptions
+that is dozens of admissibility checks per StartElement even with tag-indexed
+dispatch.  This module compiles the *structural spine* of every subscription
+— the qualifier-free chain of ``self``/``child``/``descendant``/
+``descendant-or-self``/``attribute`` steps over name, ``*``, ``text()``,
+``node()`` and ``@name``/``@*`` tests — into NFA fragments merged into one
+shared automaton, then materializes DFA states *lazily* at match time
+(XMLTK/YFilter-style).  Once the transition table is warm, structural
+dispatch costs one dictionary lookup plus a stack push per StartElement,
+independent of the number of subscriptions.
+
+How it relates to the expectation engine
+----------------------------------------
+
+Every supported spine axis relates a node to its ancestor chain alone, so a
+deterministic run over the root-to-node tag sequence (exactly the
+open-element stack a SAX consumer has for free) decides the match:
+
+* each **DFA state** is a frozenset of NFA states, interned on first use and
+  cached in a bounded transition table keyed by ``(state_id, tag)``; when
+  the table is full the automaton falls back to on-the-fly subset
+  construction for the evicted entries (``StreamStats`` counts
+  materializations, lookups, hits and evictions);
+* **structurally decided** subscriptions (no qualifiers anywhere — see
+  :func:`repro.xpath.analysis.is_structurally_decided`) are answered by DFA
+  *accept sets* alone: an accepting state delivers the current node id
+  straight into the subscription's result sink;
+* **qualifier-carrying** subscriptions are *gated*: the automaton compiles
+  the qualifier-free spine prefix and attaches a gate at the first step
+  with qualifiers (or the first ``following``/``following-sibling`` step).
+  Only when a node structurally reaches the gate does the engine build the
+  qualifier conditions and spawn expectations for the remaining steps — the
+  :class:`~repro.streaming.matcher.MatcherCore` machinery runs exclusively
+  on structurally-viable elements;
+* members whose *first* step is already unsupported fall back to the
+  expectation engine wholesale (the caller keeps a fallback trie for them).
+
+The automaton itself is immutable per subscription set and shared: one
+compiled instance serves every matcher a :class:`SubscriptionIndex` hands
+out, and a reused broker session keeps the warmed transition table across
+documents (``reset()`` rewinds only the per-document state stack).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.errors import StreamingError
+from repro.xpath import analysis
+from repro.xpath.ast import (
+    Bottom,
+    LocationPath,
+    PathExpr,
+    Qualifier,
+    Step,
+    iter_union_members,
+)
+from repro.xpath.serializer import to_string
+
+#: Environment variable consulted when no explicit backend is passed; lets
+#: CI run the whole tier-1 suite once per backend without editing tests.
+BACKEND_ENV_VAR = "REPRO_STREAMING_BACKEND"
+
+#: The two engine backends: the expectation engine (default) and the lazy
+#: DFA of this module.
+BACKENDS = ("expectations", "dfa")
+
+#: Default bound of the shared transition table (element + attribute
+#: entries).  Generous for real vocabularies; small enough that a pathological
+#: tag stream cannot grow the table without limit.
+DEFAULT_TRANSITION_CAP = 65536
+
+
+def resolve_backend(backend: Optional[str] = None) -> str:
+    """Normalize a backend selector, consulting ``REPRO_STREAMING_BACKEND``.
+
+    ``None`` means "whatever the environment says", defaulting to the
+    expectation engine; anything outside :data:`BACKENDS` is rejected.
+    """
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or "expectations"
+    if backend not in BACKENDS:
+        raise StreamingError(
+            f"unknown streaming backend {backend!r}; expected one of "
+            f"{', '.join(BACKENDS)}")
+    return backend
+
+
+# ---------------------------------------------------------------------------
+# Spine splitting (the compilation kernel lives in repro.xpath.analysis so
+# the exported classifiers can never drift from compiler behavior)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Gate:
+    """Hand-off point from the automaton to the expectation engine.
+
+    Fires on every node that structurally matches the compiled spine prefix
+    of subscription ``ordinal``: the engine then builds ``qualifiers`` into
+    conditions and spawns expectations for ``remaining`` anchored at that
+    node.  Both tuples may be empty — an empty gate ( ``()``, ``()`` ) never
+    exists; a gate with no qualifiers hands over at an unsupported axis, one
+    with no remaining steps re-checks only the final step's qualifiers.
+    """
+
+    ordinal: int
+    qualifiers: Tuple[Qualifier, ...]
+    remaining: Tuple[Step, ...]
+
+
+# ---------------------------------------------------------------------------
+# The shared NFA
+# ---------------------------------------------------------------------------
+
+class _NfaState:
+    """One NFA state: outgoing consuming edges bucketed by test category."""
+
+    __slots__ = ("elem_by_tag", "elem_any", "text", "attr_by_name",
+                 "attr_any", "deliver", "gates")
+
+    def __init__(self):
+        self.elem_by_tag: Dict[str, List[int]] = {}
+        self.elem_any: List[int] = []
+        self.text: List[int] = []
+        self.attr_by_name: Dict[str, List[int]] = {}
+        self.attr_any: List[int] = []
+        #: Ordinals of structurally decided members accepting here.
+        self.deliver: List[int] = []
+        #: Gates firing here (qualifier hand-offs to the expectation engine).
+        self.gates: List[_Gate] = []
+
+
+class _NfaBuilder:
+    """Builds the shared NFA; skip loops are shared per source state, so a
+    thousand ``/descendant::x`` subscriptions reuse one skip state."""
+
+    def __init__(self):
+        self.states: List[_NfaState] = [_NfaState()]
+        self._skip_of: Dict[int, int] = {}
+
+    def _new(self) -> int:
+        self.states.append(_NfaState())
+        return len(self.states) - 1
+
+    def _skip(self, source: int) -> int:
+        skip = self._skip_of.get(source)
+        if skip is None:
+            skip = self._new()
+            self.states[source].elem_any.append(skip)
+            self.states[skip].elem_any.append(skip)
+            self._skip_of[source] = skip
+        return skip
+
+    def _edge(self, source: int, test: _Test, target: int) -> None:
+        kind, name = test
+        state = self.states[source]
+        if kind == analysis.K_NAME:
+            state.elem_by_tag.setdefault(name, []).append(target)
+        elif kind == analysis.K_WILD:
+            state.elem_any.append(target)
+        elif kind == analysis.K_NODE:
+            state.elem_any.append(target)
+            state.text.append(target)
+        elif kind == analysis.K_TEXT:
+            state.text.append(target)
+        elif kind == analysis.K_ATTR:
+            state.attr_by_name.setdefault(name, []).append(target)
+        else:
+            state.attr_any.append(target)
+
+    def chain(self, items) -> int:
+        """Thread one consuming alternative from the start state; returns
+        the accepting state."""
+        current = 0
+        for loop, test in items:
+            target = self._new()
+            self._edge(current, test, target)
+            if loop:
+                self._edge(self._skip(current), test, target)
+            current = target
+        return current
+
+
+def compile_subscription_automaton(
+        subscriptions: Sequence[Tuple[int, PathExpr]],
+        transition_cap: int = DEFAULT_TRANSITION_CAP):
+    """Compile ``(ordinal, path)`` pairs into one shared lazy automaton.
+
+    Returns ``(automaton, fallback)`` where ``fallback`` maps ordinals to
+    the union members the automaton cannot serve (first spine step
+    unsupported, or alternative explosion); the caller routes exactly those
+    through the expectation engine.
+    """
+    builder = _NfaBuilder()
+    fallback: Dict[int, List[LocationPath]] = {}
+    for ordinal, path in subscriptions:
+        for member in iter_union_members(path):
+            if isinstance(member, Bottom):
+                continue
+            if not isinstance(member, LocationPath) or not member.absolute:
+                # Same contract as the expectation engine's root spawning.
+                raise StreamingError(
+                    "the streaming evaluator expects absolute paths "
+                    f"(got {to_string(member)})")
+            split = analysis.automaton_split_member(member)
+            alternatives = (None if split is None
+                            else analysis.automaton_spine_alternatives(
+                                split[0]))
+            if alternatives is None:
+                fallback.setdefault(ordinal, []).append(member)
+                continue
+            _prefix, gate_qualifiers, remaining = split
+            for items in alternatives:
+                end = builder.states[builder.chain(items)]
+                if gate_qualifiers is None:
+                    if ordinal not in end.deliver:
+                        end.deliver.append(ordinal)
+                else:
+                    gate = _Gate(ordinal, tuple(gate_qualifiers),
+                                 tuple(remaining))
+                    if gate not in end.gates:
+                        end.gates.append(gate)
+    return SubscriptionAutomaton(builder.states, transition_cap), fallback
+
+
+# ---------------------------------------------------------------------------
+# The lazy DFA
+# ---------------------------------------------------------------------------
+
+class SubscriptionAutomaton:
+    """Lazily determinized view of the shared NFA.
+
+    DFA states (frozensets of NFA states) are interned on first use;
+    transitions are cached in a bounded table keyed by ``(state_id, tag)``.
+    The instance is shared by every matcher of one subscription set: the
+    warmed table survives ``reset()`` between documents, which is where the
+    O(1)-per-event steady state comes from.
+
+    *Both* caches are bounded.  The transition tables evict FIFO past
+    ``transition_cap``; the interned state set itself is **flushed** — and
+    lazily rebuilt — when it outgrows its own bound (``state_cap``,
+    derived from ``transition_cap``), so a long-lived session serving
+    documents with ever-new ancestor-chain tag combinations cannot grow
+    memory without limit.  A flush bumps :attr:`epoch`; live
+    :class:`AutomatonRun`\\ s notice and resync their state stack from the
+    engine's open-element stack (O(depth), and only between events).
+    """
+
+    def __init__(self, nfa_states: Sequence[_NfaState],
+                 transition_cap: int = DEFAULT_TRANSITION_CAP):
+        self._nfa = tuple(nfa_states)
+        self._cap = max(16, int(transition_cap))
+        #: Materialized-state bound: generous enough that flushes are rare
+        #: for real vocabularies, small enough to actually bound memory.
+        self._state_cap = max(64, self._cap)
+        self._evictions = 0
+        self._flushes = 0
+        #: Bumped on every flush; runs holding state ids resync on mismatch.
+        self.epoch = 0
+        self.has_attribute_rules = any(
+            state.attr_by_name or state.attr_any for state in self._nfa)
+        self._reset_caches()
+
+    def _reset_caches(self) -> None:
+        self._set_ids: Dict[FrozenSet[int], int] = {}
+        self._sets: List[FrozenSet[int]] = []
+        #: Per DFA state: (deliver ordinals, gates), merged and deduped.
+        self._deliver: List[Tuple[int, ...]] = []
+        self._gates: List[Tuple[_Gate, ...]] = []
+        self._elem: Dict[Tuple[int, str], int] = {}
+        self._text: Dict[int, int] = {}
+        self._attr: Dict[Tuple[int, str], int] = {}
+        # Interning order is deterministic, so these ids survive flushes.
+        self.dead_state = self._intern(frozenset(), None)
+        self.start_state = self._intern(frozenset((0,)), None)
+
+    def maybe_flush(self, stats) -> bool:
+        """Flush every materialized state and cached transition when the
+        state set outgrew its bound.  Called by runs *between* events, so
+        no state id handed out within an event is ever invalidated."""
+        if len(self._sets) <= self._state_cap:
+            return False
+        if stats is not None:
+            stats.transition_cache_evictions += (len(self._elem)
+                                                 + len(self._attr)
+                                                 + len(self._text))
+        self._flushes += 1
+        self.epoch += 1
+        self._reset_caches()
+        return True
+
+    # -- state interning ---------------------------------------------------
+    def _intern(self, key: FrozenSet[int], stats) -> int:
+        state_id = self._set_ids.get(key)
+        if state_id is not None:
+            return state_id
+        state_id = len(self._sets)
+        self._set_ids[key] = state_id
+        self._sets.append(key)
+        deliver: List[int] = []
+        gates: List[_Gate] = []
+        seen_ordinals = set()
+        seen_gates = set()
+        for q in sorted(key):
+            nfa_state = self._nfa[q]
+            for ordinal in nfa_state.deliver:
+                if ordinal not in seen_ordinals:
+                    seen_ordinals.add(ordinal)
+                    deliver.append(ordinal)
+            for gate in nfa_state.gates:
+                if gate not in seen_gates:
+                    seen_gates.add(gate)
+                    gates.append(gate)
+        self._deliver.append(tuple(deliver))
+        self._gates.append(tuple(gates))
+        if stats is not None:
+            stats.dfa_states_materialized += 1
+        return state_id
+
+    def _remember(self, table, key, value, stats) -> None:
+        if len(self._elem) + len(self._attr) >= self._cap:
+            victim = table if table else (self._elem if self._elem
+                                          else self._attr)
+            victim.pop(next(iter(victim)))
+            self._evictions += 1
+            if stats is not None:
+                stats.transition_cache_evictions += 1
+        table[key] = value
+
+    # -- transitions -------------------------------------------------------
+    def element_successor(self, state_id: int, tag: str, stats) -> int:
+        key = (state_id, tag)
+        stats.transition_cache_lookups += 1
+        successor = self._elem.get(key)
+        if successor is not None:
+            stats.transition_cache_hits += 1
+            return successor
+        targets = set()
+        for q in self._sets[state_id]:
+            nfa_state = self._nfa[q]
+            bucket = nfa_state.elem_by_tag.get(tag)
+            if bucket:
+                targets.update(bucket)
+            if nfa_state.elem_any:
+                targets.update(nfa_state.elem_any)
+        successor = self._intern(frozenset(targets), stats)
+        self._remember(self._elem, key, successor, stats)
+        return successor
+
+    def text_successor(self, state_id: int, stats) -> int:
+        stats.transition_cache_lookups += 1
+        successor = self._text.get(state_id)
+        if successor is not None:
+            stats.transition_cache_hits += 1
+            return successor
+        targets = set()
+        for q in self._sets[state_id]:
+            targets.update(self._nfa[q].text)
+        successor = self._intern(frozenset(targets), stats)
+        # One entry per materialized state: small, never evicted.
+        self._text[state_id] = successor
+        return successor
+
+    def attribute_successor(self, state_id: int, name: str, stats) -> int:
+        key = (state_id, name)
+        stats.transition_cache_lookups += 1
+        successor = self._attr.get(key)
+        if successor is not None:
+            stats.transition_cache_hits += 1
+            return successor
+        targets = set()
+        for q in self._sets[state_id]:
+            nfa_state = self._nfa[q]
+            bucket = nfa_state.attr_by_name.get(name)
+            if bucket:
+                targets.update(bucket)
+            if nfa_state.attr_any:
+                targets.update(nfa_state.attr_any)
+        successor = self._intern(frozenset(targets), stats)
+        self._remember(self._attr, key, successor, stats)
+        return successor
+
+    def accepts(self, state_id: int):
+        """``(deliver_ordinals, gates)`` of a materialized DFA state."""
+        return self._deliver[state_id], self._gates[state_id]
+
+    # -- introspection -----------------------------------------------------
+    def state_count(self) -> int:
+        """DFA states currently materialized (shared; drops on a flush)."""
+        return len(self._sets)
+
+    def describe(self) -> dict:
+        """Size figures for benchmark reports and diagnostics."""
+        return {
+            "nfa_states": len(self._nfa),
+            "dfa_states": len(self._sets),
+            "transitions_cached": (len(self._elem) + len(self._attr)
+                                   + len(self._text)),
+            "transition_cap": self._cap,
+            "state_cap": self._state_cap,
+            "evictions": self._evictions,
+            "flushes": self._flushes,
+        }
+
+
+# ---------------------------------------------------------------------------
+# The per-matcher run
+# ---------------------------------------------------------------------------
+
+class AutomatonRun:
+    """Per-matcher driver of a shared :class:`SubscriptionAutomaton`.
+
+    Owned by a :class:`~repro.streaming.matcher.MatcherCore` with
+    ``backend="dfa"``; the core calls in from its event loop.  The only
+    per-document state is the DFA state stack mirroring the open-element
+    stack — ``rewind()`` (wired into the core's stream-state teardown)
+    clears it, while the automaton's transition table deliberately survives
+    into the next document.
+
+    ``sink_of`` maps a subscription ordinal to its current result sink; it
+    is consulted at fire time so sinks replaced by ``reset()`` stay correct.
+    """
+
+    __slots__ = ("automaton", "_sink_of", "stack", "epoch")
+
+    def __init__(self, automaton: SubscriptionAutomaton, sink_of):
+        self.automaton = automaton
+        self._sink_of = sink_of
+        self.stack: List[int] = []
+        self.epoch = automaton.epoch
+
+    def on_document_start(self, core, root_id: int) -> None:
+        automaton = self.automaton
+        automaton.maybe_flush(core.stats)
+        self.epoch = automaton.epoch
+        start = automaton.start_state
+        self.stack = [start]
+        deliver, gates = automaton.accepts(start)
+        if deliver or gates:
+            # Members accepting at the root itself (e.g. the path "/").
+            self._fire(core, deliver, gates, root_id, 0, False, None, None,
+                       False)
+
+    def _resync(self, core) -> None:
+        """Rebuild the state stack after a flush (ours or a co-tenant's).
+
+        Replays the engine's open-element ancestor chain — available for
+        free on ``core._stack`` — through the freshly emptied automaton;
+        the dead-state shortcut in :meth:`on_node` never applies here
+        because a flushed automaton has no dead entries on any live path
+        that mattered (recomputing them is exactly the point).
+        """
+        automaton = self.automaton
+        self.epoch = automaton.epoch
+        stack = [automaton.start_state]
+        stats = core.stats
+        for open_element in core._stack[1:]:
+            stack.append(automaton.element_successor(stack[-1],
+                                                     open_element.tag, stats))
+        self.stack = stack
+
+    def on_node(self, core, node_id: int, depth: int, is_element: bool,
+                tag, value, attributes) -> None:
+        automaton = self.automaton
+        if automaton.maybe_flush(core.stats) or self.epoch != automaton.epoch:
+            self._resync(core)
+        stack = self.stack
+        top = stack[-1]
+        dead = automaton.dead_state
+        if is_element:
+            if top == dead:
+                stack.append(dead)
+                return
+            state = automaton.element_successor(top, tag, core.stats)
+            stack.append(state)
+            if state == dead:
+                return
+            deliver, gates = automaton.accepts(state)
+            if deliver or gates:
+                self._fire(core, deliver, gates, node_id, depth, True, tag,
+                           None, False)
+            if attributes and automaton.has_attribute_rules:
+                for index, (name, attr_value) in enumerate(attributes):
+                    successor = automaton.attribute_successor(
+                        state, name, core.stats)
+                    if successor == dead:
+                        continue
+                    deliver, gates = automaton.accepts(successor)
+                    if deliver or gates:
+                        # Attribute nodes claim the ids after their element.
+                        self._fire(core, deliver, gates, node_id + 1 + index,
+                                   depth + 1, False, name, attr_value, True)
+        else:
+            if top == dead:
+                return
+            state = automaton.text_successor(top, core.stats)
+            if state == dead:
+                return
+            deliver, gates = automaton.accepts(state)
+            if deliver or gates:
+                self._fire(core, deliver, gates, node_id, depth, False, None,
+                           value, False)
+
+    def on_close(self) -> None:
+        if self.stack:
+            self.stack.pop()
+
+    def rewind(self) -> None:
+        self.stack = []
+
+    def _fire(self, core, deliver, gates, node_id: int, depth: int,
+              is_element: bool, tag, value, is_attribute: bool) -> None:
+        sink_of = self._sink_of
+        for ordinal in deliver:
+            core.add_candidate(sink_of(ordinal), node_id, depth, is_element,
+                               value, (), collect_values=False)
+        for gate in gates:
+            sink = sink_of(gate.ordinal)
+            if sink.satisfied:
+                # Verdict already fixed (exists-only sink): the gate's
+                # conditions and expectations could change nothing.
+                continue
+            conditions = ()
+            if gate.qualifiers:
+                conditions = tuple(
+                    core._build_condition(qualifier, node_id, depth,
+                                          is_element, tag, value,
+                                          is_attribute)
+                    for qualifier in gate.qualifiers)
+            if gate.remaining:
+                core.spawn_steps(gate.remaining, anchor_id=node_id,
+                                 anchor_depth=depth,
+                                 anchor_is_element=is_element,
+                                 anchor_tag=tag, anchor_value=value,
+                                 conditions=conditions, sink=sink,
+                                 collect_values=False,
+                                 anchor_is_attribute=is_attribute)
+            else:
+                core.add_candidate(sink, node_id, depth, is_element, value,
+                                   conditions, collect_values=False)

@@ -42,6 +42,7 @@ from typing import (
     Union as TypingUnion,
 )
 
+from repro.streaming.automaton import resolve_backend
 from repro.streaming.engine import (
     MultiMatcher,
     MultiMatchResult,
@@ -122,6 +123,7 @@ class DocumentBroker:
                                             Iterable[TypingUnion[str, PathExpr]]] = None,
                  matches_only: bool = False,
                  indexed: bool = True,
+                 backend: Optional[str] = None,
                  keep_whitespace: bool = False,
                  ruleset: str = "ruleset2",
                  cache: Optional[QueryCache] = None,
@@ -135,6 +137,9 @@ class DocumentBroker:
             self._owns_index = True
         self._matches_only = matches_only
         self._indexed = indexed
+        # Resolved once at construction so a long-lived broker is immune to
+        # later environment changes.
+        self._backend = resolve_backend(backend)
         self._keep_whitespace = keep_whitespace
         self._matcher: Optional[MultiMatcher] = None
         self._session_used = False
@@ -192,10 +197,11 @@ class DocumentBroker:
         matcher = self._matcher
         if (matcher is None
                 or len(matcher._subscriptions) != len(self._index)):
-            # First document, subscriptions changed, or the previous
-            # submission died mid-document: build a fresh session.
+            # First document, subscriptions changed, or a previous
+            # submission left an unsalvageable session: build a fresh one.
             matcher = self._index.matcher(matches_only=self._matches_only,
-                                          indexed=self._indexed)
+                                          indexed=self._indexed,
+                                          backend=self._backend)
             self._matcher = matcher
             self._session_used = False
         if self._session_used:
@@ -239,9 +245,7 @@ class DocumentBroker:
                     matcher.feed(event)
             result = matcher.results()
         except Exception:
-            # The session is mid-document and cannot be resumed: discard it
-            # so the next submit starts from a clean matcher.
-            self._matcher = None
+            self._salvage_session()
             raise
         return self._deliver(document_id, result)
 
@@ -253,9 +257,30 @@ class DocumentBroker:
         try:
             result = matcher.process(events)
         except Exception:
-            self._matcher = None
+            self._salvage_session()
             raise
         return self._deliver(document_id, result)
+
+    def _salvage_session(self) -> None:
+        """Recover the session after a submission died mid-document.
+
+        The stream state is poisoned but the expensive per-subscription
+        setup (and, for the DFA backend, the warmed automaton) is not:
+        :meth:`~repro.streaming.matcher.MatcherCore.reset` clears exactly
+        the per-document state, so the *next* submit reuses the session
+        instead of paying for a fresh matcher.  If even the reset fails the
+        session is discarded and the next submit builds a clean one.
+        """
+        matcher = self._matcher
+        if matcher is None:
+            return
+        try:
+            matcher.reset()
+        except Exception:
+            self._matcher = None
+        else:
+            # Fresh state: the next checkout must not reset a second time.
+            self._session_used = False
 
     # -- accounting ----------------------------------------------------------
     def _deliver(self, document_id: Hashable,

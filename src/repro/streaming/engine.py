@@ -37,6 +37,13 @@ from functools import cached_property
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union as TypingUnion
 
 from repro.errors import StreamingError
+from repro.streaming.automaton import (
+    AutomatonRun,
+    DEFAULT_TRANSITION_CAP,
+    SubscriptionAutomaton,
+    compile_subscription_automaton,
+    resolve_backend,
+)
 from repro.streaming.matcher import (
     Continuation,
     MatcherCore,
@@ -118,6 +125,22 @@ class _TrieNode:
     def node_count(self) -> int:
         """Number of step nodes in the (sub-)trie, excluding the root."""
         return sum(1 + node.node_count() for node in self.children.values())
+
+
+def _build_trie(members_by_ordinal) -> _TrieNode:
+    """Build and seal a subscription trie from ``(ordinal, member)`` pairs.
+
+    Shared by the full trie (expectation backend) and the fallback trie
+    (the members the DFA backend cannot serve) so the two can never drift.
+    """
+    root = _TrieNode()
+    for ordinal, member in members_by_ordinal:
+        node = root
+        for step in member.steps:
+            node = node.child(step)
+        node.terminals.append(ordinal)
+    root.seal()
+    return root
 
 
 class _TrieContinuation(Continuation):
@@ -223,11 +246,18 @@ class MultiMatcher(MatcherCore):
     """
 
     def __init__(self, subscriptions: Sequence[Subscription], trie: _TrieNode,
-                 matches_only: bool = False, indexed: bool = True):
+                 matches_only: bool = False, indexed: bool = True,
+                 automaton: Optional[SubscriptionAutomaton] = None):
         super().__init__(indexed=indexed)
         self._subscriptions = tuple(subscriptions)
         self._trie = trie
         self._matches_only = matches_only
+        self._automaton = automaton
+        if automaton is not None:
+            # Lazy-DFA backend: the trie passed in covers only the fallback
+            # members; everything else dispatches through the automaton.
+            self._automaton_run = AutomatonRun(automaton,
+                                               self._structural_sink)
         self._sinks = [_Sink(exists_only=matches_only)
                        for _ in self._subscriptions]
         #: Reverse map for verdict bookkeeping: a result sink can satisfy
@@ -254,6 +284,21 @@ class MultiMatcher(MatcherCore):
                 stack.extend(node.children.values())
         for subscription in self._subscriptions:
             self._register_absolute_subpaths(subscription.path)
+
+    @property
+    def backend(self) -> str:
+        """Which structural dispatch engine this matcher runs on."""
+        return "dfa" if self._automaton is not None else "expectations"
+
+    def _structural_sink(self, ordinal: int) -> _Sink:
+        return self._sinks[ordinal]
+
+    def dfa_state_count(self) -> int:
+        """DFA states materialized in the shared automaton (0 for the
+        expectation backend).  Stable across :meth:`reset` — the warmed
+        transition table is the point of session reuse."""
+        return (self._automaton.state_count()
+                if self._automaton is not None else 0)
 
     # -- session reuse -----------------------------------------------------
     def reset(self) -> None:
@@ -388,12 +433,18 @@ class SubscriptionIndex:
                  subscriptions: TypingUnion[None, Mapping[Hashable, TypingUnion[str, PathExpr]],
                                             Iterable[TypingUnion[str, PathExpr]]] = None,
                  ruleset: str = "ruleset2",
-                 cache: Optional[QueryCache] = None):
+                 cache: Optional[QueryCache] = None,
+                 dfa_transition_cap: int = DEFAULT_TRANSITION_CAP):
         self._ruleset = ruleset
         self._cache = cache if cache is not None else default_cache()
         self._subscriptions: List[Subscription] = []
         self._keys: set = set()
         self._trie: Optional[_TrieNode] = None
+        self._dfa_transition_cap = dfa_transition_cap
+        #: Lazily compiled DFA-backend parts: the shared automaton plus the
+        #: trie over the members it cannot serve (see :meth:`matcher`).
+        self._automaton_parts: Optional[
+            Tuple[SubscriptionAutomaton, _TrieNode]] = None
         if subscriptions is not None:
             self.add_many(subscriptions)
 
@@ -430,6 +481,7 @@ class SubscriptionIndex:
         self._subscriptions.append(subscription)
         self._keys.add(key)
         self._trie = None  # rebuilt lazily
+        self._automaton_parts = None
         return subscription
 
     def add_many(self, subscriptions) -> List[Subscription]:
@@ -452,19 +504,32 @@ class SubscriptionIndex:
 
     def _built_trie(self) -> _TrieNode:
         if self._trie is None:
-            root = _TrieNode()
-            for subscription in self._subscriptions:
-                for member in iter_union_members(subscription.path):
-                    if isinstance(member, Bottom):
-                        continue
-                    assert isinstance(member, LocationPath)
-                    node = root
-                    for step in member.steps:
-                        node = node.child(step)
-                    node.terminals.append(subscription.ordinal)
-            root.seal()
-            self._trie = root
+            self._trie = _build_trie(
+                (subscription.ordinal, member)
+                for subscription in self._subscriptions
+                for member in iter_union_members(subscription.path)
+                if not isinstance(member, Bottom))
         return self._trie
+
+    def _built_automaton(self) -> Tuple[SubscriptionAutomaton, _TrieNode]:
+        """The shared lazy automaton plus the fallback trie (DFA backend).
+
+        Compiled once per subscription set: the automaton covers every
+        union member whose spine it can serve, the trie the rest.  The
+        automaton instance — and with it the warmed DFA transition table —
+        is shared by every matcher this index hands out.
+        """
+        if self._automaton_parts is None:
+            automaton, fallback = compile_subscription_automaton(
+                [(subscription.ordinal, subscription.path)
+                 for subscription in self._subscriptions],
+                transition_cap=self._dfa_transition_cap)
+            fallback_trie = _build_trie(
+                (ordinal, member)
+                for ordinal, members in fallback.items()
+                for member in members)
+            self._automaton_parts = (automaton, fallback_trie)
+        return self._automaton_parts
 
     # -- sharing report ----------------------------------------------------
     def sharing_summary(self) -> dict:
@@ -480,23 +545,36 @@ class SubscriptionIndex:
 
     # -- matching ----------------------------------------------------------
     def matcher(self, matches_only: bool = False,
-                indexed: bool = True) -> MultiMatcher:
+                indexed: bool = True,
+                backend: Optional[str] = None) -> MultiMatcher:
         """A fresh single-pass matcher over the shared trie.
 
+        ``backend="dfa"`` selects lazy-DFA structural dispatch (shared
+        automaton, expectation engine only past qualifier gates — see
+        :mod:`repro.streaming.automaton`); ``"expectations"`` the pure
+        expectation engine; ``None`` defers to ``REPRO_STREAMING_BACKEND``.
         ``indexed=False`` selects the linear-scan reference engine (every
         live expectation examined on every event) — same results, kept for
         benchmarking the dispatch index against.
         """
+        if resolve_backend(backend) == "dfa":
+            automaton, fallback_trie = self._built_automaton()
+            return MultiMatcher(self._subscriptions, fallback_trie,
+                                matches_only=matches_only, indexed=indexed,
+                                automaton=automaton)
         return MultiMatcher(self._subscriptions, self._built_trie(),
                             matches_only=matches_only, indexed=indexed)
 
     def evaluate(self, events: Iterable[Event],
                  matches_only: bool = False,
-                 indexed: bool = True) -> MultiMatchResult:
+                 indexed: bool = True,
+                 backend: Optional[str] = None) -> MultiMatchResult:
         """Match one document stream against every subscription at once."""
         return self.matcher(matches_only=matches_only,
-                            indexed=indexed).process(events)
+                            indexed=indexed, backend=backend).process(events)
 
-    def matching(self, events: Iterable[Event]) -> List[Hashable]:
+    def matching(self, events: Iterable[Event],
+                 backend: Optional[str] = None) -> List[Hashable]:
         """Keys of the subscriptions the document matches (SDI routing)."""
-        return self.evaluate(events, matches_only=True).matching_keys
+        return self.evaluate(events, matches_only=True,
+                             backend=backend).matching_keys

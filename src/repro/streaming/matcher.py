@@ -86,6 +86,11 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import ReverseAxisStreamingError, StreamingError
+from repro.streaming.automaton import (
+    AutomatonRun,
+    compile_subscription_automaton,
+    resolve_backend,
+)
 from repro.streaming.stats import StreamStats
 from repro.xmlmodel.events import (
     EndDocument,
@@ -109,6 +114,7 @@ from repro.xpath.ast import (
     Qualifier,
     Step,
     iter_union_members,
+    union_of,
 )
 from repro.xpath.axes import Axis
 from repro.xpath.serializer import to_string
@@ -603,6 +609,10 @@ class MatcherCore:
     def __init__(self, indexed: bool = True) -> None:
         self.stats = StreamStats()
         self._indexed = indexed
+        #: Lazy-DFA structural dispatch (``backend="dfa"``): set by
+        #: subclasses to an :class:`~repro.streaming.automaton.AutomatonRun`;
+        #: ``None`` keeps the pure expectation engine.
+        self._automaton_run: Optional[AutomatonRun] = None
         self._stack: List[_OpenElement] = []
         #: Active expectations, bucketed by node test.
         self._dispatch = _DispatchIndex(indexed=indexed)
@@ -749,6 +759,8 @@ class MatcherCore:
         self._stack = [_OpenElement(event.node_id, None, 0)]
         self.stats.nodes_seen += 1
         self._spawn_roots(event.node_id)
+        if self._automaton_run is not None:
+            self._automaton_run.on_document_start(self, event.node_id)
         # Spawn the shared absolute sub-paths.
         for registry in (self._absolute_sinks, self._absolute_value_sinks):
             for operand, sink in registry.items():
@@ -768,7 +780,12 @@ class MatcherCore:
             if not member.steps:
                 # The path "/" selects the root itself.
                 was_satisfied = sink.satisfied
-                sink.add(_Entry(node_id=root_id, conditions=()))
+                entry = _Entry(node_id=root_id, conditions=())
+                if sink.add(entry) and sink.collect_values:
+                    # As a value-join operand the root contributes the whole
+                    # document's text (finalized at end of stream).
+                    self._collectors_by_node.setdefault(root_id, []).append(
+                        _ValueCollector(entry, 0))
                 if sink.satisfied and not was_satisfied:
                     self._sink_satisfied(sink)
                 continue
@@ -805,6 +822,12 @@ class MatcherCore:
                 self._node_matched(expectation.step, expectation.cont,
                                    node_id, depth, is_element, tag, value,
                                    expectation.conditions)
+        if self._automaton_run is not None:
+            # Structural dispatch: decided deliveries plus qualifier gates,
+            # which may spawn expectations anchored at this very node —
+            # including attribute expectations, resolved by the sweep below.
+            self._automaton_run.on_node(self, node_id, depth, is_element,
+                                        tag, value, attributes)
         if is_element and (attributes
                            or self._dispatch.has_attribute_expectations):
             self._attribute_sweep(node_id, depth, attributes)
@@ -871,6 +894,8 @@ class MatcherCore:
     def _end_node(self) -> None:
         closed = self._stack.pop()
         node_id = closed.node_id
+        if self._automaton_run is not None:
+            self._automaton_run.on_close()
         # Open the window of following/following-sibling expectations that
         # were waiting for exactly this element to close.
         waiting = self._waiting_by_anchor.pop(node_id, None)
@@ -950,6 +975,8 @@ class MatcherCore:
         self._sink_watchers = {}
         self._event_entries = []
         self._live = 0
+        if self._automaton_run is not None:
+            self._automaton_run.rewind()
 
     def _finish(self) -> None:
         self._finished = True
@@ -1022,6 +1049,8 @@ class MatcherCore:
             "collectors_by_node": len(self._collectors_by_node),
             "live_expectations": self._live,
             "open_elements": len(self._stack),
+            "automaton_stack": (len(self._automaton_run.stack)
+                                if self._automaton_run is not None else 0),
         }
 
     # -- spawning ----------------------------------------------------------
@@ -1182,7 +1211,12 @@ class MatcherCore:
         if retained:
             self.stats.candidates_buffered += 1
             if collect_values or sink.collect_values:
-                if is_element:
+                if is_element or value is None:
+                    # Elements — and the document root, the only non-element
+                    # candidate without an own value — take the
+                    # concatenation of their descendant text as string
+                    # value; the root's collector is finalized at end of
+                    # stream (it has no close event).
                     self._collectors_by_node.setdefault(node_id, []).append(
                         _ValueCollector(entry, depth))
                 else:
@@ -1288,21 +1322,43 @@ class MatcherCore:
 # ---------------------------------------------------------------------------
 
 class StreamingMatcher(MatcherCore):
-    """Single-pass matcher for one reverse-axis-free path expression."""
+    """Single-pass matcher for one reverse-axis-free path expression.
 
-    def __init__(self, path: PathExpr, indexed: bool = True):
+    ``backend`` selects the structural dispatch engine: ``"expectations"``
+    (the default) matches every step through the expectation machinery;
+    ``"dfa"`` compiles the path's structural spine into a lazy automaton and
+    runs expectations only past qualifier gates (see
+    :mod:`repro.streaming.automaton`).  ``None`` defers to the
+    ``REPRO_STREAMING_BACKEND`` environment variable.
+    """
+
+    def __init__(self, path: PathExpr, indexed: bool = True,
+                 backend: Optional[str] = None):
         if analysis.has_reverse_steps(path):
             raise ReverseAxisStreamingError(
                 f"path {to_string(path)} contains reverse axes; rewrite it with "
                 f"repro.rewrite.remove_reverse_axes first")
         super().__init__(indexed=indexed)
         self.path = path
+        self.backend = resolve_backend(backend)
         self._result_sink = _Sink()
         self._register_absolute_subpaths(self.path)
+        self._fallback_expr: Optional[PathExpr] = self.path
+        if self.backend == "dfa":
+            automaton, fallback = compile_subscription_automaton(
+                [(0, self.path)])
+            members = fallback.get(0, ())
+            self._fallback_expr = (union_of(*members) if members else None)
+            self._automaton_run = AutomatonRun(automaton,
+                                               self._structural_sink)
+
+    def _structural_sink(self, ordinal: int) -> _Sink:
+        return self._result_sink
 
     def _spawn_roots(self, root_id: int) -> None:
-        self.spawn_root_expr(self.path, self._result_sink,
-                             collect_values=False, root_id=root_id)
+        if self._fallback_expr is not None:
+            self.spawn_root_expr(self._fallback_expr, self._result_sink,
+                                 collect_values=False, root_id=root_id)
 
     def reset(self) -> None:
         super().reset()

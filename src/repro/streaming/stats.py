@@ -48,6 +48,19 @@ class StreamStats:
     #: (live expectations summed over node start events) — the counterfactual
     #: cost of the pre-index engine, kept for the benchmark trajectory.
     linear_scan_checks: int = 0
+    #: Lazy-DFA backend: distinct automaton states materialized *during this
+    #: run* (a warm transition table materializes none; see
+    #: :mod:`repro.streaming.automaton`).
+    dfa_states_materialized: int = 0
+    #: Lazy-DFA backend: transition-table lookups performed / answered from
+    #: the cache.  A fully warm run has ``hits == lookups``; the difference
+    #: is the number of on-the-fly subset constructions.
+    transition_cache_lookups: int = 0
+    transition_cache_hits: int = 0
+    #: Lazy-DFA backend: cached transitions dropped because the bounded
+    #: table was full (the automaton falls back to on-the-fly subset
+    #: construction for evicted entries).
+    transition_cache_evictions: int = 0
     #: Qualifier/join conditions created during the run.
     conditions_created: int = 0
     #: Candidate matches buffered awaiting qualifier/join resolution.
@@ -80,6 +93,10 @@ class StreamStats:
             "max_live_expectations": self.max_live_expectations,
             "expectations_checked": self.expectations_checked,
             "linear_scan_checks": self.linear_scan_checks,
+            "dfa_states_materialized": self.dfa_states_materialized,
+            "transition_cache_lookups": self.transition_cache_lookups,
+            "transition_cache_hits": self.transition_cache_hits,
+            "transition_cache_evictions": self.transition_cache_evictions,
             "buffered_value_chars": self.buffered_value_chars,
             "memory_units": self.memory_units,
             "results": self.results,

@@ -6,6 +6,7 @@ from repro.workloads.queries import (
     PaperQuery,
     ancestor_chain,
     attribute_subscription_workload,
+    differential_query_pool,
     following_reverse_chain,
     low_overlap_workload,
     mixed_reverse_path,
@@ -34,6 +35,7 @@ __all__ = [
     "SUBSCRIPTION_PREFIXES",
     "subscription_workload",
     "attribute_subscription_workload",
+    "differential_query_pool",
     "low_overlap_workload",
     "WorkloadDocument",
     "STREAMING_DOCUMENTS",

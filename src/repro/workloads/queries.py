@@ -277,6 +277,68 @@ def attribute_subscription_workload(count: int, seed: int = 7,
     return subscriptions
 
 
+def differential_query_pool(count: int, seed: int = 7,
+                            tags: Sequence[str] = ("a", "b", "c", "d"),
+                            attribute_names: Sequence[str] = ("id", "kind",
+                                                              "lang"),
+                            attribute_values: Sequence[str] = ("1", "2",
+                                                               "x", "y")) -> List[str]:
+    """Queries spanning every backend-relevant shape (differential testing).
+
+    The three-way backend-equivalence suite (lazy DFA == expectation engine
+    == DOM baseline) needs query pools that hit every dispatch regime at
+    once: structurally decided spines (pure automaton), qualifier gates
+    (automaton hands off to expectations mid-spine), ``following``/
+    ``following-sibling`` tails (expectation fallback), attribute steps and
+    value comparisons, joins against absolute sub-paths, and unions mixing
+    all of the above.  Tags and attribute vocabulary default to the ones
+    :func:`repro.xmlmodel.generator.random_document` emits, so the shapes
+    actually select nodes.
+    """
+    if count < 1:
+        raise ValueError("need at least one query")
+    rng = random.Random(seed)
+    forward = ("child", "descendant", "descendant-or-self", "self")
+    gated = forward + ("following", "following-sibling")
+
+    def tag():
+        return rng.choice(tuple(tags) + ("*", "node()"))
+
+    def qualifier():
+        roll = rng.random()
+        if roll < 0.3:
+            return f"[@{rng.choice(tuple(attribute_names))}]"
+        if roll < 0.55:
+            return (f'[@{rng.choice(tuple(attribute_names))} = '
+                    f'"{rng.choice(tuple(attribute_values))}"]')
+        if roll < 0.8:
+            return f"[{rng.choice(gated)}::{tag()}]"
+        return f"[self::node() = /descendant::{rng.choice(tuple(tags))}]"
+
+    def spine(max_steps, axes):
+        parts = []
+        for _ in range(rng.randint(1, max_steps)):
+            step = f"{rng.choice(axes)}::{tag()}"
+            if rng.random() < 0.4:
+                step += qualifier()
+            parts.append(step)
+        return "/".join(parts)
+
+    shapes = (
+        lambda: "/" + spine(3, forward),
+        lambda: "/" + spine(3, gated),
+        lambda: f"/descendant::{rng.choice(tuple(tags))}"
+                f"/@{rng.choice(tuple(attribute_names))}",
+        lambda: f"//{rng.choice(tuple(tags))}"
+                f"[@{rng.choice(tuple(attribute_names))}"
+                f' = "{rng.choice(tuple(attribute_values))}"]',
+        lambda: "/descendant::" + rng.choice(tuple(tags)) + "/attribute::*",
+        lambda: "/" + spine(2, forward) + "/child::text()",
+        lambda: "/" + spine(2, forward) + " | /" + spine(2, gated),
+    )
+    return [rng.choice(shapes)() for _ in range(count)]
+
+
 def random_reverse_path(seed: int, max_steps: int = 4,
                         qualifier_probability: float = 0.4,
                         tags: Sequence[str] = JOURNAL_TAGS) -> str:

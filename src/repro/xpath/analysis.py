@@ -22,12 +22,14 @@ from repro.xpath.ast import (
     Comparison,
     Literal,
     LocationPath,
+    NodeTestKind,
     OrExpr,
     PathExpr,
     PathQualifier,
     Qualifier,
     Step,
     Union,
+    iter_union_members,
 )
 from repro.xpath.axes import Axis
 
@@ -249,6 +251,228 @@ def is_rare_input(path: PathExpr) -> Tuple[bool, Optional[str]]:
     if has_rr_joins(path):
         return False, "qualifiers contain an RR join (Definition 4.2)"
     return True, None
+
+
+# ---------------------------------------------------------------------------
+# Automaton compilability (lazy-DFA backend classification)
+# ---------------------------------------------------------------------------
+
+#: Spine axes the lazy-DFA backend can compile into automaton transitions:
+#: every one of them relates a node to its *ancestor chain* alone, so a run
+#: over the root-to-node tag sequence (the open-element stack) decides the
+#: match.  ``following``/``following-sibling`` depend on close events and
+#: stay with the expectation engine.
+AUTOMATON_SPINE_AXES = frozenset({
+    Axis.SELF,
+    Axis.CHILD,
+    Axis.DESCENDANT,
+    Axis.DESCENDANT_OR_SELF,
+    Axis.ATTRIBUTE,
+})
+
+
+#: Spine alternatives per union member before the automaton compiler gives
+#: up and routes the member to the expectation engine
+#: (``descendant-or-self`` steps fork a self/descendant alternative each).
+AUTOMATON_ALTERNATIVE_LIMIT = 64
+
+#: Internal node-test categories of the automaton's consuming transitions:
+#: element by name, any element, any node, text, attribute by name, any
+#: attribute.  Exposed for :mod:`repro.streaming.automaton`, which builds
+#: its NFA edges from exactly these.
+K_NAME, K_WILD, K_NODE, K_TEXT, K_ATTR, K_ATTR_ANY = range(6)
+
+#: Categories matching only leaf nodes: nothing can be consumed below them.
+LEAF_TEST_KINDS = (K_TEXT, K_ATTR, K_ATTR_ANY)
+
+
+def automaton_test_of(spine_step: Step):
+    """The consumable test category of a spine step, as ``(kind, name)``.
+
+    ``None`` means the step can never match anything on its axis (e.g.
+    ``attribute::text()``), which drops the alternative.
+    """
+    kind = spine_step.node_test.kind
+    name = spine_step.node_test.name
+    if kind is NodeTestKind.ATTRIBUTE:
+        return (K_ATTR, name) if name is not None else (K_ATTR_ANY, None)
+    if spine_step.axis is Axis.ATTRIBUTE:
+        # The parser normalizes attribute-axis tests to ATTRIBUTE kind; map
+        # the remaining spellings defensively.
+        if kind in (NodeTestKind.WILDCARD, NodeTestKind.NODE):
+            return (K_ATTR_ANY, None)
+        if kind is NodeTestKind.NAME:
+            return (K_ATTR, name)
+        return None
+    if kind is NodeTestKind.NAME:
+        return (K_NAME, name)
+    if kind is NodeTestKind.WILDCARD:
+        return (K_WILD, None)
+    if kind is NodeTestKind.TEXT:
+        return (K_TEXT, None)
+    return (K_NODE, None)
+
+
+def intersect_automaton_tests(a, b):
+    """Intersection of two test categories (``self`` steps folded into the
+    preceding consuming transition); ``None`` is the empty intersection."""
+    ka, na = a
+    kb, nb = b
+    if ka == K_NODE:
+        return b
+    if kb == K_NODE:
+        return a
+    if ka == K_ATTR_ANY:
+        return b if kb in (K_ATTR, K_ATTR_ANY) else None
+    if kb == K_ATTR_ANY:
+        return a if ka == K_ATTR else None
+    if ka == K_ATTR or kb == K_ATTR:
+        return a if (ka == kb and na == nb) else None
+    if ka == K_TEXT or kb == K_TEXT:
+        return a if ka == kb else None
+    if ka == K_WILD:
+        return b
+    if kb == K_WILD:
+        return a
+    return a if na == nb else None
+
+
+def _fold_self_test(items, test):
+    """Fold a ``self`` step into the preceding consuming item (or the root)."""
+    if not items:
+        # The anchor is the document root, which only node() matches.
+        return () if test[0] == K_NODE else None
+    loop, last = items[-1]
+    merged = intersect_automaton_tests(last, test)
+    if merged is None:
+        return None
+    return items[:-1] + ((loop, merged),)
+
+
+def automaton_spine_alternatives(steps: Tuple[Step, ...],
+                                 limit: int = AUTOMATON_ALTERNATIVE_LIMIT):
+    """Compile a qualifier-free spine into consuming alternatives.
+
+    Each alternative is a tuple of ``(loop, test)`` items: consume one tree
+    level matching ``test`` (a category from :func:`automaton_test_of`),
+    preceded by a skip-any-elements loop when ``loop`` is set
+    (descendant-style).  Returns ``None`` when the alternatives explode past
+    ``limit`` (the automaton compiler then falls back to the expectation
+    engine) and ``[]`` when nothing can ever match.  This is the exact
+    computation :mod:`repro.streaming.automaton` threads into its NFA, so
+    the classifiers below can never drift from compiler behavior.
+    """
+    alternatives = [()]
+    for spine_step in steps:
+        test = automaton_test_of(spine_step)
+        axis = spine_step.axis
+        fresh = []
+        for items in alternatives:
+            if axis is Axis.SELF:
+                if test is not None:
+                    folded = _fold_self_test(items, test)
+                    if folded is not None:
+                        fresh.append(folded)
+                continue
+            if axis is Axis.DESCENDANT_OR_SELF and test is not None:
+                folded = _fold_self_test(items, test)
+                if folded is not None:
+                    fresh.append(folded)
+            if test is None:
+                continue
+            if items and items[-1][1][0] in LEAF_TEST_KINDS:
+                # Text and attribute nodes have nothing below them.
+                continue
+            loop = axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF)
+            fresh.append(items + ((loop, test),))
+        seen = set()
+        alternatives = []
+        for items in fresh:
+            if items not in seen:
+                seen.add(items)
+                alternatives.append(items)
+        if not alternatives:
+            return []
+        if len(alternatives) > limit:
+            return None
+    return alternatives
+
+
+def automaton_spine_cut(member: LocationPath) -> Optional[int]:
+    """Index of the first spine step the automaton cannot carry past.
+
+    The lazy-DFA backend compiles the qualifier-free prefix of a member's
+    spine into automaton transitions and hands the rest to the expectation
+    engine at a *gate*.  The cut is the first step that either carries
+    qualifiers or navigates an axis outside :data:`AUTOMATON_SPINE_AXES`;
+    ``None`` means the whole spine compiles (the member is structurally
+    decided by DFA accept sets alone, unless its alternatives explode —
+    see :func:`automaton_spine_alternatives`).
+    """
+    for index, spine_step in enumerate(member.steps):
+        if spine_step.axis not in AUTOMATON_SPINE_AXES or spine_step.qualifiers:
+            return index
+    return None
+
+
+def automaton_split_member(member: LocationPath):
+    """Split a member's spine at the automaton's hand-off point.
+
+    Returns ``(prefix_steps, gate_qualifiers, remaining_steps)``:
+    ``gate_qualifiers is None`` marks a structurally decided member (no
+    gate; the whole spine compiles), an empty tuple a hand-off at an
+    unsupported axis.  Returns ``None`` when the member cannot be compiled
+    at all (its very first step is already unsupported).  This is the one
+    place the hand-off is defined — the automaton compiler
+    (:mod:`repro.streaming.automaton`) and the classifiers below both
+    consume it, so they can never drift apart.
+    """
+    steps = member.steps
+    cut = automaton_spine_cut(member)
+    if cut is None:
+        return steps, None, ()
+    at = steps[cut]
+    if at.axis not in AUTOMATON_SPINE_AXES:
+        if cut == 0:
+            return None
+        return steps[:cut], (), steps[cut:]
+    return (steps[:cut] + (at.without_qualifiers(),),
+            at.qualifiers, steps[cut + 1:])
+
+
+def is_automaton_compilable(member: LocationPath) -> bool:
+    """Whether the lazy-DFA backend serves this member without falling back
+    to the expectation engine from the very first step.
+
+    Exact: mirrors the compiler — the member must split
+    (:func:`automaton_split_member`) and the compiled prefix's alternatives
+    must stay within :data:`AUTOMATON_ALTERNATIVE_LIMIT`.
+    """
+    split = automaton_split_member(member)
+    if split is None:
+        return False
+    return automaton_spine_alternatives(split[0]) is not None
+
+
+def is_structurally_decided(path: PathExpr) -> bool:
+    """Whether the lazy-DFA backend answers ``path`` by accept sets alone.
+
+    True when every union member's spine uses only
+    :data:`AUTOMATON_SPINE_AXES`, no step anywhere carries a qualifier,
+    and the compiled alternatives stay within
+    :data:`AUTOMATON_ALTERNATIVE_LIMIT` — no expectations, no conditions,
+    one dictionary lookup per event.
+    """
+    for member in iter_union_members(path):
+        if isinstance(member, Bottom):
+            continue
+        if not isinstance(member, LocationPath):
+            return False
+        if automaton_spine_cut(member) is not None:
+            return False
+        if automaton_spine_alternatives(member.steps) is None:
+            return False
+    return True
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,308 @@
+"""Unit tests of the lazy-DFA backend (repro.streaming.automaton)."""
+
+import pytest
+
+from repro.errors import StreamingError
+from repro.streaming import DocumentBroker, SubscriptionIndex, stream_evaluate
+from repro.streaming.automaton import (
+    BACKEND_ENV_VAR,
+    DEFAULT_TRANSITION_CAP,
+    compile_subscription_automaton,
+    resolve_backend,
+)
+from repro.streaming.matcher import StreamingMatcher
+from repro.xmlmodel.builder import document_events
+from repro.xmlmodel.document import Document, element, text
+from repro.xmlmodel.serialize import to_xml
+from repro.xmlmodel.generator import (
+    item_feed_document,
+    journal_document,
+    tagged_sections_document,
+)
+from repro.xpath import analysis
+from repro.xpath.axes import Axis
+from repro.xpath.parser import parse_xpath
+
+
+class TestBackendResolution:
+    def test_explicit_backends(self):
+        assert resolve_backend("dfa") == "dfa"
+        assert resolve_backend("expectations") == "expectations"
+
+    def test_default_is_expectations(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None) == "expectations"
+
+    def test_environment_variable_sets_the_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "dfa")
+        assert resolve_backend(None) == "dfa"
+        # An explicit argument still wins over the environment.
+        assert resolve_backend("expectations") == "expectations"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(StreamingError, match="unknown streaming backend"):
+            resolve_backend("nfa")
+
+    def test_matcher_exposes_its_backend(self):
+        index = SubscriptionIndex({"q": "/descendant::a"})
+        assert index.matcher(backend="dfa").backend == "dfa"
+        assert index.matcher(backend="expectations").backend == "expectations"
+        assert StreamingMatcher(parse_xpath("/child::a"),
+                                backend="dfa").backend == "dfa"
+
+
+class TestSpineClassification:
+    @pytest.mark.parametrize("query, decided", [
+        ("/descendant::a/child::b", True),
+        ("//a/@id", True),
+        ("/", True),
+        ("/a/b/c | //d", True),
+        ("/descendant::a[child::b]", False),
+        ("/descendant::a/following::b", False),
+        ("/a | /b/following-sibling::c", False),
+        # Alternative explosion: compiled by the fallback engine, so not
+        # decided by DFA accept sets — the classifier mirrors the compiler.
+        ("//a" * 8, False),
+    ])
+    def test_is_structurally_decided(self, query, decided):
+        assert analysis.is_structurally_decided(parse_xpath(query)) == decided
+
+    def test_spine_cut_points(self):
+        path = parse_xpath("/a/b[child::c]/d")
+        assert analysis.automaton_spine_cut(path) == 1
+        path = parse_xpath("/a/following::b")
+        assert analysis.automaton_spine_cut(path) == 1
+        assert analysis.automaton_spine_cut(parse_xpath("/a/b")) is None
+
+    def test_is_automaton_compilable(self):
+        assert analysis.is_automaton_compilable(parse_xpath("/a[child::b]"))
+        assert analysis.is_automaton_compilable(
+            parse_xpath("/a/following::b"))
+        assert not analysis.is_automaton_compilable(
+            parse_xpath("/following::a"))
+        assert not analysis.is_automaton_compilable(parse_xpath("//a" * 8))
+
+    def test_classifiers_agree_with_the_compiler(self):
+        # is_automaton_compilable must predict the fallback partition
+        # exactly — they share one kernel in repro.xpath.analysis.
+        from repro.workloads.queries import differential_query_pool
+        from repro.xpath.ast import Bottom, iter_union_members
+        queries = differential_query_pool(60, seed=21) + [
+            "//a" * 8, "/following::a", "/a/following::b", "/",
+        ]
+        for query in queries:
+            path = parse_xpath(query)
+            _automaton, fallback = compile_subscription_automaton([(0, path)])
+            fallen = {m for m in fallback.get(0, ())}
+            for member in iter_union_members(path):
+                if isinstance(member, Bottom):
+                    continue
+                assert analysis.is_automaton_compilable(member) \
+                    == (member not in fallen), query
+
+    def test_supported_axes_are_ancestor_chain_axes(self):
+        assert Axis.FOLLOWING not in analysis.AUTOMATON_SPINE_AXES
+        assert Axis.FOLLOWING_SIBLING not in analysis.AUTOMATON_SPINE_AXES
+        assert Axis.ATTRIBUTE in analysis.AUTOMATON_SPINE_AXES
+
+
+class TestCompilation:
+    def test_fallback_partition(self):
+        automaton, fallback = compile_subscription_automaton([
+            (0, parse_xpath("/descendant::a")),
+            (1, parse_xpath("/following::a")),
+            (2, parse_xpath("/a | /following-sibling::b")),
+        ])
+        assert 0 not in fallback
+        assert [str(type(m).__name__) for m in fallback[1]] == ["LocationPath"]
+        # Only the unsupported member of the union falls back.
+        assert len(fallback[2]) == 1
+        assert automaton.state_count() >= 2  # dead + start
+
+    def test_alternative_explosion_falls_back(self):
+        # Every // step (descendant-or-self::node()) forks a self/descendant
+        # alternative; past the limit the member routes to the expectation
+        # engine — and both backends still agree.
+        query = "//a" * 8
+        _automaton, fallback = compile_subscription_automaton(
+            [(0, parse_xpath(query))])
+        assert 0 in fallback
+        document = Document.from_tree(
+            element("a", element("a", element("a"))))
+        events = list(document_events(document))
+        assert stream_evaluate(query, events, backend="dfa").node_ids \
+            == stream_evaluate(query, events, backend="expectations").node_ids
+
+    def test_relative_member_rejected(self):
+        with pytest.raises(StreamingError, match="absolute"):
+            compile_subscription_automaton([(0, parse_xpath("child::a"))])
+
+    def test_impossible_spines_compile_to_nothing(self):
+        # text() has no children: nothing to match, nothing to fall back to.
+        automaton, fallback = compile_subscription_automaton(
+            [(0, parse_xpath("/child::text()/child::a"))])
+        assert fallback == {}
+        document = Document.from_tree(element("a", text("x"), element("a")))
+        result = stream_evaluate("/child::text()/child::a",
+                                 document_events(document), backend="dfa")
+        assert result.node_ids == []
+
+    def test_describe_reports_sizes(self):
+        index = SubscriptionIndex({"q": "/descendant::a/child::b"})
+        matcher = index.matcher(backend="dfa")
+        document = Document.from_tree(element("a", element("b")))
+        matcher.process(document_events(document))
+        figures = matcher._automaton.describe()
+        assert figures["nfa_states"] > 0
+        assert figures["dfa_states"] == matcher.dfa_state_count() > 0
+        assert figures["transition_cap"] == DEFAULT_TRANSITION_CAP
+        assert figures["evictions"] == 0
+
+
+class TestLazyMaterialization:
+    def test_states_materialize_on_demand_and_are_shared(self):
+        index = SubscriptionIndex({"q": "//a/b"})
+        document = Document.from_tree(
+            element("a", element("b"), element("c", element("a", element("b")))))
+        events = list(document_events(document))
+        first = index.matcher(backend="dfa")
+        first.process(events)
+        assert first.stats.dfa_states_materialized > 0
+        assert first.stats.transition_cache_lookups > 0
+        # A second matcher over the same index shares the warmed automaton.
+        second = index.matcher(backend="dfa")
+        second.process(events)
+        assert second.stats.dfa_states_materialized == 0
+        assert (second.stats.transition_cache_hits
+                == second.stats.transition_cache_lookups)
+        assert second.dfa_state_count() == first.dfa_state_count()
+
+    def test_bounded_table_evicts_and_stays_correct(self):
+        # A cap far below the document's tag diversity forces evictions and
+        # continuous on-the-fly subset construction; results must not change.
+        document = tagged_sections_document(sections=30, depth=2, seed=4)
+        events = list(document_events(document))
+        queries = {f"q{i}": f"/child::db/child::t{i:02d}" for i in range(8)}
+        capped = SubscriptionIndex(queries, dfa_transition_cap=16)
+        roomy = SubscriptionIndex(queries)
+        capped_result = capped.evaluate(events, backend="dfa")
+        roomy_result = roomy.evaluate(events, backend="dfa")
+        for key in queries:
+            assert capped_result[key].node_ids == roomy_result[key].node_ids
+        assert capped_result.stats.transition_cache_evictions > 0
+        assert roomy_result.stats.transition_cache_evictions == 0
+
+    def test_state_set_is_flushed_when_it_outgrows_its_bound(self):
+        # Documents whose ancestor chains keep combining tags in new ways
+        # materialize a new DFA state per distinct NFA subset; a long-lived
+        # session must flush (and lazily rebuild) instead of growing without
+        # bound — and results must not change across the flush.
+        import itertools
+        import random
+        tags = [f"t{i:02d}" for i in range(12)]
+        queries = {i: f"//{a}//{b}"
+                   for i, (a, b) in enumerate(itertools.islice(
+                       itertools.permutations(tags, 2), 24))}
+        capped = SubscriptionIndex(queries, dfa_transition_cap=16)
+        reference = SubscriptionIndex(queries)
+        broker = DocumentBroker(capped, backend="dfa")
+        rng = random.Random(5)
+        flushed_stats = None
+        for round_index in range(80):
+            chain = rng.sample(tags, 7)
+            node = element(chain[-1])
+            for tag in reversed(chain[:-1]):
+                node = element(tag, node)
+            events = list(document_events(Document.from_tree(node)))
+            result = broker.submit(round_index, to_xml(
+                Document.from_tree(node), indent=0))
+            fresh = reference.evaluate(events, backend="dfa")
+            for key in queries:
+                assert result[key].node_ids == fresh[key].node_ids, key
+            automaton = broker.session._automaton
+            assert automaton.state_count() <= automaton.describe()["state_cap"] \
+                + len(chain) + 2
+            if automaton.describe()["flushes"] and flushed_stats is None:
+                flushed_stats = result.stats
+        assert broker.session._automaton.describe()["flushes"] > 0
+        assert flushed_stats is not None
+        assert flushed_stats.transition_cache_evictions > 0
+
+    def test_dead_branches_cost_one_lookup(self):
+        # A subscription rooted at a tag the document never opens drives the
+        # run into the dead state; everything below short-circuits.
+        index = SubscriptionIndex({"q": "/child::nosuch/descendant::a"})
+        document = Document.from_tree(
+            element("r", element("a", element("a")), element("a")))
+        matcher = index.matcher(backend="dfa")
+        matcher.process(list(document_events(document)))
+        # Only the root element's transition is ever computed; the children
+        # inherit the dead state without a lookup.
+        assert matcher.stats.transition_cache_lookups == 1
+
+
+class TestQualifierGating:
+    def test_expectations_spawn_only_at_structural_matches(self):
+        # 40 journals, but only journal elements can open the gate of
+        # //journal[child::price]: the expectation engine spawns per event,
+        # the DFA backend once per journal.
+        document = journal_document(journals=40, articles_per_journal=2,
+                                    authors_per_article=2, seed=5)
+        events = list(document_events(document))
+        query = "/descendant::journal[child::price]/child::title"
+        gated = StreamingMatcher(parse_xpath(query), backend="dfa")
+        full = StreamingMatcher(parse_xpath(query), backend="expectations")
+        assert gated.process(events) == full.process(events)
+        assert 0 < gated.stats.expectations_created
+        assert (gated.stats.expectations_created
+                < full.stats.expectations_created)
+
+    def test_structurally_decided_subscriptions_spawn_nothing(self):
+        document = journal_document(journals=10, seed=3)
+        events = list(document_events(document))
+        matcher = StreamingMatcher(parse_xpath("/descendant::journal/child::title"),
+                                   backend="dfa")
+        result = matcher.process(events)
+        assert result
+        assert matcher.stats.expectations_created == 0
+        assert matcher.stats.conditions_created == 0
+
+    def test_gate_at_unsupported_axis_hands_over_mid_spine(self):
+        # //title/following-sibling::price: the spine prefix //title runs on
+        # the automaton, the sibling step on the expectation engine.
+        document = journal_document(journals=6, seed=2)
+        events = list(document_events(document))
+        query = "/descendant::title/following-sibling::price"
+        dfa = stream_evaluate(query, events, backend="dfa")
+        exp = stream_evaluate(query, events, backend="expectations")
+        assert dfa.node_ids == exp.node_ids != []
+        assert 0 < dfa.stats.expectations_created \
+            < exp.stats.expectations_created
+
+    def test_attribute_gates_decide_at_start_element(self):
+        feed = item_feed_document(items=20, seed=7)
+        events = list(document_events(feed))
+        index = SubscriptionIndex({"first": '//item[@id="0"]'})
+        matcher = index.matcher(matches_only=True, backend="dfa")
+        result = matcher.process(events)
+        assert result["first"].matched
+        assert matcher.halted
+        assert matcher.stats.events_skipped > 0
+
+
+class TestRootAccepts:
+    def test_root_only_path(self):
+        document = Document.from_tree(element("a"))
+        assert stream_evaluate("/", document_events(document),
+                               backend="dfa").node_ids == [0]
+
+    def test_root_gate(self):
+        # A qualifier on the very first step gates at the document root.
+        document = Document.from_tree(element("a", element("b")))
+        events = list(document_events(document))
+        for query in ("/descendant-or-self::node()[child::a]",
+                      "/child::a[child::b]"):
+            dfa = stream_evaluate(query, events, backend="dfa").node_ids
+            exp = stream_evaluate(query, events,
+                                  backend="expectations").node_ids
+            assert dfa == exp, query

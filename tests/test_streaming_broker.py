@@ -39,24 +39,27 @@ class TestDifferential:
     """broker.submit == a fresh SubscriptionIndex.evaluate per document."""
 
     @pytest.mark.parametrize("chunk_size", [1, 7, 64, 10_000])
-    def test_results_match_fresh_evaluate_per_document(self, chunk_size):
-        broker = DocumentBroker(SUBSCRIPTIONS)
+    def test_results_match_fresh_evaluate_per_document(self, chunk_size,
+                                                      backend):
+        broker = DocumentBroker(SUBSCRIPTIONS, backend=backend)
         index = SubscriptionIndex(SUBSCRIPTIONS)
         for name, document in _documents().items():
             text = to_xml(document, indent=0)
             result = broker.submit(name, _chunked(text, chunk_size))
-            fresh = index.evaluate(list(iter_events(text)))
+            fresh = index.evaluate(list(iter_events(text)), backend=backend)
             for key in SUBSCRIPTIONS:
                 assert result[key].node_ids == fresh[key].node_ids, (name, key)
                 assert result[key].matched == fresh[key].matched, (name, key)
 
-    def test_verdict_mode_matches_fresh_evaluate(self):
-        broker = DocumentBroker(SUBSCRIPTIONS, matches_only=True)
+    def test_verdict_mode_matches_fresh_evaluate(self, backend):
+        broker = DocumentBroker(SUBSCRIPTIONS, matches_only=True,
+                                backend=backend)
         index = SubscriptionIndex(SUBSCRIPTIONS)
         for name, document in _documents().items():
             text = to_xml(document, indent=0)
             result = broker.submit(name, _chunked(text, 32))
-            fresh = index.evaluate(list(iter_events(text)), matches_only=True)
+            fresh = index.evaluate(list(iter_events(text)), matches_only=True,
+                                   backend=backend)
             for key in SUBSCRIPTIONS:
                 assert result[key].matched == fresh[key].matched, (name, key)
 
@@ -90,8 +93,8 @@ class TestDifferential:
 
 
 class TestSessionReuse:
-    def test_registries_empty_between_submits(self):
-        broker = DocumentBroker(SUBSCRIPTIONS)
+    def test_registries_empty_between_submits(self, backend):
+        broker = DocumentBroker(SUBSCRIPTIONS, backend=backend)
         for name, document in _documents().items():
             broker.submit(name, _chunked(to_xml(document, indent=0), 16))
             sizes = broker.session.registry_sizes()
@@ -117,11 +120,11 @@ class TestSessionReuse:
         assert broker.stats.events_skipped == result.stats.events_skipped
         assert broker.history[-1].events_skipped == result.stats.events_skipped
 
-    def test_registries_empty_after_early_termination(self):
+    def test_registries_empty_after_early_termination(self, backend):
         # All subscriptions decided early: the session halts mid-document and
         # must still come back clean for the next submit.
         broker = DocumentBroker({"j": "/descendant::journal"},
-                                matches_only=True)
+                                matches_only=True, backend=backend)
         big = journal_document(journals=30, articles_per_journal=3,
                                authors_per_article=2, seed=7)
         result = broker.submit("big", _chunked(to_xml(big, indent=0), 64))
@@ -134,8 +137,9 @@ class TestSessionReuse:
         no_match = broker.submit("empty", "<article><name>n</name></article>")
         assert not no_match["j"].matched
 
-    def test_results_do_not_leak_across_documents(self):
-        broker = DocumentBroker({"names": "/descendant::name"})
+    def test_results_do_not_leak_across_documents(self, backend):
+        broker = DocumentBroker({"names": "/descendant::name"},
+                                backend=backend)
         with_names = journal_document(journals=1, articles_per_journal=1,
                                       authors_per_article=2, seed=1)
         first = broker.submit("with", to_xml(with_names, indent=0))
@@ -172,14 +176,55 @@ class TestSessionReuse:
             broker.add_many({"titles": "/descendant::title"})
         assert len(index) == 1
 
-    def test_malformed_document_discards_the_session(self):
-        broker = DocumentBroker({"names": "/descendant::name"})
+    def test_malformed_document_leaves_a_working_broker(self, backend):
+        broker = DocumentBroker({"names": "/descendant::name"},
+                                backend=backend)
         with pytest.raises(XMLSyntaxError):
             broker.submit("bad", "<journal><name>n</name>")
-        # The poisoned session is gone; the next submit works.
+        # The poisoned stream state is cleared; the next submit works.
         result = broker.submit("good", "<journal><name>n</name></journal>")
         assert result["names"].matched
         assert broker.stats.documents == 1  # the failed submit is not counted
+
+    def test_submit_after_mid_document_error_equals_fresh_evaluate(
+            self, backend):
+        # Regression: a tokenizer error mid-document used to discard the
+        # whole session; it must now be salvaged — and whether salvaged or
+        # rebuilt, the *next* submit has to answer exactly like a fresh
+        # SubscriptionIndex.evaluate, with no state leaking from the dead
+        # document.
+        broker = DocumentBroker(SUBSCRIPTIONS, backend=backend)
+        index = SubscriptionIndex(SUBSCRIPTIONS)
+        good = to_xml(journal_document(journals=2, articles_per_journal=2,
+                                       authors_per_article=2, seed=6),
+                      indent=0)
+        broker.submit("warmup", _chunked(good, 32))
+        session = broker.session
+        # The malformed document dies *after* the matcher has consumed real
+        # events (the error sits mid-stream, past several elements).
+        bad = good[:len(good) // 2] + "<&broken"
+        with pytest.raises(XMLSyntaxError):
+            broker.submit("bad", _chunked(bad, 16))
+        sizes = broker.session.registry_sizes()
+        assert all(size == 0 for size in sizes.values()), sizes
+        result = broker.submit("after-error", _chunked(good, 32))
+        fresh = index.evaluate(list(iter_events(good)), backend=backend)
+        for key in SUBSCRIPTIONS:
+            assert result[key].node_ids == fresh[key].node_ids, key
+            assert result[key].matched == fresh[key].matched, key
+        # The session survived the error instead of being rebuilt.
+        assert broker.session is session
+        assert broker.stats.documents == 2
+
+    def test_error_on_first_event_of_a_session(self, backend):
+        # The error path also holds before the session ever finished a
+        # document (nothing to salvage *from*).
+        broker = DocumentBroker({"names": "/descendant::name"},
+                                backend=backend)
+        with pytest.raises(XMLSyntaxError):
+            broker.submit("bad", "<a><b></a></b>")
+        result = broker.submit("good", "<journal><name>n</name></journal>")
+        assert result["names"].matched
 
 
 class TestAccounting:

@@ -29,86 +29,95 @@ def events(catalogue):
 
 
 class TestSubscriptionIndex:
-    def test_per_subscription_results_match_independent_runs(self, events):
+    def test_per_subscription_results_match_independent_runs(self, events,
+                                                             backend):
         index = SubscriptionIndex(OVERLAPPING)
-        result = index.evaluate(events)
+        result = index.evaluate(events, backend=backend)
         for key, query in OVERLAPPING.items():
-            independent = stream_evaluate(compile_query(query), events)
+            independent = stream_evaluate(compile_query(query), events,
+                                          backend=backend)
             assert result[key].node_ids == independent.node_ids
             assert result[key].matched == independent.matched
         assert result.stats.results == sum(len(r.node_ids) for r in result)
 
-    def test_reverse_axes_are_rewritten_on_add(self, events):
+    def test_reverse_axes_are_rewritten_on_add(self, events, backend):
         index = SubscriptionIndex()
         subscription = index.add("/descendant::price/preceding::name",
                                  key="pricing")
         assert not analysis.has_reverse_steps(subscription.path)
-        result = index.evaluate(events)
-        independent = stream_evaluate(subscription.path, events)
+        result = index.evaluate(events, backend=backend)
+        independent = stream_evaluate(subscription.path, events,
+                                      backend=backend)
         assert result["pricing"].node_ids == independent.node_ids
 
     def test_shared_prefixes_create_fewer_expectations(self, events):
+        # Expectation-engine specific: the DFA backend spawns (almost) no
+        # expectations at all for these spines.
         index = SubscriptionIndex(OVERLAPPING)
-        shared = index.evaluate(events).stats.expectations_created
+        shared = index.evaluate(
+            events, backend="expectations").stats.expectations_created
         independent = 0
         for subscription in index.subscriptions:
-            matcher = StreamingMatcher(subscription.path)
+            matcher = StreamingMatcher(subscription.path,
+                                       backend="expectations")
             matcher.process(events)
             independent += matcher.stats.expectations_created
         assert shared < independent
 
-    def test_duplicate_queries_share_all_state(self, events):
+    def test_duplicate_queries_share_all_state(self, events, backend):
         index = SubscriptionIndex()
         for subscriber in ("alice", "bob", "carol"):
             index.add("/descendant::journal/descendant::name", key=subscriber)
-        result = index.evaluate(events)
+        result = index.evaluate(events, backend=backend)
         assert (result["alice"].node_ids == result["bob"].node_ids
                 == result["carol"].node_ids != [])
-        # Three identical subscriptions walk one trie chain, so the engine
-        # spawns no more expectations than a single matcher would.
-        single = StreamingMatcher(index.subscriptions[0].path)
+        # Three identical subscriptions walk one trie chain (or one shared
+        # automaton spine), so the engine spawns no more expectations than a
+        # single matcher would.
+        single = StreamingMatcher(index.subscriptions[0].path,
+                                  backend=backend)
         single.process(events)
         assert (result.stats.expectations_created
                 == single.stats.expectations_created)
 
-    def test_matches_only_verdicts(self, events):
+    def test_matches_only_verdicts(self, events, backend):
         queries = dict(OVERLAPPING, missing="/descendant::nosuchtag")
         index = SubscriptionIndex(queries)
-        verdicts = index.evaluate(events, matches_only=True)
+        verdicts = index.evaluate(events, matches_only=True, backend=backend)
         for key, query in queries.items():
             assert verdicts[key].matched == stream_matches(
-                compile_query(query), events)
+                compile_query(query), events, backend=backend)
             assert verdicts[key].node_ids == []
         assert "missing" not in verdicts.matching_keys
 
-    def test_matching_routes_by_key(self, events):
+    def test_matching_routes_by_key(self, events, backend):
         index = SubscriptionIndex({"hit": "/descendant::name",
                                    "miss": "/descendant::nosuchtag"})
-        assert index.matching(events) == ["hit"]
+        assert index.matching(events, backend=backend) == ["hit"]
 
-    def test_root_subscription_selects_the_root(self, events):
+    def test_root_subscription_selects_the_root(self, events, backend):
         index = SubscriptionIndex({"root": "/"})
-        result = index.evaluate(events)
+        result = index.evaluate(events, backend=backend)
         assert result["root"].node_ids == [0]
         assert result["root"].matched
 
-    def test_one_index_serves_many_documents(self, events):
+    def test_one_index_serves_many_documents(self, events, backend):
         index = SubscriptionIndex(OVERLAPPING)
-        first = index.evaluate(events)
-        second = index.evaluate(events)
+        first = index.evaluate(events, backend=backend)
+        second = index.evaluate(events, backend=backend)
         for key in OVERLAPPING:
             assert first[key].node_ids == second[key].node_ids
 
-    def test_empty_index(self, events):
+    def test_empty_index(self, events, backend):
         index = SubscriptionIndex()
-        result = index.evaluate(events)
+        result = index.evaluate(events, backend=backend)
         assert len(result) == 0
         assert result.matching_keys == []
 
-    def test_add_accepts_parsed_asts(self, events):
+    def test_add_accepts_parsed_asts(self, events, backend):
         index = SubscriptionIndex()
         index.add(parse_xpath("/descendant::name"), key="ast")
-        assert index.evaluate(events)["ast"].matched
+        assert index.evaluate(events, backend=backend)["ast"].matched
 
     def test_duplicate_key_rejected(self):
         index = SubscriptionIndex()
@@ -121,8 +130,9 @@ class TestSubscriptionIndex:
         with pytest.raises(Exception):
             index.add("child::name")
 
-    def test_results_before_end_of_stream(self, events):
-        matcher = SubscriptionIndex(OVERLAPPING).matcher()
+    def test_results_before_end_of_stream(self, events, backend):
+        matcher = SubscriptionIndex(OVERLAPPING).matcher(backend=backend)
+        assert matcher.backend == backend
         matcher.feed(events[0])
         with pytest.raises(StreamingError):
             matcher.results()
@@ -140,7 +150,7 @@ class TestSubscriptionIndex:
         assert summary["trie_nodes"] < summary["spine_steps"]
         assert summary["shared_steps"] > 0
 
-    def test_absolute_subpaths_shared_across_subscriptions(self):
+    def test_absolute_subpaths_shared_across_subscriptions(self, backend):
         # Both subscriptions mention the same absolute sub-path in a join;
         # the engine matches it once from the root.
         doc = figure1_document()
@@ -150,29 +160,30 @@ class TestSubscriptionIndex:
             "b": "//name[self::node() = /descendant::title]",
         }
         index = SubscriptionIndex(queries)
-        result = index.evaluate(events)
+        result = index.evaluate(events, backend=backend)
         for key, query in queries.items():
-            independent = stream_evaluate(compile_query(query), events)
+            independent = stream_evaluate(compile_query(query), events,
+                                          backend=backend)
             assert result[key].node_ids == independent.node_ids
 
-    def test_events_counted_once(self, events):
+    def test_events_counted_once(self, events, backend):
         index = SubscriptionIndex(OVERLAPPING)
-        stats = index.evaluate(events).stats
+        stats = index.evaluate(events, backend=backend).stats
         assert stats.events == len(events)
 
 
 class TestIndexedDispatch:
-    def test_linear_scan_reference_agrees(self, events):
+    def test_linear_scan_reference_agrees(self, events, backend):
         index = SubscriptionIndex(OVERLAPPING)
-        indexed = index.evaluate(events)
-        linear = index.evaluate(events, indexed=False)
+        indexed = index.evaluate(events, backend=backend)
+        linear = index.evaluate(events, indexed=False, backend=backend)
         for key in OVERLAPPING:
             assert indexed[key].node_ids == linear[key].node_ids
             assert indexed[key].matched == linear[key].matched
 
     def test_index_checks_fewer_expectations(self, events):
         index = SubscriptionIndex(OVERLAPPING)
-        stats = index.evaluate(events).stats
+        stats = index.evaluate(events, backend="expectations").stats
         assert 0 < stats.expectations_checked < stats.linear_scan_checks
 
     def test_satisfied_subscriptions_stop_spawning(self, events):
@@ -181,19 +192,20 @@ class TestIndexedDispatch:
         # new expectations for it.
         index = SubscriptionIndex(
             {"arts": "/descendant::journal/child::article"})
-        full = index.matcher()
+        full = index.matcher(backend="expectations")
         full.process(events)
-        verdicts = index.matcher(matches_only=True)
+        verdicts = index.matcher(matches_only=True, backend="expectations")
         result = verdicts.process(events)
         assert result["arts"].matched
         assert (verdicts.stats.expectations_created
                 < full.stats.expectations_created)
 
-    def test_matches_only_agrees_with_linear_reference(self, events):
+    def test_matches_only_agrees_with_linear_reference(self, events, backend):
         queries = dict(OVERLAPPING, missing="/descendant::nosuchtag")
         index = SubscriptionIndex(queries)
-        indexed = index.evaluate(events, matches_only=True)
-        linear = index.evaluate(events, matches_only=True, indexed=False)
+        indexed = index.evaluate(events, matches_only=True, backend=backend)
+        linear = index.evaluate(events, matches_only=True, indexed=False,
+                                backend=backend)
         for key in queries:
             assert indexed[key].matched == linear[key].matched
 
