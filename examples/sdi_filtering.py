@@ -110,36 +110,41 @@ def main() -> None:
     print()
 
     # How much per-event work does the shared trie save against the naive
-    # one-matcher-per-subscription loop?  Both sides collect full results,
-    # so the gap below is prefix sharing alone.
+    # one-matcher-per-subscription loop?  Both sides run the expectation
+    # engine explicitly (the DFA default would spawn almost none) and
+    # collect full results, so the gap below is prefix sharing alone.
     events = list(document_events(DOCUMENTS["catalogue-with-prices"]))
-    shared = index.matcher()
+    shared = index.matcher(backend="expectations")
     shared.process(events)
     independent = sum(
-        stream_evaluate(subscription.path, events).stats.expectations_created
+        stream_evaluate(subscription.path, events,
+                        backend="expectations").stats.expectations_created
         for subscription in index.subscriptions)
     print(f"Per-document work on 'catalogue-with-prices': "
           f"{shared.stats.expectations_created} expectation activations "
           f"shared vs {independent} for {len(index)} independent matchers.")
     print()
 
-    # Backend selection.  Everything above ran the expectation engine (the
-    # default, backend="expectations"): per-event cost scales with the live
-    # expectations an event could match — fine at this scale, and the only
-    # engine that runs following/following-sibling spines natively.  At
-    # thousands of standing subscriptions served over a document *feed*,
-    # switch to backend="dfa": the subscriptions' structural spines are
-    # compiled into one shared lazy automaton, so a warm StartElement costs
-    # one transition-table lookup regardless of subscription count;
-    # qualifier-carrying subscriptions ([@tier="gold"], [child::price]...)
-    # run the expectation machinery only at elements the DFA proved
-    # structurally viable.  The transition table is bounded
-    # (SubscriptionIndex(dfa_transition_cap=...), default 65536 entries;
-    # overflow falls back to on-the-fly subset construction) and stays warm
-    # across a broker session's documents — reuse the broker, not fresh
-    # matchers, to amortize it.  benchmarks/bench_automaton_sdi.py measures
-    # >= 3x events/sec over the expectation engine at N=1000 low-overlap
-    # subscriptions ('automaton_sdi' in BENCH_multi_query_sdi.json).
+    # Backend selection.  Everything above already ran the lazy-DFA backend
+    # (the default, backend="dfa"): the subscriptions' structural spines —
+    # including following/following-sibling steps, compiled as sibling
+    # windows armed by close events — are merged trie-style into one shared
+    # lazy automaton, so a warm StartElement costs one transition-table
+    # lookup regardless of subscription count; qualifier-carrying
+    # subscriptions ([@tier="gold"], [child::price]...) run the expectation
+    # machinery only at elements the DFA proved structurally viable.  The
+    # transition table is bounded (SubscriptionIndex(dfa_transition_cap=...),
+    # default 65536 entries; overflow falls back to on-the-fly subset
+    # construction) and stays warm across a broker session's documents —
+    # reuse the broker, not fresh matchers, to amortize it.
+    # benchmarks/bench_automaton_sdi.py measures >= 3x events/sec over the
+    # expectation engine at N=1000 low-overlap subscriptions
+    # ('automaton_sdi' in BENCH_multi_query_sdi.json).  The expectation
+    # engine (backend="expectations", or REPRO_STREAMING_BACKEND=
+    # expectations for a whole process) remains the differential-testing
+    # semantics reference: per-event cost scales with the live expectations
+    # an event could match, fine for a few subscriptions on one-shot
+    # documents, and handy when bisecting a suspected automaton bug.
     dfa_matcher = index.matcher(matches_only=True, backend="dfa")
     dfa_matcher.process(events)
     dfa_again = index.matcher(matches_only=True, backend="dfa")

@@ -3,7 +3,9 @@
 CI runs the multi-subscription SDI benchmark smoke on every build, which
 rewrites ``BENCH_multi_query_sdi.json``.  This module compares the fresh
 artifact against the baseline committed at the previous revision and fails
-(exit code 1) when throughput collapsed: events/sec at the N=1000 scale
+(exit code 1) when throughput collapsed on any gated metric: the
+expectation engine's indexed events/sec (``multi_query_sdi``) and the lazy
+DFA's warm events/sec (``automaton_sdi``), both at the N=1000 scale,
 dropping by more than the tolerance (25% by default).
 
 The tolerance absorbs runner noise within one CI runner class; it does *not*
@@ -24,21 +26,30 @@ import argparse
 import json
 import sys
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 #: Relative drop in events/sec beyond which the gate fails.
 DEFAULT_TOLERANCE = 0.25
 
-#: The artifact section and scale the gate pins.  N=1000 is the scale where
-#: dispatch-index regressions actually show; the small scales are dominated
-#: by fixed setup cost and timer noise.
+#: The default artifact section, metric and scale (kept for direct callers;
+#: the CI entry point checks every gate in :data:`GATES`).  N=1000 is the
+#: scale where dispatch regressions actually show; the small scales are
+#: dominated by fixed setup cost and timer noise.
 SECTION = "multi_query_sdi"
 METRIC = "events_per_sec_indexed"
 SUBSCRIPTIONS = 1000
 
+#: Every ``(section, metric)`` pair the CI gate pins, all at
+#: :data:`SUBSCRIPTIONS`: the expectation engine's indexed throughput and
+#: the lazy DFA's warm throughput (the default backend's steady state).
+GATES: Tuple[Tuple[str, str], ...] = (
+    (SECTION, METRIC),
+    ("automaton_sdi", "events_per_sec_dfa"),
+)
+
 
 class RegressionGateError(ValueError):
-    """Raised when an artifact is missing the gated section or scale."""
+    """Raised when an artifact is missing a gated section or scale."""
 
 
 @dataclass(frozen=True)
@@ -49,6 +60,8 @@ class RegressionReport:
     fresh: float
     tolerance: float
     subscriptions: int = SUBSCRIPTIONS
+    section: str = SECTION
+    metric: str = METRIC
 
     @property
     def ratio(self) -> float:
@@ -63,7 +76,8 @@ class RegressionReport:
     def describe(self) -> str:
         verdict = "OK" if self.ok else "REGRESSION"
         return (
-            f"{verdict}: events/sec at N={self.subscriptions} "
+            f"{verdict}: {self.section}/{self.metric} at "
+            f"N={self.subscriptions} "
             f"baseline={self.baseline:.0f} fresh={self.fresh:.0f} "
             f"({self.ratio:.2%} of baseline, tolerance "
             f"-{self.tolerance:.0%})"
@@ -71,29 +85,34 @@ class RegressionReport:
 
 
 def extract_events_per_sec(artifact: dict,
-                           subscriptions: int = SUBSCRIPTIONS) -> float:
-    """The gated metric from a parsed ``BENCH_multi_query_sdi.json``."""
+                           subscriptions: int = SUBSCRIPTIONS,
+                           section: str = SECTION,
+                           metric: str = METRIC) -> float:
+    """One gated metric from a parsed ``BENCH_multi_query_sdi.json``."""
     try:
-        scales = artifact[SECTION]["scales"]
+        scales = artifact[section]["scales"]
     except (KeyError, TypeError):
         raise RegressionGateError(
-            f"artifact has no '{SECTION}' section with 'scales'") from None
+            f"artifact has no '{section}' section with 'scales'") from None
     for row in scales:
         if row.get("subscriptions") == subscriptions:
             try:
-                return float(row[METRIC])
+                return float(row[metric])
             except (KeyError, TypeError, ValueError):
                 raise RegressionGateError(
                     f"scale N={subscriptions} carries no numeric "
-                    f"'{METRIC}'") from None
+                    f"'{metric}' under '{section}'") from None
     raise RegressionGateError(
-        f"artifact has no N={subscriptions} row under '{SECTION}'")
+        f"artifact has no N={subscriptions} row under '{section}'")
 
 
 def check_regression(baseline: dict, fresh: dict,
                      tolerance: float = DEFAULT_TOLERANCE,
-                     subscriptions: int = SUBSCRIPTIONS) -> RegressionReport:
-    """Compare two parsed artifacts; never raises on a mere slowdown.
+                     subscriptions: int = SUBSCRIPTIONS,
+                     section: str = SECTION,
+                     metric: str = METRIC) -> RegressionReport:
+    """Compare two parsed artifacts on one gate; never raises on a mere
+    slowdown.
 
     Raises :class:`RegressionGateError` only when either artifact lacks the
     gated section — a broken pipeline should fail loudly, not vacuously
@@ -102,11 +121,26 @@ def check_regression(baseline: dict, fresh: dict,
     if not 0 <= tolerance < 1:
         raise ValueError("tolerance must lie in [0, 1)")
     return RegressionReport(
-        baseline=extract_events_per_sec(baseline, subscriptions),
-        fresh=extract_events_per_sec(fresh, subscriptions),
+        baseline=extract_events_per_sec(baseline, subscriptions, section,
+                                        metric),
+        fresh=extract_events_per_sec(fresh, subscriptions, section, metric),
         tolerance=tolerance,
         subscriptions=subscriptions,
+        section=section,
+        metric=metric,
     )
+
+
+def check_all_gates(baseline: dict, fresh: dict,
+                    tolerance: float = DEFAULT_TOLERANCE,
+                    subscriptions: int = SUBSCRIPTIONS,
+                    gates: Sequence[Tuple[str, str]] = GATES,
+                    ) -> List[RegressionReport]:
+    """One :class:`RegressionReport` per gate, in :data:`GATES` order."""
+    return [check_regression(baseline, fresh, tolerance=tolerance,
+                             subscriptions=subscriptions, section=section,
+                             metric=metric)
+            for section, metric in gates]
 
 
 def _load(path: str) -> dict:
@@ -117,7 +151,7 @@ def _load(path: str) -> dict:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Fail when benchmark throughput regressed beyond the "
-                    "tolerance.")
+                    "tolerance on any gated metric.")
     parser.add_argument("baseline", help="committed BENCH_multi_query_sdi.json")
     parser.add_argument("fresh", help="freshly generated artifact")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
@@ -126,14 +160,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                         help="gated scale (default 1000)")
     args = parser.parse_args(argv)
     try:
-        report = check_regression(_load(args.baseline), _load(args.fresh),
+        reports = check_all_gates(_load(args.baseline), _load(args.fresh),
                                   tolerance=args.tolerance,
                                   subscriptions=args.subscriptions)
     except (OSError, ValueError) as exc:
         print(f"benchmark regression gate: {exc}", file=sys.stderr)
         return 2
-    print(report.describe())
-    return 0 if report.ok else 1
+    for report in reports:
+        print(report.describe())
+    return 0 if all(report.ok for report in reports) else 1
 
 
 if __name__ == "__main__":

@@ -89,36 +89,38 @@ Backends: expectation engine vs lazy DFA
 Every matching entry point — :class:`StreamingMatcher`,
 :meth:`SubscriptionIndex.matcher`/``evaluate``, :class:`DocumentBroker`,
 :func:`stream_evaluate` — takes ``backend="expectations" | "dfa"``
-(``None`` defers to the ``REPRO_STREAMING_BACKEND`` environment variable;
-the default stays ``"expectations"``).  Both backends are exact: the
-three-way differential suite pins DFA == expectations == DOM on every
-generated document/query pool.
+(``None`` defers to the ``REPRO_STREAMING_BACKEND`` environment variable,
+then to the default ``"dfa"``).  Both backends are exact: the three-way
+differential suite pins DFA == expectations == DOM on every generated
+document/query pool.
+
+``"dfa"`` (the default) compiles each subscription's structural spine —
+``self``/``child``/``descendant``/``descendant-or-self``/``attribute``
+steps, plus ``following-sibling``/``following`` steps as close-event-armed
+*sibling windows* — into NFA fragments merged trie-style into one shared
+automaton and materializes DFA states lazily: once the transition table
+is warm a StartElement costs one dictionary lookup plus a stack push,
+*independent of the number of subscriptions*.  Structurally decided
+subscriptions (no qualifiers) are answered by DFA accept sets alone;
+qualifier-carrying ones run the expectation machinery only past a DFA
+*gate* — i.e. only on structurally-viable elements.  Memory is bounded on
+both axes: the transition table holds at most
+``SubscriptionIndex(dfa_transition_cap=...)`` entries (default 65536,
+FIFO eviction with on-the-fly subset construction past it —
+``StreamStats.transition_cache_evictions``), and the materialized state
+set itself is flushed and lazily rebuilt when it outgrows the same bound
+(``StreamStats.transition_cache_flushed``) — so even a feed of documents
+with ever-new tag combinations cannot grow the automaton without limit.
+A broker session keeps the warmed table across documents, which is where
+the ≥3x events/sec of ``benchmarks/bench_automaton_sdi.py`` comes from.
 
 ``"expectations"`` advances one live expectation per (trie node, anchor);
 per-event cost scales with the expectations the event could match.  It
-handles every forward axis uniformly and needs no warmup — the right
-choice for few subscriptions, one-shot documents, or spines dominated by
-``following``/``following-sibling`` steps.
-
-``"dfa"`` compiles each subscription's structural spine
-(``self``/``child``/``descendant``/``descendant-or-self``/``attribute``
-steps) into NFA fragments merged into one shared automaton and
-materializes DFA states lazily: once the transition table is warm a
-StartElement costs one dictionary lookup plus a stack push, *independent
-of the number of subscriptions*.  Structurally decided subscriptions (no
-qualifiers) are answered by DFA accept sets alone; qualifier-carrying ones
-run the expectation machinery only past a DFA *gate* — i.e. only on
-structurally-viable elements.  Memory is bounded on both axes: the
-transition table holds at most ``SubscriptionIndex(dfa_transition_cap=...)``
-entries (default 65536, FIFO eviction with on-the-fly subset construction
-past it), and the materialized state set itself is flushed and lazily
-rebuilt when it outgrows the same bound — so even a feed of documents
-with ever-new tag combinations cannot grow the automaton without limit
-(``StreamStats.transition_cache_evictions`` counts both kinds of
-overflow).
-Pick it for large standing subscription sets served over many documents —
-a broker session keeps the warmed table across documents, which is where
-the ≥3x events/sec of ``benchmarks/bench_automaton_sdi.py`` comes from.
+handles every forward axis uniformly, needs no warmup, and is the
+*semantics reference*: the differential suites pin the automaton against
+it, and ``REPRO_STREAMING_BACKEND=expectations`` is the opt-out when a
+workload is better served without compilation (few subscriptions on
+one-shot documents) or when bisecting a suspected automaton bug.
 
 When to use what
 ----------------

@@ -1,42 +1,58 @@
-"""Lazy-DFA structural dispatch for the subscription engine (``backend="dfa"``).
+"""Lazy-DFA structural dispatch for the subscription engine (the default
+``backend="dfa"``).
 
 The expectation engine of :mod:`repro.streaming.matcher` pays per event for
 every *live* expectation a node could match; at thousands of subscriptions
 that is dozens of admissibility checks per StartElement even with tag-indexed
 dispatch.  This module compiles the *structural spine* of every subscription
 — the qualifier-free chain of ``self``/``child``/``descendant``/
-``descendant-or-self``/``attribute`` steps over name, ``*``, ``text()``,
-``node()`` and ``@name``/``@*`` tests — into NFA fragments merged into one
-shared automaton, then materializes DFA states *lazily* at match time
-(XMLTK/YFilter-style).  Once the transition table is warm, structural
-dispatch costs one dictionary lookup plus a stack push per StartElement,
-independent of the number of subscriptions.
+``descendant-or-self``/``attribute``/``following-sibling``/``following``
+steps over name, ``*``, ``text()``, ``node()`` and ``@name``/``@*`` tests —
+into NFA fragments merged trie-style into one shared automaton, then
+materializes DFA states *lazily* at match time (XMLTK/YFilter-style).  Once
+the transition table is warm, structural dispatch costs one dictionary
+lookup plus a stack push per StartElement, independent of the number of
+subscriptions.
 
 How it relates to the expectation engine
 ----------------------------------------
 
-Every supported spine axis relates a node to its ancestor chain alone, so a
-deterministic run over the root-to-node tag sequence (exactly the
-open-element stack a SAX consumer has for free) decides the match:
+The ancestor-chain axes relate a node to its root-to-node tag sequence
+(exactly the open-element stack a SAX consumer has for free); the sibling
+axes additionally consume EndElement — a *sibling window* NFA state arms
+when the anchor's subtree closes and (for ``following-sibling``) expires
+when the anchor's parent closes, because the window lives only in the
+parent's stack entry.  Together they make a deterministic run over the
+event stream:
 
 * each **DFA state** is a frozenset of NFA states, interned on first use and
   cached in a bounded transition table keyed by ``(state_id, tag)``; when
   the table is full the automaton falls back to on-the-fly subset
   construction for the evicted entries (``StreamStats`` counts
-  materializations, lookups, hits and evictions);
+  materializations, lookups, hits, FIFO evictions and bulk flushes);
+* NFA fragments are shared **trie-style**: alternatives and union members
+  with a common spine prefix thread through one fragment (the builder memoizes
+  ``(state, item)`` pairs) and carry per-member accept/gate tags at their
+  end states, so overlapping subscription pools stop multiplying states;
 * **structurally decided** subscriptions (no qualifiers anywhere — see
   :func:`repro.xpath.analysis.is_structurally_decided`) are answered by DFA
   *accept sets* alone: an accepting state delivers the current node id
   straight into the subscription's result sink;
 * **qualifier-carrying** subscriptions are *gated*: the automaton compiles
   the qualifier-free spine prefix and attaches a gate at the first step
-  with qualifiers (or the first ``following``/``following-sibling`` step).
-  Only when a node structurally reaches the gate does the engine build the
-  qualifier conditions and spawn expectations for the remaining steps — the
+  with qualifiers (or at an axis outside the supported set, e.g. a reverse
+  axis the rewriter left in a qualifier-carrying spine).  Only when a node
+  structurally reaches the gate does the engine build the qualifier
+  conditions and spawn expectations for the remaining steps — the
   :class:`~repro.streaming.matcher.MatcherCore` machinery runs exclusively
   on structurally-viable elements;
 * members whose *first* step is already unsupported fall back to the
   expectation engine wholesale (the caller keeps a fallback trie for them).
+  With sibling windows compiled and ``//`` descents folded instead of
+  forked, that is now a rare corner (adversarial named
+  ``descendant-or-self`` chains past the alternative cap), which is why
+  ``dfa`` is the default backend and the expectation engine serves as the
+  differential-testing semantics reference.
 
 The automaton itself is immutable per subscription set and shared: one
 compiled instance serves every matcher a :class:`SubscriptionIndex` hands
@@ -66,8 +82,8 @@ from repro.xpath.serializer import to_string
 #: CI run the whole tier-1 suite once per backend without editing tests.
 BACKEND_ENV_VAR = "REPRO_STREAMING_BACKEND"
 
-#: The two engine backends: the expectation engine (default) and the lazy
-#: DFA of this module.
+#: The two engine backends: the lazy DFA of this module (default) and the
+#: expectation engine (the differential-testing semantics reference).
 BACKENDS = ("expectations", "dfa")
 
 #: Default bound of the shared transition table (element + attribute
@@ -79,15 +95,22 @@ DEFAULT_TRANSITION_CAP = 65536
 def resolve_backend(backend: Optional[str] = None) -> str:
     """Normalize a backend selector, consulting ``REPRO_STREAMING_BACKEND``.
 
-    ``None`` means "whatever the environment says", defaulting to the
-    expectation engine; anything outside :data:`BACKENDS` is rejected.
+    ``None`` means "whatever the environment says", defaulting to the lazy
+    DFA; anything outside :data:`BACKENDS` is rejected with the same error
+    whether it came from the caller or from the environment — the message
+    names the variable when the environment is the source.
     """
+    from_environment = False
     if backend is None:
-        backend = os.environ.get(BACKEND_ENV_VAR) or "expectations"
+        backend = os.environ.get(BACKEND_ENV_VAR)
+        from_environment = bool(backend)
+        if not backend:
+            backend = "dfa"
     if backend not in BACKENDS:
+        origin = f" (from {BACKEND_ENV_VAR})" if from_environment else ""
         raise StreamingError(
-            f"unknown streaming backend {backend!r}; expected one of "
-            f"{', '.join(BACKENDS)}")
+            f"unknown streaming backend {backend!r}{origin}; expected one "
+            f"of {', '.join(BACKENDS)}")
     return backend
 
 
@@ -118,10 +141,11 @@ class _Gate:
 # ---------------------------------------------------------------------------
 
 class _NfaState:
-    """One NFA state: outgoing consuming edges bucketed by test category."""
+    """One NFA state: outgoing consuming edges bucketed by test category,
+    plus the sibling windows its close event arms."""
 
     __slots__ = ("elem_by_tag", "elem_any", "text", "attr_by_name",
-                 "attr_any", "deliver", "gates")
+                 "attr_any", "arm_sib", "arm_fol", "deliver", "gates")
 
     def __init__(self):
         self.elem_by_tag: Dict[str, List[int]] = {}
@@ -129,6 +153,12 @@ class _NfaState:
         self.text: List[int] = []
         self.attr_by_name: Dict[str, List[int]] = {}
         self.attr_any: List[int] = []
+        #: Window states armed when a node in this state closes:
+        #: ``following-sibling`` windows join the parent's stack entry (and
+        #: expire with it); ``following`` windows join the run's armed set
+        #: for the rest of the document.
+        self.arm_sib: List[int] = []
+        self.arm_fol: List[int] = []
         #: Ordinals of structurally decided members accepting here.
         self.deliver: List[int] = []
         #: Gates firing here (qualifier hand-offs to the expectation engine).
@@ -136,12 +166,15 @@ class _NfaState:
 
 
 class _NfaBuilder:
-    """Builds the shared NFA; skip loops are shared per source state, so a
-    thousand ``/descendant::x`` subscriptions reuse one skip state."""
+    """Builds the shared NFA trie-style: each ``(state, item)`` pair is
+    memoized, so alternatives and union members with a common spine prefix
+    thread through one shared fragment (and a thousand ``/descendant::x``
+    subscriptions reuse one skip state)."""
 
     def __init__(self):
         self.states: List[_NfaState] = [_NfaState()]
         self._skip_of: Dict[int, int] = {}
+        self._chain_of: Dict[tuple, int] = {}
 
     def _new(self) -> int:
         self.states.append(_NfaState())
@@ -173,15 +206,54 @@ class _NfaBuilder:
         else:
             state.attr_any.append(target)
 
+    def _window(self, source: int, mode: int, test: _Test) -> int:
+        """A sibling-window fragment anchored at ``source``.
+
+        The window state consumes nothing until armed by a close event;
+        ``following`` windows self-loop on elements (they stay live for the
+        rest of the document), ``following-sibling`` windows do not (they
+        live only in the arming node's parent entry, so the parent's close
+        expires them).  Deep variants (after a pending ``//``) anchor at
+        ``source``, at every element descendant (the shared skip state) and
+        — via an armer state — at text descendants, whose windows arm at
+        the text event itself because text nodes have no close event.
+        """
+        window = self._new()
+        target = self._new()
+        self._edge(window, test, target)
+        sibling = mode in (analysis.M_SIB, analysis.M_SIB_DEEP)
+        if not sibling:
+            self.states[window].elem_any.append(window)
+        anchors = [source]
+        if mode in (analysis.M_SIB_DEEP, analysis.M_FOL_DEEP):
+            skip = self._skip(source)
+            anchors.append(skip)
+            armer = self._new()
+            self.states[source].text.append(armer)
+            self.states[skip].text.append(armer)
+            anchors.append(armer)
+        for anchor in anchors:
+            state = self.states[anchor]
+            (state.arm_sib if sibling else state.arm_fol).append(window)
+        return target
+
     def chain(self, items) -> int:
         """Thread one consuming alternative from the start state; returns
-        the accepting state."""
+        the accepting state.  Shared prefixes resolve to the same state."""
         current = 0
-        for loop, test in items:
-            target = self._new()
-            self._edge(current, test, target)
-            if loop:
-                self._edge(self._skip(current), test, target)
+        for item in items:
+            key = (current, item)
+            target = self._chain_of.get(key)
+            if target is None:
+                mode, test = item
+                if mode in analysis.WINDOW_MODES:
+                    target = self._window(current, mode, test)
+                else:
+                    target = self._new()
+                    self._edge(current, test, target)
+                    if mode == analysis.M_DESC:
+                        self._edge(self._skip(current), test, target)
+                self._chain_of[key] = target
             current = target
         return current
 
@@ -264,6 +336,8 @@ class SubscriptionAutomaton:
         self.epoch = 0
         self.has_attribute_rules = any(
             state.attr_by_name or state.attr_any for state in self._nfa)
+        self.has_window_rules = any(
+            state.arm_sib or state.arm_fol for state in self._nfa)
         self._reset_caches()
 
     def _reset_caches(self) -> None:
@@ -272,6 +346,9 @@ class SubscriptionAutomaton:
         #: Per DFA state: (deliver ordinals, gates), merged and deduped.
         self._deliver: List[Tuple[int, ...]] = []
         self._gates: List[Tuple[_Gate, ...]] = []
+        #: Per DFA state: windows armed when a node in this state closes.
+        self._arm_sib: List[FrozenSet[int]] = []
+        self._arm_fol: List[FrozenSet[int]] = []
         self._elem: Dict[Tuple[int, str], int] = {}
         self._text: Dict[int, int] = {}
         self._attr: Dict[Tuple[int, str], int] = {}
@@ -286,9 +363,9 @@ class SubscriptionAutomaton:
         if len(self._sets) <= self._state_cap:
             return False
         if stats is not None:
-            stats.transition_cache_evictions += (len(self._elem)
-                                                 + len(self._attr)
-                                                 + len(self._text))
+            stats.transition_cache_flushed += (len(self._elem)
+                                               + len(self._attr)
+                                               + len(self._text))
         self._flushes += 1
         self.epoch += 1
         self._reset_caches()
@@ -304,6 +381,8 @@ class SubscriptionAutomaton:
         self._sets.append(key)
         deliver: List[int] = []
         gates: List[_Gate] = []
+        arm_sib = set()
+        arm_fol = set()
         seen_ordinals = set()
         seen_gates = set()
         for q in sorted(key):
@@ -316,11 +395,28 @@ class SubscriptionAutomaton:
                 if gate not in seen_gates:
                     seen_gates.add(gate)
                     gates.append(gate)
+            arm_sib.update(nfa_state.arm_sib)
+            arm_fol.update(nfa_state.arm_fol)
         self._deliver.append(tuple(deliver))
         self._gates.append(tuple(gates))
+        self._arm_sib.append(frozenset(arm_sib))
+        self._arm_fol.append(frozenset(arm_fol))
         if stats is not None:
             stats.dfa_states_materialized += 1
         return state_id
+
+    def intern_set(self, key: FrozenSet[int], stats) -> int:
+        """Id of an explicit NFA-state set (window arming and resync)."""
+        return self._intern(key, stats)
+
+    def set_of(self, state_id: int) -> FrozenSet[int]:
+        """The NFA-state set behind a materialized DFA state."""
+        return self._sets[state_id]
+
+    def arms(self, state_id: int):
+        """``(sibling_windows, following_windows)`` armed when a node in
+        this state closes."""
+        return self._arm_sib[state_id], self._arm_fol[state_id]
 
     def _remember(self, table, key, value, stats) -> None:
         if len(self._elem) + len(self._attr) >= self._cap:
@@ -418,20 +514,32 @@ class AutomatonRun:
     Owned by a :class:`~repro.streaming.matcher.MatcherCore` with
     ``backend="dfa"``; the core calls in from its event loop.  The only
     per-document state is the DFA state stack mirroring the open-element
-    stack — ``rewind()`` (wired into the core's stream-state teardown)
-    clears it, while the automaton's transition table deliberately survives
-    into the next document.
+    stack — plus, when the automaton has sibling-window rules, the parallel
+    stack of exact NFA-state sets (window arming merges states into live
+    entries, which tag replay could not reconstruct) and the set of armed
+    ``following`` windows.  ``rewind()`` (wired into the core's
+    stream-state teardown) clears them, while the automaton's transition
+    table deliberately survives into the next document.
 
     ``sink_of`` maps a subscription ordinal to its current result sink; it
     is consulted at fire time so sinks replaced by ``reset()`` stay correct.
     """
 
-    __slots__ = ("automaton", "_sink_of", "stack", "epoch")
+    __slots__ = ("automaton", "_sink_of", "stack", "sets", "_armed",
+                 "_windows", "epoch")
 
     def __init__(self, automaton: SubscriptionAutomaton, sink_of):
         self.automaton = automaton
         self._sink_of = sink_of
         self.stack: List[int] = []
+        #: Exact NFA sets behind ``stack`` — maintained (and consulted by
+        #: resync) only when the automaton has window rules.
+        self.sets: List[FrozenSet[int]] = []
+        #: Armed ``following`` windows: invariantly a subset of the current
+        #: top entry; re-injected lazily whenever a pop exposes an entry
+        #: that predates the arming.
+        self._armed: FrozenSet[int] = frozenset()
+        self._windows = automaton.has_window_rules
         self.epoch = automaton.epoch
 
     def on_document_start(self, core, root_id: int) -> None:
@@ -440,6 +548,9 @@ class AutomatonRun:
         self.epoch = automaton.epoch
         start = automaton.start_state
         self.stack = [start]
+        if self._windows:
+            self.sets = [automaton.set_of(start)]
+            self._armed = frozenset()
         deliver, gates = automaton.accepts(start)
         if deliver or gates:
             # Members accepting at the root itself (e.g. the path "/").
@@ -449,20 +560,43 @@ class AutomatonRun:
     def _resync(self, core) -> None:
         """Rebuild the state stack after a flush (ours or a co-tenant's).
 
-        Replays the engine's open-element ancestor chain — available for
-        free on ``core._stack`` — through the freshly emptied automaton;
-        the dead-state shortcut in :meth:`on_node` never applies here
-        because a flushed automaton has no dead entries on any live path
-        that mattered (recomputing them is exactly the point).
+        Without window rules the stack is a pure function of the engine's
+        open-element ancestor chain — available for free on ``core._stack``
+        — and is replayed through the freshly emptied automaton; the
+        dead-state shortcut in :meth:`on_node` never applies here because a
+        flushed automaton has no dead entries on any live path that
+        mattered (recomputing them is exactly the point).  With window
+        rules the entries carry armed-window residue no replay could
+        rebuild, so the exact NFA sets of :attr:`sets` are re-interned
+        instead.
         """
         automaton = self.automaton
         self.epoch = automaton.epoch
-        stack = [automaton.start_state]
         stats = core.stats
+        if self._windows:
+            self.stack = [automaton.intern_set(entry, stats)
+                          for entry in self.sets]
+            return
+        stack = [automaton.start_state]
         for open_element in core._stack[1:]:
             stack.append(automaton.element_successor(stack[-1],
                                                      open_element.tag, stats))
         self.stack = stack
+
+    def _arm(self, core, sib, fol) -> None:
+        """Merge newly armed (and still-armed ``following``) windows into
+        the current top entry, re-interning its DFA state."""
+        if fol:
+            self._armed |= fol
+        add = (self._armed | sib) if sib else self._armed
+        if not add:
+            return
+        current = self.sets[-1]
+        if add <= current:
+            return
+        merged = current | add
+        self.sets[-1] = merged
+        self.stack[-1] = self.automaton.intern_set(merged, core.stats)
 
     def on_node(self, core, node_id: int, depth: int, is_element: bool,
                 tag, value, attributes) -> None:
@@ -475,9 +609,13 @@ class AutomatonRun:
         if is_element:
             if top == dead:
                 stack.append(dead)
+                if self._windows:
+                    self.sets.append(automaton.set_of(dead))
                 return
             state = automaton.element_successor(top, tag, core.stats)
             stack.append(state)
+            if self._windows:
+                self.sets.append(automaton.set_of(state))
             if state == dead:
                 return
             deliver, gates = automaton.accepts(state)
@@ -505,13 +643,37 @@ class AutomatonRun:
             if deliver or gates:
                 self._fire(core, deliver, gates, node_id, depth, False, None,
                            value, False)
+            if self._windows:
+                # Text anchors have no close event: their windows arm at
+                # the text event itself, into the enclosing element entry.
+                sib, fol = automaton.arms(state)
+                if sib or fol:
+                    self._arm(core, sib, fol)
 
-    def on_close(self) -> None:
-        if self.stack:
-            self.stack.pop()
+    def on_close(self, core) -> None:
+        stack = self.stack
+        if not stack:
+            return
+        if not self._windows:
+            stack.pop()
+            return
+        automaton = self.automaton
+        # Resync *before* consuming the closing entry's id: a co-tenant's
+        # flush since the last event would have invalidated it.
+        if automaton.maybe_flush(core.stats) or self.epoch != automaton.epoch:
+            self._resync(core)
+        closed = stack.pop()
+        self.sets.pop()
+        if not stack:
+            return
+        sib, fol = automaton.arms(closed)
+        if sib or fol or self._armed:
+            self._arm(core, sib, fol)
 
     def rewind(self) -> None:
         self.stack = []
+        self.sets = []
+        self._armed = frozenset()
 
     def _fire(self, core, deliver, gates, node_id: int, depth: int,
               is_element: bool, tag, value, is_attribute: bool) -> None:

@@ -112,6 +112,15 @@ class DocumentBroker:
     want this; leave it ``False`` to get full per-subscription node ids, as
     :meth:`SubscriptionIndex.evaluate` would return them.
 
+    ``backend`` picks the structural dispatch engine: ``"dfa"`` (the
+    default) compiles the index into one shared lazy automaton whose warmed
+    transition table persists across the whole feed — the broker's sweet
+    spot; ``"expectations"`` is the uncompiled semantics reference
+    (``REPRO_STREAMING_BACKEND=expectations`` is the environment opt-out);
+    ``None`` defers to that variable, then to ``"dfa"``.  Resolved once at
+    construction, so a long-lived broker is immune to later environment
+    changes.
+
     A broker is not thread-safe: it reuses one matcher session.  Run one
     broker per worker and share the ``SubscriptionIndex`` (immutable once
     built) between them.

@@ -549,10 +549,11 @@ class SubscriptionIndex:
                 backend: Optional[str] = None) -> MultiMatcher:
         """A fresh single-pass matcher over the shared trie.
 
-        ``backend="dfa"`` selects lazy-DFA structural dispatch (shared
-        automaton, expectation engine only past qualifier gates — see
-        :mod:`repro.streaming.automaton`); ``"expectations"`` the pure
-        expectation engine; ``None`` defers to ``REPRO_STREAMING_BACKEND``.
+        ``backend="dfa"`` (the default) selects lazy-DFA structural dispatch
+        (shared automaton, expectation engine only past qualifier gates —
+        see :mod:`repro.streaming.automaton`); ``"expectations"`` the pure
+        expectation engine, kept as the differential semantics reference;
+        ``None`` defers to ``REPRO_STREAMING_BACKEND``, then to ``"dfa"``.
         ``indexed=False`` selects the linear-scan reference engine (every
         live expectation examined on every event) — same results, kept for
         benchmarking the dispatch index against.

@@ -55,10 +55,11 @@ def stream_evaluate(path: TypingUnion[str, PathExpr],
         :func:`repro.xmlmodel.builder.document_events` (an in-memory
         document) or a custom producer.
     backend:
-        ``"expectations"`` (default) or ``"dfa"`` — the structural dispatch
+        ``"dfa"`` (default) or ``"expectations"`` — the structural dispatch
         engine (see :class:`repro.streaming.matcher.StreamingMatcher`);
         ``None`` defers to the ``REPRO_STREAMING_BACKEND`` environment
-        variable.
+        variable, then to ``"dfa"``.  The expectation engine is the
+        differential-testing semantics reference.
 
     Returns
     -------

@@ -895,7 +895,7 @@ class MatcherCore:
         closed = self._stack.pop()
         node_id = closed.node_id
         if self._automaton_run is not None:
-            self._automaton_run.on_close()
+            self._automaton_run.on_close(self)
         # Open the window of following/following-sibling expectations that
         # were waiting for exactly this element to close.
         waiting = self._waiting_by_anchor.pop(node_id, None)
@@ -1324,12 +1324,13 @@ class MatcherCore:
 class StreamingMatcher(MatcherCore):
     """Single-pass matcher for one reverse-axis-free path expression.
 
-    ``backend`` selects the structural dispatch engine: ``"expectations"``
-    (the default) matches every step through the expectation machinery;
-    ``"dfa"`` compiles the path's structural spine into a lazy automaton and
+    ``backend`` selects the structural dispatch engine: ``"dfa"`` (the
+    default) compiles the path's structural spine into a lazy automaton and
     runs expectations only past qualifier gates (see
-    :mod:`repro.streaming.automaton`).  ``None`` defers to the
-    ``REPRO_STREAMING_BACKEND`` environment variable.
+    :mod:`repro.streaming.automaton`); ``"expectations"`` matches every
+    step through the expectation machinery instead — the differential
+    semantics reference.  ``None`` defers to the
+    ``REPRO_STREAMING_BACKEND`` environment variable, then to ``"dfa"``.
     """
 
     def __init__(self, path: PathExpr, indexed: bool = True,

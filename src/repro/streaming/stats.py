@@ -57,10 +57,16 @@ class StreamStats:
     #: is the number of on-the-fly subset constructions.
     transition_cache_lookups: int = 0
     transition_cache_hits: int = 0
-    #: Lazy-DFA backend: cached transitions dropped because the bounded
-    #: table was full (the automaton falls back to on-the-fly subset
-    #: construction for evicted entries).
+    #: Lazy-DFA backend: cached transitions dropped one at a time (FIFO)
+    #: because the bounded table was full (the automaton falls back to
+    #: on-the-fly subset construction for evicted entries).
     transition_cache_evictions: int = 0
+    #: Lazy-DFA backend: cached transitions dropped wholesale because the
+    #: materialized *state set* outgrew its bound and the automaton flushed
+    #: (epoch bump; live runs resync).  Kept separate from the per-entry
+    #: FIFO evictions above so the two overflow regimes stay
+    #: distinguishable in reports.
+    transition_cache_flushed: int = 0
     #: Qualifier/join conditions created during the run.
     conditions_created: int = 0
     #: Candidate matches buffered awaiting qualifier/join resolution.
@@ -97,6 +103,7 @@ class StreamStats:
             "transition_cache_lookups": self.transition_cache_lookups,
             "transition_cache_hits": self.transition_cache_hits,
             "transition_cache_evictions": self.transition_cache_evictions,
+            "transition_cache_flushed": self.transition_cache_flushed,
             "buffered_value_chars": self.buffered_value_chars,
             "memory_units": self.memory_units,
             "results": self.results,

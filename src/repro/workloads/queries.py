@@ -289,9 +289,11 @@ def differential_query_pool(count: int, seed: int = 7,
     == DOM baseline) needs query pools that hit every dispatch regime at
     once: structurally decided spines (pure automaton), qualifier gates
     (automaton hands off to expectations mid-spine), ``following``/
-    ``following-sibling`` tails (expectation fallback), attribute steps and
-    value comparisons, joins against absolute sub-paths, and unions mixing
-    all of the above.  Tags and attribute vocabulary default to the ones
+    ``following-sibling`` steps — including as the *first* step and behind
+    ``//`` descents (compiled into close-event-armed sibling windows) —
+    attribute steps and value comparisons, joins against absolute
+    sub-paths, and unions mixing all of the above.  Tags and attribute
+    vocabulary default to the ones
     :func:`repro.xmlmodel.generator.random_document` emits, so the shapes
     actually select nodes.
     """
@@ -335,6 +337,16 @@ def differential_query_pool(count: int, seed: int = 7,
         lambda: "/descendant::" + rng.choice(tuple(tags)) + "/attribute::*",
         lambda: "/" + spine(2, forward) + "/child::text()",
         lambda: "/" + spine(2, forward) + " | /" + spine(2, gated),
+        # First-step sibling windows (empty at the root, arming below it
+        # through union members) and deep windows behind // descents.
+        lambda: ("/" + rng.choice(("following", "following-sibling"))
+                 + f"::{tag()}"),
+        lambda: (f"//{rng.choice(tuple(tags))}/"
+                 + rng.choice(("following", "following-sibling"))
+                 + f"::{tag()}"),
+        lambda: f"//{rng.choice(tuple(tags))}//following::{tag()}",
+        lambda: ("/" + spine(1, forward) + "/following-sibling::"
+                 + rng.choice(tuple(tags)) + " | /" + spine(2, gated)),
     )
     return [rng.choice(shapes)() for _ in range(count)]
 

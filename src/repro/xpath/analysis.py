@@ -257,23 +257,30 @@ def is_rare_input(path: PathExpr) -> Tuple[bool, Optional[str]]:
 # Automaton compilability (lazy-DFA backend classification)
 # ---------------------------------------------------------------------------
 
-#: Spine axes the lazy-DFA backend can compile into automaton transitions:
-#: every one of them relates a node to its *ancestor chain* alone, so a run
-#: over the root-to-node tag sequence (the open-element stack) decides the
-#: match.  ``following``/``following-sibling`` depend on close events and
-#: stay with the expectation engine.
+#: Spine axes the lazy-DFA backend compiles into automaton transitions.
+#: The ancestor-chain axes (``self``/``child``/``descendant``/
+#: ``descendant-or-self``/``attribute``) are decided by a run over the
+#: root-to-node tag sequence alone; ``following``/``following-sibling``
+#: compile into *sibling windows* — NFA states armed by the anchor's close
+#: event (the automaton's alphabet includes EndElement) and expired when
+#: the anchor's parent closes.
 AUTOMATON_SPINE_AXES = frozenset({
     Axis.SELF,
     Axis.CHILD,
     Axis.DESCENDANT,
     Axis.DESCENDANT_OR_SELF,
     Axis.ATTRIBUTE,
+    Axis.FOLLOWING,
+    Axis.FOLLOWING_SIBLING,
 })
 
 
 #: Spine alternatives per union member before the automaton compiler gives
-#: up and routes the member to the expectation engine
-#: (``descendant-or-self`` steps fork a self/descendant alternative each).
+#: up and routes the member to the expectation engine.  ``//`` descents
+#: (``descendant-or-self::node()``) fold into the next consuming item, so
+#: only *named* ``descendant-or-self`` steps fork a self/descendant
+#: alternative each — the limit is a safety valve for adversarial chains of
+#: those, not something realistic pools reach.
 AUTOMATON_ALTERNATIVE_LIMIT = 64
 
 #: Internal node-test categories of the automaton's consuming transitions:
@@ -284,6 +291,19 @@ K_NAME, K_WILD, K_NODE, K_TEXT, K_ATTR, K_ATTR_ANY = range(6)
 
 #: Categories matching only leaf nodes: nothing can be consumed below them.
 LEAF_TEST_KINDS = (K_TEXT, K_ATTR, K_ATTR_ANY)
+
+#: Item modes of a compiled alternative.  ``M_CHILD`` consumes one child
+#: level, ``M_DESC`` consumes after a skip-any-elements loop, and the four
+#: window modes consume from a *sibling window* armed by the previous
+#: item's close event: ``following-sibling``/``following`` anchored at the
+#: item itself (``M_SIB``/``M_FOL``) or at any of its descendants
+#: (``M_SIB_DEEP``/``M_FOL_DEEP``, produced by a pending ``//`` descent in
+#: front of the window step).  ``M_CHILD == False`` and ``M_DESC == True``
+#: so window-free items keep their historical ``(loop, test)`` reading.
+M_CHILD, M_DESC, M_SIB, M_SIB_DEEP, M_FOL, M_FOL_DEEP = range(6)
+
+#: Modes whose item consumes from a close-event-armed window.
+WINDOW_MODES = frozenset({M_SIB, M_SIB_DEEP, M_FOL, M_FOL_DEEP})
 
 
 def automaton_test_of(spine_step: Step):
@@ -353,49 +373,93 @@ def automaton_spine_alternatives(steps: Tuple[Step, ...],
                                  limit: int = AUTOMATON_ALTERNATIVE_LIMIT):
     """Compile a qualifier-free spine into consuming alternatives.
 
-    Each alternative is a tuple of ``(loop, test)`` items: consume one tree
+    Each alternative is a tuple of ``(mode, test)`` items: consume one tree
     level matching ``test`` (a category from :func:`automaton_test_of`),
-    preceded by a skip-any-elements loop when ``loop`` is set
-    (descendant-style).  Returns ``None`` when the alternatives explode past
-    ``limit`` (the automaton compiler then falls back to the expectation
-    engine) and ``[]`` when nothing can ever match.  This is the exact
-    computation :mod:`repro.streaming.automaton` threads into its NFA, so
-    the classifiers below can never drift from compiler behavior.
+    either as a child (``M_CHILD``), after a skip-any-elements loop
+    (``M_DESC``), or inside a sibling window armed by the previous item's
+    close event (the :data:`WINDOW_MODES`).  A ``//`` descent
+    (``descendant-or-self::node()``) does not fork alternatives: it is
+    carried as a *pending* flag and folded into the next item's mode, so
+    ``//a//b`` compiles to the single alternative
+    ``((M_DESC, a), (M_DESC, b))`` and only *named*
+    ``descendant-or-self::t`` steps fork self/descendant pairs.  Returns
+    ``None`` when the alternatives still explode past ``limit`` (the
+    automaton compiler then falls back to the expectation engine) and
+    ``[]`` when nothing can ever match.  This is the exact computation
+    :mod:`repro.streaming.automaton` threads into its NFA, so the
+    classifiers below can never drift from compiler behavior.
     """
-    alternatives = [()]
+    # (items, pending): ``pending`` records a ``//`` descent not yet
+    # folded into a consuming item.
+    alternatives = [((), False)]
     for spine_step in steps:
         test = automaton_test_of(spine_step)
         axis = spine_step.axis
         fresh = []
-        for items in alternatives:
-            if axis is Axis.SELF:
-                if test is not None:
-                    folded = _fold_self_test(items, test)
-                    if folded is not None:
-                        fresh.append(folded)
-                continue
-            if axis is Axis.DESCENDANT_OR_SELF and test is not None:
-                folded = _fold_self_test(items, test)
-                if folded is not None:
-                    fresh.append(folded)
+        for items, pending in alternatives:
             if test is None:
                 continue
-            if items and items[-1][1][0] in LEAF_TEST_KINDS:
+            at_leaf = bool(items) and items[-1][1][0] in LEAF_TEST_KINDS
+            if axis is Axis.DESCENDANT_OR_SELF and test[0] == K_NODE:
+                # ``//`` desugaring: defer the descent into the next
+                # item's mode instead of forking here.  At a leaf the
+                # descendant branch is empty and the step is the identity.
+                fresh.append((items, pending or not at_leaf))
+                continue
+            if axis is Axis.SELF or axis is Axis.DESCENDANT_OR_SELF:
+                # ``self::t`` on a pending descent (and any named
+                # ``descendant-or-self::t``) splits into the zero-descent
+                # fold and a consuming descendant item.
+                folded = _fold_self_test(items, test)
+                if folded is not None:
+                    fresh.append((folded, False))
+                if (axis is Axis.DESCENDANT_OR_SELF or pending) \
+                        and not at_leaf:
+                    fresh.append((items + ((M_DESC, test),), False))
+                continue
+            if axis in (Axis.FOLLOWING, Axis.FOLLOWING_SIBLING):
+                # Attribute nodes neither appear on nor anchor the sibling
+                # axes in this model: such windows are empty.
+                if test[0] in (K_ATTR, K_ATTR_ANY):
+                    continue
+                if items and items[-1][1][0] in (K_ATTR, K_ATTR_ANY):
+                    continue
+                if axis is Axis.FOLLOWING:
+                    mode = M_FOL_DEEP if pending else M_FOL
+                else:
+                    mode = M_SIB_DEEP if pending else M_SIB
+                fresh.append((items + ((mode, test),), False))
+                continue
+            if at_leaf:
                 # Text and attribute nodes have nothing below them.
                 continue
-            loop = axis in (Axis.DESCENDANT, Axis.DESCENDANT_OR_SELF)
-            fresh.append(items + ((loop, test),))
+            loop = pending or axis is Axis.DESCENDANT
+            fresh.append((items + ((M_DESC if loop else M_CHILD, test),),
+                          False))
         seen = set()
         alternatives = []
-        for items in fresh:
-            if items not in seen:
-                seen.add(items)
-                alternatives.append(items)
+        for pair in fresh:
+            if pair not in seen:
+                seen.add(pair)
+                alternatives.append(pair)
         if not alternatives:
             return []
         if len(alternatives) > limit:
             return None
-    return alternatives
+    final = []
+    closed = set()
+    for items, pending in alternatives:
+        # A trailing ``//`` selects the reached nodes *and* all their
+        # descendants; expand it now that no item is left to fold into.
+        expansion = (items, items + ((M_DESC, (K_NODE, None)),)) \
+            if pending else (items,)
+        for expanded in expansion:
+            if expanded not in closed:
+                closed.add(expanded)
+                final.append(expanded)
+    if len(final) > limit:
+        return None
+    return final
 
 
 def automaton_spine_cut(member: LocationPath) -> Optional[int]:

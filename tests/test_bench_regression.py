@@ -6,19 +6,27 @@ import pytest
 
 from repro.bench.regression import (
     DEFAULT_TOLERANCE,
+    GATES,
     RegressionGateError,
+    check_all_gates,
     check_regression,
     extract_events_per_sec,
     main,
 )
 
 
-def artifact(events_per_sec, subscriptions=1000, extra_scales=()):
+def artifact(events_per_sec, subscriptions=1000, extra_scales=(),
+             dfa_events_per_sec=None):
     scales = [{"subscriptions": 10, "events_per_sec_indexed": 99999}]
     scales.extend(extra_scales)
     scales.append({"subscriptions": subscriptions,
                    "events_per_sec_indexed": events_per_sec})
-    return {"multi_query_sdi": {"scales": scales}}
+    if dfa_events_per_sec is None:
+        dfa_events_per_sec = events_per_sec
+    return {"multi_query_sdi": {"scales": scales},
+            "automaton_sdi": {"scales": [
+                {"subscriptions": subscriptions,
+                 "events_per_sec_dfa": dfa_events_per_sec}]}}
 
 
 class TestExtract:
@@ -73,6 +81,32 @@ class TestCheckRegression:
         assert DEFAULT_TOLERANCE == 0.25
 
 
+class TestMultiGate:
+    def test_gates_cover_both_backends(self):
+        assert ("multi_query_sdi", "events_per_sec_indexed") in GATES
+        assert ("automaton_sdi", "events_per_sec_dfa") in GATES
+
+    def test_check_all_gates_reports_per_gate(self):
+        reports = check_all_gates(artifact(2000, dfa_events_per_sec=400000),
+                                  artifact(2000, dfa_events_per_sec=400000))
+        assert len(reports) == len(GATES)
+        assert all(report.ok for report in reports)
+
+    def test_dfa_regression_fails_even_when_indexed_holds(self):
+        reports = check_all_gates(artifact(2000, dfa_events_per_sec=400000),
+                                  artifact(2000, dfa_events_per_sec=100000))
+        by_section = {report.section: report for report in reports}
+        assert by_section["multi_query_sdi"].ok
+        assert not by_section["automaton_sdi"].ok
+        assert "automaton_sdi" in by_section["automaton_sdi"].describe()
+
+    def test_missing_dfa_section_fails_loudly(self):
+        with pytest.raises(RegressionGateError):
+            check_all_gates({"multi_query_sdi": {"scales": [
+                {"subscriptions": 1000, "events_per_sec_indexed": 1}]}},
+                artifact(1))
+
+
 class TestMain:
     def write(self, tmp_path, name, data):
         path = tmp_path / name
@@ -91,6 +125,15 @@ class TestMain:
         assert main([base, fresh]) == 1
         assert "REGRESSION" in capsys.readouterr().out
 
+    def test_dfa_regression_alone_fails_the_gate(self, tmp_path, capsys):
+        base = self.write(tmp_path, "base.json",
+                          artifact(2000, dfa_events_per_sec=400000))
+        fresh = self.write(tmp_path, "fresh.json",
+                           artifact(2000, dfa_events_per_sec=100000))
+        assert main([base, fresh]) == 1
+        out = capsys.readouterr().out
+        assert "OK" in out and "REGRESSION" in out
+
     def test_broken_artifact_exit_code(self, tmp_path, capsys):
         base = self.write(tmp_path, "base.json", {"nope": 1})
         fresh = self.write(tmp_path, "fresh.json", artifact(2000))
@@ -103,7 +146,7 @@ class TestMain:
 
     def test_gate_accepts_the_committed_artifact(self):
         # The artifact committed at the repository root must always satisfy
-        # the gate's schema, or CI would fail on every build.
+        # every gate's schema, or CI would fail on every build.
         from repro.bench.reporting import (
             MULTI_QUERY_SDI_ARTIFACT,
             artifact_path,
@@ -112,3 +155,6 @@ class TestMain:
                   encoding="utf-8") as handle:
             committed = json.load(handle)
         assert extract_events_per_sec(committed) > 0
+        for section, metric in GATES:
+            assert extract_events_per_sec(committed, section=section,
+                                          metric=metric) > 0

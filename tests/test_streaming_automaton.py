@@ -29,19 +29,36 @@ class TestBackendResolution:
         assert resolve_backend("dfa") == "dfa"
         assert resolve_backend("expectations") == "expectations"
 
-    def test_default_is_expectations(self, monkeypatch):
+    def test_default_is_dfa(self, monkeypatch):
         monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
-        assert resolve_backend(None) == "expectations"
-
-    def test_environment_variable_sets_the_default(self, monkeypatch):
-        monkeypatch.setenv(BACKEND_ENV_VAR, "dfa")
         assert resolve_backend(None) == "dfa"
+
+    def test_empty_environment_value_means_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "")
+        assert resolve_backend(None) == "dfa"
+
+    def test_environment_variable_overrides_the_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "expectations")
+        assert resolve_backend(None) == "expectations"
         # An explicit argument still wins over the environment.
-        assert resolve_backend("expectations") == "expectations"
+        assert resolve_backend("dfa") == "dfa"
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(StreamingError, match="unknown streaming backend"):
             resolve_backend("nfa")
+
+    def test_unknown_environment_backend_rejected_naming_the_variable(
+            self, monkeypatch):
+        # The same error fires whether the bad value came from the caller
+        # or the environment; only the environment names its source.
+        monkeypatch.setenv(BACKEND_ENV_VAR, "nfa")
+        with pytest.raises(StreamingError,
+                           match=f"unknown streaming backend 'nfa' "
+                                 f"\\(from {BACKEND_ENV_VAR}\\)"):
+            resolve_backend(None)
+        with pytest.raises(StreamingError) as caller_error:
+            resolve_backend("nfa")
+        assert BACKEND_ENV_VAR not in str(caller_error.value)
 
     def test_matcher_exposes_its_backend(self):
         index = SubscriptionIndex({"q": "/descendant::a"})
@@ -51,18 +68,33 @@ class TestBackendResolution:
                                 backend="dfa").backend == "dfa"
 
 
+#: Adversarial named descendant-or-self chains: k repetitions compile to
+#: exactly k shared-prefix alternatives, so 64 sits at the cap and 65 is
+#: the first spine past it (``//`` descents fold instead and never fork).
+DOS_CHAIN_64 = "/descendant-or-self::a" * 64
+DOS_CHAIN_65 = "/descendant-or-self::a" * 65
+
+
 class TestSpineClassification:
     @pytest.mark.parametrize("query, decided", [
         ("/descendant::a/child::b", True),
         ("//a/@id", True),
         ("/", True),
         ("/a/b/c | //d", True),
+        # Sibling windows compile: following/following-sibling spines are
+        # decided by the automaton (close-event arming), no fallback.
+        ("/descendant::a/following::b", True),
+        ("/a | /b/following-sibling::c", True),
+        ("/following::a", True),
+        # // descents fold into the next item instead of forking, so long
+        # //-chains stay one alternative.
+        ("//a" * 8, True),
         ("/descendant::a[child::b]", False),
-        ("/descendant::a/following::b", False),
-        ("/a | /b/following-sibling::c", False),
-        # Alternative explosion: compiled by the fallback engine, so not
-        # decided by DFA accept sets — the classifier mirrors the compiler.
-        ("//a" * 8, False),
+        # Alternative explosion (named descendant-or-self chains past the
+        # cap): compiled by the fallback engine, so not decided by DFA
+        # accept sets — the classifier mirrors the compiler.
+        (DOS_CHAIN_64, True),
+        (DOS_CHAIN_65, False),
     ])
     def test_is_structurally_decided(self, query, decided):
         assert analysis.is_structurally_decided(parse_xpath(query)) == decided
@@ -70,17 +102,45 @@ class TestSpineClassification:
     def test_spine_cut_points(self):
         path = parse_xpath("/a/b[child::c]/d")
         assert analysis.automaton_spine_cut(path) == 1
-        path = parse_xpath("/a/following::b")
-        assert analysis.automaton_spine_cut(path) == 1
+        # Sibling-axis steps no longer cut the spine...
+        assert analysis.automaton_spine_cut(
+            parse_xpath("/a/following::b")) is None
+        # ...unless they carry qualifiers, like any other step.
+        assert analysis.automaton_spine_cut(
+            parse_xpath("/a/following::b[child::c]")) == 1
         assert analysis.automaton_spine_cut(parse_xpath("/a/b")) is None
 
     def test_is_automaton_compilable(self):
         assert analysis.is_automaton_compilable(parse_xpath("/a[child::b]"))
         assert analysis.is_automaton_compilable(
             parse_xpath("/a/following::b"))
-        assert not analysis.is_automaton_compilable(
+        assert analysis.is_automaton_compilable(
             parse_xpath("/following::a"))
-        assert not analysis.is_automaton_compilable(parse_xpath("//a" * 8))
+        assert analysis.is_automaton_compilable(parse_xpath("//a" * 8))
+        # Boundary of the alternative cap: 64 compiles, 65 falls back.
+        assert analysis.is_automaton_compilable(parse_xpath(DOS_CHAIN_64))
+        assert not analysis.is_automaton_compilable(parse_xpath(DOS_CHAIN_65))
+
+    def test_alternative_counts_at_the_cap_boundary(self):
+        sixty_four = parse_xpath(DOS_CHAIN_64)
+        alternatives = analysis.automaton_spine_alternatives(
+            sixty_four.steps)
+        assert len(alternatives) == 64
+        assert analysis.automaton_spine_alternatives(
+            parse_xpath(DOS_CHAIN_65).steps) is None
+        # One alternative short of the cap, the 65-chain would compile.
+        assert analysis.automaton_spine_alternatives(
+            parse_xpath(DOS_CHAIN_65).steps, limit=65) is not None
+
+    def test_descent_folding_keeps_slash_slash_chains_linear(self):
+        # //a//b compiles to the single alternative (desc a, desc b).
+        path = parse_xpath("//a//b")
+        alternatives = analysis.automaton_spine_alternatives(path.steps)
+        assert alternatives == [
+            ((analysis.M_DESC, (analysis.K_NAME, "a")),
+             (analysis.M_DESC, (analysis.K_NAME, "b")))]
+        assert len(analysis.automaton_spine_alternatives(
+            parse_xpath("//a" * 8).steps)) == 1
 
     def test_classifiers_agree_with_the_compiler(self):
         # is_automaton_compilable must predict the fallback partition
@@ -100,38 +160,73 @@ class TestSpineClassification:
                 assert analysis.is_automaton_compilable(member) \
                     == (member not in fallen), query
 
-    def test_supported_axes_are_ancestor_chain_axes(self):
-        assert Axis.FOLLOWING not in analysis.AUTOMATON_SPINE_AXES
-        assert Axis.FOLLOWING_SIBLING not in analysis.AUTOMATON_SPINE_AXES
+    def test_supported_axes_are_all_forward_axes(self):
+        assert Axis.FOLLOWING in analysis.AUTOMATON_SPINE_AXES
+        assert Axis.FOLLOWING_SIBLING in analysis.AUTOMATON_SPINE_AXES
         assert Axis.ATTRIBUTE in analysis.AUTOMATON_SPINE_AXES
+        assert Axis.PARENT not in analysis.AUTOMATON_SPINE_AXES
+        assert Axis.ANCESTOR not in analysis.AUTOMATON_SPINE_AXES
 
 
 class TestCompilation:
-    def test_fallback_partition(self):
+    def test_window_spines_no_longer_fall_back(self):
         automaton, fallback = compile_subscription_automaton([
             (0, parse_xpath("/descendant::a")),
             (1, parse_xpath("/following::a")),
             (2, parse_xpath("/a | /following-sibling::b")),
+            (3, parse_xpath("//a" * 8)),
+        ])
+        assert fallback == {}
+        assert automaton.has_window_rules
+        assert automaton.state_count() >= 2  # dead + start
+
+    def test_fallback_partition(self):
+        automaton, fallback = compile_subscription_automaton([
+            (0, parse_xpath("/descendant::a")),
+            (1, parse_xpath(DOS_CHAIN_65)),
+            (2, parse_xpath(f"/a | {DOS_CHAIN_65}")),
         ])
         assert 0 not in fallback
         assert [str(type(m).__name__) for m in fallback[1]] == ["LocationPath"]
-        # Only the unsupported member of the union falls back.
+        # Only the exploding member of the union falls back.
         assert len(fallback[2]) == 1
         assert automaton.state_count() >= 2  # dead + start
 
     def test_alternative_explosion_falls_back(self):
-        # Every // step (descendant-or-self::node()) forks a self/descendant
-        # alternative; past the limit the member routes to the expectation
+        # Named descendant-or-self chains fork a shared-prefix alternative
+        # per step; past the limit the member routes to the expectation
         # engine — and both backends still agree.
-        query = "//a" * 8
         _automaton, fallback = compile_subscription_automaton(
-            [(0, parse_xpath(query))])
+            [(0, parse_xpath(DOS_CHAIN_65))])
         assert 0 in fallback
         document = Document.from_tree(
             element("a", element("a", element("a"))))
         events = list(document_events(document))
-        assert stream_evaluate(query, events, backend="dfa").node_ids \
-            == stream_evaluate(query, events, backend="expectations").node_ids
+        for query in (DOS_CHAIN_64, DOS_CHAIN_65, "//a" * 8):
+            assert stream_evaluate(query, events, backend="dfa").node_ids \
+                == stream_evaluate(query, events,
+                                   backend="expectations").node_ids, query
+
+    def test_trie_sharing_keeps_shared_prefix_fragments_linear(self):
+        # The 64 alternatives of the dos-chain share prefixes pairwise; the
+        # builder memoizes (state, item) pairs, so the NFA stays linear in
+        # the spine length instead of quadratic in the alternative count.
+        automaton, fallback = compile_subscription_automaton(
+            [(0, parse_xpath(DOS_CHAIN_64))])
+        assert fallback == {}
+        assert automaton.describe()["nfa_states"] < 4 * 64
+
+    def test_union_members_share_spine_prefixes(self):
+        # Ten members over one spine prefix thread through one fragment
+        # with per-member accept tags instead of ten parallel chains.
+        shared = compile_subscription_automaton(
+            [(i, parse_xpath(f"/db/journal/t{i}")) for i in range(10)])[0]
+        lone = compile_subscription_automaton(
+            [(0, parse_xpath("/db/journal/t0"))])[0]
+        per_member = (shared.describe()["nfa_states"]
+                      - lone.describe()["nfa_states"])
+        # Each extra member may only add its distinguishing final state.
+        assert per_member == 9
 
     def test_relative_member_rejected(self):
         with pytest.raises(StreamingError, match="absolute"):
@@ -190,6 +285,8 @@ class TestLazyMaterialization:
         for key in queries:
             assert capped_result[key].node_ids == roomy_result[key].node_ids
         assert capped_result.stats.transition_cache_evictions > 0
+        # FIFO eviction alone: the state set stayed under its bound.
+        assert capped_result.stats.transition_cache_flushed == 0
         assert roomy_result.stats.transition_cache_evictions == 0
 
     def test_state_set_is_flushed_when_it_outgrows_its_bound(self):
@@ -226,7 +323,35 @@ class TestLazyMaterialization:
                 flushed_stats = result.stats
         assert broker.session._automaton.describe()["flushes"] > 0
         assert flushed_stats is not None
-        assert flushed_stats.transition_cache_evictions > 0
+        # A bulk flush is counted on its own counter, not as FIFO evictions.
+        assert flushed_stats.transition_cache_flushed > 0
+
+    def test_flush_and_fifo_eviction_counters_stay_distinguishable(self):
+        # One hand-built stream triggering *both* overflow regimes: a tiny
+        # transition cap (16) forces per-entry FIFO evictions while the
+        # ever-new ancestor-chain tag combinations outgrow the state bound
+        # (64) and force bulk flushes; each lands on its own counter.
+        import itertools
+        tags = [f"t{i:02d}" for i in range(12)]
+        queries = {i: f"//{a}//{b}"
+                   for i, (a, b) in enumerate(itertools.islice(
+                       itertools.permutations(tags, 2), 24))}
+        import random
+        index = SubscriptionIndex(queries, dfa_transition_cap=16)
+        broker = DocumentBroker(index, backend="dfa")
+        evicted = flushed = 0
+        rng = random.Random(5)
+        for round_index in range(80):
+            chain = rng.sample(tags, 7)
+            node = element(chain[-1])
+            for tag in reversed(chain[:-1]):
+                node = element(tag, node)
+            result = broker.submit(round_index, to_xml(
+                Document.from_tree(node), indent=0))
+            evicted += result.stats.transition_cache_evictions
+            flushed += result.stats.transition_cache_flushed
+        assert evicted > 0
+        assert flushed > 0
 
     def test_dead_branches_cost_one_lookup(self):
         # A subscription rooted at a tag the document never opens drives the
@@ -267,17 +392,35 @@ class TestQualifierGating:
         assert matcher.stats.expectations_created == 0
         assert matcher.stats.conditions_created == 0
 
-    def test_gate_at_unsupported_axis_hands_over_mid_spine(self):
-        # //title/following-sibling::price: the spine prefix //title runs on
-        # the automaton, the sibling step on the expectation engine.
+    def test_sibling_windows_run_without_expectations(self):
+        # //title/following-sibling::price used to hand over to the
+        # expectation engine mid-spine; the sibling window now compiles and
+        # the whole query is decided by the automaton alone.
         document = journal_document(journals=6, seed=2)
         events = list(document_events(document))
         query = "/descendant::title/following-sibling::price"
         dfa = stream_evaluate(query, events, backend="dfa")
         exp = stream_evaluate(query, events, backend="expectations")
         assert dfa.node_ids == exp.node_ids != []
-        assert 0 < dfa.stats.expectations_created \
-            < exp.stats.expectations_created
+        assert dfa.stats.expectations_created == 0
+        assert exp.stats.expectations_created > 0
+
+    def test_window_step_with_qualifiers_gates_at_the_window(self):
+        # Qualifiers on a sibling-axis step gate like on any other step:
+        # the window itself runs on the automaton, only nodes reaching it
+        # spawn the qualifier machinery.
+        tree = element("r",
+                       element("a"),
+                       element("b", element("c")),
+                       element("b"))
+        events = list(document_events(Document.from_tree(tree)))
+        query = "/r/a/following-sibling::b[child::c]"
+        dfa = stream_evaluate(query, events, backend="dfa")
+        exp = stream_evaluate(query, events, backend="expectations")
+        assert dfa.node_ids == exp.node_ids != []
+        assert len(dfa.node_ids) == 1
+        # Only the two structurally-reaching b siblings built conditions.
+        assert dfa.stats.conditions_created == 2
 
     def test_attribute_gates_decide_at_start_element(self):
         feed = item_feed_document(items=20, seed=7)
@@ -288,6 +431,88 @@ class TestQualifierGating:
         assert result["first"].matched
         assert matcher.halted
         assert matcher.stats.events_skipped > 0
+
+
+class TestSiblingWindows:
+    """Close-event arming semantics of compiled following/following-sibling."""
+
+    def _both(self, query, tree):
+        events = list(document_events(Document.from_tree(tree)))
+        dfa = stream_evaluate(query, events, backend="dfa")
+        exp = stream_evaluate(query, events, backend="expectations")
+        assert dfa.node_ids == exp.node_ids, query
+        return dfa
+
+    def test_sibling_window_expires_when_the_parent_closes(self):
+        # The second b is a sibling of the anchor; the third lives outside
+        # the anchor's parent and must not match.
+        tree = element("r",
+                       element("p", element("a"), element("b")),
+                       element("b"))
+        result = self._both("//a/following-sibling::b", tree)
+        assert len(result.node_ids) == 1
+
+    def test_sibling_window_skips_preceding_siblings(self):
+        tree = element("r", element("b"), element("a"), element("b"))
+        result = self._both("/r/a/following-sibling::b", tree)
+        assert len(result.node_ids) == 1
+
+    def test_following_window_stays_armed_across_depths(self):
+        # following::b matches everything after the anchor's close,
+        # whatever the depth.
+        tree = element("r",
+                       element("p", element("a"), element("b")),
+                       element("q", element("b")),
+                       element("b"))
+        result = self._both("//a/following::b", tree)
+        assert len(result.node_ids) == 3
+
+    def test_following_excludes_the_anchors_own_subtree(self):
+        tree = element("r",
+                       element("a", element("b")),
+                       element("b"))
+        result = self._both("//a/following::b", tree)
+        assert len(result.node_ids) == 1
+
+    def test_root_anchored_windows_are_empty(self):
+        tree = element("r", element("a"))
+        assert self._both("/following::a", tree).node_ids == []
+        assert self._both("/following-sibling::a", tree).node_ids == []
+
+    def test_text_anchors_arm_at_the_text_event(self):
+        # Text nodes have no close event; their windows arm immediately.
+        tree = element("r", text("x"), element("b"))
+        assert len(self._both("//following::b", tree).node_ids) == 1
+        assert len(self._both(
+            "//text()/following-sibling::b", tree).node_ids) == 1
+
+    def test_windows_continue_into_ordinary_steps(self):
+        tree = element("r",
+                       element("a"),
+                       element("b", element("c"), element("d")))
+        result = self._both("/r/a/following-sibling::b/c", tree)
+        assert len(result.node_ids) == 1
+
+    def test_first_step_window_members_run_without_wholesale_fallback(self):
+        # Acceptance criterion: first-step following/following-sibling
+        # members and deep //-windows compile — the fallback trie is empty.
+        from repro.workloads.queries import differential_query_pool
+        pool = differential_query_pool(120, seed=3)
+        assert any("following" in query for query in pool)
+        _automaton, fallback = compile_subscription_automaton(
+            [(ordinal, parse_xpath(query))
+             for ordinal, query in enumerate(pool)])
+        assert fallback == {}
+
+    def test_window_queries_leave_no_expectation_residue(self):
+        index = SubscriptionIndex({0: "//a/following::b",
+                                   1: "/r/a/following-sibling::b"})
+        matcher = index.matcher(backend="dfa")
+        tree = element("r", element("a"), element("b"))
+        matcher.process(list(document_events(Document.from_tree(tree))))
+        assert matcher.stats.expectations_created == 0
+        sizes = matcher.registry_sizes()
+        assert all(size == 0 for size in sizes.values()), sizes
 
 
 class TestRootAccepts:
