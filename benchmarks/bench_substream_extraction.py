@@ -1,0 +1,156 @@
+"""E14 — substream extraction: the cost of serving content, not verdicts.
+
+The emission layer (:mod:`repro.streaming.delivery`) lets one matching pass
+deliver the matched *substream* — each match's subtree re-serialized to XML
+bytes — instead of node ids.  This benchmark measures what that costs and
+what it produces, in the honest unit of serving work: bytes out per second
+crossing the subscriber boundary, alongside the engine's events/sec.
+
+The workload is ``extraction_workload`` subscriptions (bounded leaf-ish
+subtrees plus whole inner sections, so extracted regions nest and overlap
+across subscribers and share one tee buffer) over a large
+``tagged_sections_document``, matched on the warm DFA backend at
+N ∈ {100, 1000} — the shape of a content router serving a document feed.
+
+Three passes are timed per scale:
+
+* node-id delivery (the legacy default) as the baseline,
+* substream delivery, buffered (``SubscriptionResult.payload``),
+* substream delivery, streaming (``on_payload`` callback per match).
+
+The smoke test records a ``substream_extraction`` section into
+``BENCH_multi_query_sdi.json``; the regression harness tracks its
+``events_per_sec_substream`` as an (initially advisory) gate.  The hard
+assertion here is correctness plus tee accounting — every payload byte
+counted, zero capture windows left open — not a wall-clock ratio: shared
+runners are too noisy, and the zero-cost-when-idle property of the tee is
+pinned by the node-id-mode gate of ``bench_automaton_sdi.py`` instead.
+"""
+
+import time
+
+import pytest
+
+from repro.bench.reporting import (
+    MULTI_QUERY_SDI_ARTIFACT,
+    Table,
+    artifact_path,
+    update_bench_artifact,
+)
+from repro.streaming import SubscriptionIndex, SubstreamDelivery
+from repro.workloads.queries import extraction_workload
+from repro.xmlmodel.builder import document_events
+from repro.xmlmodel.generator import tagged_sections_document
+
+SCALES = (100, 1000)
+REPEATS = 3
+
+DOCUMENT = tagged_sections_document(sections=160, children_per_section=3,
+                                    depth=2, seed=3)
+EVENTS = list(document_events(DOCUMENT))
+
+ARTIFACT_PATH = artifact_path(MULTI_QUERY_SDI_ARTIFACT)
+
+
+def _build_index(count):
+    index = SubscriptionIndex()
+    for position, query in enumerate(extraction_workload(count, seed=11)):
+        index.add(query, key=position)
+    # Compile outside the timed region and warm the DFA transition table:
+    # the steady state of a broker serving a feed.
+    index.matcher(backend="dfa").process(EVENTS)
+    return index
+
+
+def _timed_run(index, delivery_factory):
+    """Best-of-REPEATS full pass; returns (result, matcher, secs)."""
+    best = float("inf")
+    result = matcher = None
+    for _ in range(REPEATS):
+        candidate = index.matcher(backend="dfa",
+                                  delivery=delivery_factory())
+        start = time.perf_counter()
+        outcome = candidate.process(EVENTS)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, result, matcher = elapsed, outcome, candidate
+    return result, matcher, best
+
+
+def _bench(count, report):
+    index = _build_index(count)
+    events = len(EVENTS)
+
+    ids_result, ids_matcher, ids_time = _timed_run(index, lambda: None)
+    sub_result, sub_matcher, sub_time = _timed_run(index, SubstreamDelivery)
+
+    streamed = []
+    callback_delivery = lambda: SubstreamDelivery(  # noqa: E731
+        on_payload=lambda key, node_id, data: streamed.append(len(data)))
+    cb_result, cb_matcher, cb_time = _timed_run(index, callback_delivery)
+
+    # Substream mode answers the same question as id mode, plus payload.
+    assert [r.node_ids for r in sub_result] == [r.node_ids for r in ids_result]
+    # Every payload byte is accounted for, both routing flavours.
+    bytes_out = sub_matcher.stats.bytes_emitted
+    assert bytes_out == sum(len(r.payload) for r in sub_result)
+    assert cb_matcher.stats.bytes_emitted == bytes_out
+    # best-of-REPEATS reruns: the callback saw REPEATS identical passes.
+    assert sum(streamed) == bytes_out * REPEATS
+    # The tee left nothing behind.
+    assert sub_matcher.registry_sizes()["open_capture_windows"] == 0
+
+    subtrees = sub_matcher.stats.subtrees_emitted
+    table = Table(
+        f"Substream extraction vs node-id delivery "
+        f"(N={count} extraction subscriptions, {events} events, "
+        f"{subtrees} subtrees / {bytes_out:,} bytes out)",
+        ["delivery", "wall ms", "events/sec", "bytes-out/sec"],
+    )
+    table.add_row("node ids", f"{ids_time * 1e3:.1f}",
+                  f"{events / ids_time:,.0f}", "-")
+    table.add_row("substream, buffered", f"{sub_time * 1e3:.1f}",
+                  f"{events / sub_time:,.0f}",
+                  f"{bytes_out / sub_time:,.0f}")
+    table.add_row("substream, callback", f"{cb_time * 1e3:.1f}",
+                  f"{events / cb_time:,.0f}",
+                  f"{bytes_out / cb_time:,.0f}")
+    report(table.render())
+
+    return {
+        "subscriptions": count,
+        "events": events,
+        "subtrees_emitted": subtrees,
+        "bytes_emitted": bytes_out,
+        "events_per_sec_ids": round(events / ids_time),
+        "events_per_sec_substream": round(events / sub_time),
+        "events_per_sec_substream_callback": round(events / cb_time),
+        "bytes_out_per_sec_substream": round(bytes_out / sub_time),
+        "bytes_out_per_sec_substream_callback": round(bytes_out / cb_time),
+        "wall_ms_ids": round(ids_time * 1e3, 3),
+        "wall_ms_substream": round(sub_time * 1e3, 3),
+        "wall_ms_substream_callback": round(cb_time * 1e3, 3),
+        "extraction_overhead": round(sub_time / ids_time, 2),
+    }
+
+
+@pytest.mark.parametrize("count", SCALES, ids=[f"subs{n}" for n in SCALES])
+def test_substream_extraction(report, count):
+    row = _bench(count, report)
+    assert row["subtrees_emitted"] > 0
+    assert row["bytes_emitted"] > 0
+
+
+def test_substream_extraction_smoke(report):
+    """CI smoke: correctness and accounting at every scale plus the
+    ``substream_extraction`` trajectory section of
+    ``BENCH_multi_query_sdi.json`` (events/sec and bytes-out/sec at
+    N ∈ {100, 1000})."""
+    rows = [_bench(count, report) for count in SCALES]
+    at_1000 = rows[-1]
+    assert at_1000["subscriptions"] == 1000
+    assert at_1000["bytes_emitted"] > 0
+    update_bench_artifact(ARTIFACT_PATH, "substream_extraction", {
+        "document_events": len(EVENTS),
+        "scales": rows,
+    })

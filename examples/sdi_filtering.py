@@ -157,6 +157,33 @@ def main() -> None:
           f"{dfa_again.stats.transition_cache_hits}/"
           f"{dfa_again.stats.transition_cache_lookups} transitions from "
           f"the warm table.")
+    print()
+
+    # Substream delivery: route the matched *content*, not just the verdict.
+    # The broker's on_payload callback fires per match as the matched
+    # subtree closes, with that subtree re-serialized to XML bytes — here
+    # each subscriber's mailbox collects its payload fragments.  Overlapping
+    # matches (a journal and the titles inside it) share one capture buffer
+    # in the engine; only the final per-subscriber bytes differ.
+    print("Substream delivery (same feed, payload bytes routed per")
+    print("subscription as matched subtrees close):")
+    mailboxes = {subscriber: [] for subscriber in SUBSCRIPTIONS}
+    router = DocumentBroker(
+        index,
+        on_payload=lambda key, node_id, data: mailboxes[key].append(data))
+    for name, document in DOCUMENTS.items():
+        xml_text = to_xml(document, indent=0)
+        chunks = [xml_text[start:start + CHUNK_SIZE]
+                  for start in range(0, len(xml_text), CHUNK_SIZE)]
+        router.submit(name, chunks)
+    for subscriber, fragments in mailboxes.items():
+        preview = b"".join(fragments)[:48]
+        print(f"  {subscriber:15s} {len(fragments):3d} subtrees, "
+              f"{sum(len(f) for f in fragments):5d} bytes  "
+              f"{preview!r}{'...' if fragments else ''}")
+    print(f"Served {router.stats.subtrees_emitted} subtrees / "
+          f"{router.stats.bytes_emitted} payload bytes across "
+          f"{router.stats.documents} documents.")
 
 
 if __name__ == "__main__":

@@ -56,13 +56,16 @@ from repro.semantics import evaluate, paths_equivalent_on
 from repro.xmlmodel import (
     Document,
     PushTokenizer,
+    StreamSerializer,
     build_document,
     document_events,
     element,
     item_feed_document,
     iter_events,
+    iter_serialized,
     journal_document,
     parse_xml,
+    serialize_events,
     text,
     to_xml,
 )
@@ -85,15 +88,19 @@ from repro.rewrite import (
 )
 from repro.streaming import (
     BrokerStats,
+    Delivery,
     DocumentBroker,
     DocumentRecord,
     MultiMatcher,
     MultiMatchResult,
+    NodeIdDelivery,
     StreamResult,
     StreamStats,
+    SubstreamDelivery,
     Subscription,
     SubscriptionIndex,
     SubscriptionResult,
+    VerdictDelivery,
     buffered_evaluate,
     dom_evaluate,
     stream_evaluate,
@@ -128,6 +135,9 @@ __all__ = [
     "element",
     "text",
     "to_xml",
+    "StreamSerializer",
+    "serialize_events",
+    "iter_serialized",
     "journal_document",
     "item_feed_document",
     "figure1_document",
@@ -148,6 +158,11 @@ __all__ = [
     "SubscriptionResult",
     "MultiMatcher",
     "MultiMatchResult",
+    # emission layer (what a decided match delivers)
+    "Delivery",
+    "VerdictDelivery",
+    "NodeIdDelivery",
+    "SubstreamDelivery",
     # push-mode serving layer
     "DocumentBroker",
     "BrokerStats",

@@ -83,6 +83,34 @@ setup — between documents all engine-internal registries are empty
 (:meth:`~matcher.MatcherCore.registry_sizes`), so nothing leaks from one
 document into the next.
 
+Delivery modes: verdict, node ids, substream
+--------------------------------------------
+
+*What* a decided match delivers is the emission layer
+(:mod:`repro.streaming.delivery`), pluggable everywhere a matcher is made
+(:meth:`SubscriptionIndex.matcher`/``evaluate``, :class:`DocumentBroker`)
+via ``delivery=``:
+
+* **verdict** (:class:`~repro.streaming.delivery.VerdictDelivery`, or the
+  legacy ``matches_only=True``) — per-subscription booleans.  Cheapest;
+  admits early termination: the session halts once every verdict is fixed.
+* **ids** (:class:`~repro.streaming.delivery.NodeIdDelivery`, the default)
+  — sorted matched node ids per subscription, agreeing 1:1 with the DOM
+  evaluator's document-order positions.
+* **substream** (:class:`~repro.streaming.delivery.SubstreamDelivery`) —
+  the matched *content*: each match re-emits its subtree's events,
+  re-serialized to XML bytes by :mod:`repro.xmlmodel.stream_serialize`.
+  This is what turns the engine into a content-based router (Genshi's
+  ``Path.select()`` shape).  Capture runs as a shared single-pass tee:
+  overlapping and nested matches — across *all* subscriptions — share one
+  capture buffer by reference, rendering of a shared subtree happens once,
+  and while no capture window is open the tee costs nothing, so verdict
+  and id modes are completely unaffected.  Payload routing is per
+  subscription: a streaming ``on_payload(key, node_id, data)`` callback
+  (fires as each window closes), or buffered bytes on
+  ``SubscriptionResult.payload``.  ``StreamStats.subtrees_emitted`` /
+  ``bytes_emitted`` count what crossed the boundary.
+
 Backends: expectation engine vs lazy DFA
 ----------------------------------------
 
@@ -142,6 +170,14 @@ from repro.streaming.automaton import (
     SubscriptionAutomaton,
     resolve_backend,
 )
+from repro.streaming.delivery import (
+    DELIVERY_MODES,
+    Delivery,
+    NodeIdDelivery,
+    SubstreamDelivery,
+    VerdictDelivery,
+    resolve_delivery,
+)
 from repro.streaming.evaluator import StreamResult, stream_evaluate, stream_matches
 from repro.streaming.engine import (
     MultiMatcher,
@@ -159,6 +195,12 @@ __all__ = [
     "BACKENDS",
     "SubscriptionAutomaton",
     "resolve_backend",
+    "DELIVERY_MODES",
+    "Delivery",
+    "NodeIdDelivery",
+    "SubstreamDelivery",
+    "VerdictDelivery",
+    "resolve_delivery",
     "StreamStats",
     "StreamResult",
     "stream_evaluate",

@@ -677,6 +677,17 @@ class AutomatonRun:
 
     def _fire(self, core, deliver, gates, node_id: int, depth: int,
               is_element: bool, tag, value, is_attribute: bool) -> None:
+        """Deliver DFA accepts and open qualifier gates at the current node.
+
+        Everything converges on ``core.add_candidate`` — pure structural
+        accepts directly, gated members once their remaining expectation
+        steps resolve — which is also where substream capture windows open
+        (:meth:`~repro.streaming.matcher.MatcherCore._capture_candidate`).
+        DFA-accepted structural members therefore start their captures at
+        the accepting element's own StartElement, exactly like trie
+        terminals on the expectation backend: ``on_node`` runs inside the
+        core's ``_start_node``, before the event reaches the shared tee.
+        """
         sink_of = self._sink_of
         for ordinal in deliver:
             core.add_candidate(sink_of(ordinal), node_id, depth, is_element,

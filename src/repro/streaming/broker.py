@@ -43,6 +43,12 @@ from typing import (
 )
 
 from repro.streaming.automaton import resolve_backend
+from repro.streaming.delivery import (
+    Delivery,
+    PayloadCallback,
+    SubstreamDelivery,
+    resolve_delivery,
+)
 from repro.streaming.engine import (
     MultiMatcher,
     MultiMatchResult,
@@ -74,6 +80,11 @@ class BrokerStats:
     #: tokenized and therefore appear only in ``chunks_skipped``.
     events: int = 0
     events_skipped: int = 0
+    #: Substream delivery: matched subtrees served as payload and the
+    #: serialized bytes that crossed the boundary, summed over documents
+    #: (zero outside substream mode).
+    subtrees_emitted: int = 0
+    bytes_emitted: int = 0
 
     def as_row(self) -> dict:
         """Flat dictionary used by the benchmark reports."""
@@ -85,6 +96,8 @@ class BrokerStats:
             "chunks_skipped": self.chunks_skipped,
             "events": self.events,
             "events_skipped": self.events_skipped,
+            "subtrees_emitted": self.subtrees_emitted,
+            "bytes_emitted": self.bytes_emitted,
         }
 
 
@@ -112,6 +125,17 @@ class DocumentBroker:
     want this; leave it ``False`` to get full per-subscription node ids, as
     :meth:`SubscriptionIndex.evaluate` would return them.
 
+    ``delivery`` generalizes that pair into the emission layer
+    (:mod:`repro.streaming.delivery`): pass a
+    :class:`~repro.streaming.delivery.SubstreamDelivery` to serve the
+    matched *content* — each match's subtree re-serialized to XML bytes —
+    instead of verdicts or ids.  ``on_payload`` is shorthand for substream
+    mode with a streaming callback: ``on_payload(subscription_key, node_id,
+    data)`` fires per match as its subtree closes; without a callback the
+    bytes are buffered per subscription on ``SubscriptionResult.payload``.
+    Passing both ``delivery`` and ``on_payload`` is rejected unless they
+    agree (the delivery has no callback of its own).
+
     ``backend`` picks the structural dispatch engine: ``"dfa"`` (the
     default) compiles the index into one shared lazy automaton whose warmed
     transition table persists across the whole feed — the broker's sweet
@@ -120,6 +144,14 @@ class DocumentBroker:
     ``None`` defers to that variable, then to ``"dfa"``.  Resolved once at
     construction, so a long-lived broker is immune to later environment
     changes.
+
+    ``history_limit`` bounds the per-document :attr:`history` the broker
+    retains for monitoring: the most recent ``history_limit`` submissions
+    are kept (default 256), older records are evicted oldest-first.
+    ``history_limit=0`` disables retention entirely — aggregate
+    :class:`BrokerStats` keep accumulating either way — and ``None`` means
+    unbounded (every document of the feed is recorded; only for short
+    feeds).
 
     A broker is not thread-safe: it reuses one matcher session.  Run one
     broker per worker and share the ``SubscriptionIndex`` (immutable once
@@ -136,7 +168,9 @@ class DocumentBroker:
                  keep_whitespace: bool = False,
                  ruleset: str = "ruleset2",
                  cache: Optional[QueryCache] = None,
-                 history_limit: Optional[int] = 256):
+                 history_limit: Optional[int] = 256,
+                 delivery: Optional[Delivery] = None,
+                 on_payload: Optional[PayloadCallback] = None):
         if isinstance(subscriptions, SubscriptionIndex):
             self._index = subscriptions
             self._owns_index = False
@@ -144,7 +178,19 @@ class DocumentBroker:
             self._index = SubscriptionIndex(subscriptions, ruleset=ruleset,
                                             cache=cache)
             self._owns_index = True
-        self._matches_only = matches_only
+        if on_payload is not None:
+            # A payload callback implies substream mode; a caller-supplied
+            # delivery may carry the callback itself, but not a different one.
+            if delivery is None:
+                delivery = SubstreamDelivery(on_payload=on_payload)
+            elif delivery.on_payload is None and delivery.captures:
+                delivery = SubstreamDelivery(on_payload=on_payload)
+            else:
+                raise ValueError(
+                    "on_payload conflicts with the supplied delivery; pass "
+                    "SubstreamDelivery(on_payload=...) or on_payload alone")
+        self._delivery = resolve_delivery(delivery, matches_only)
+        self._matches_only = self._delivery.matches_only
         self._indexed = indexed
         # Resolved once at construction so a long-lived broker is immune to
         # later environment changes.
@@ -210,7 +256,8 @@ class DocumentBroker:
             # submission left an unsalvageable session: build a fresh one.
             matcher = self._index.matcher(matches_only=self._matches_only,
                                           indexed=self._indexed,
-                                          backend=self._backend)
+                                          backend=self._backend,
+                                          delivery=self._delivery)
             self._matcher = matcher
             self._session_used = False
         if self._session_used:
@@ -298,6 +345,8 @@ class DocumentBroker:
         stats.documents += 1
         stats.events += result.stats.events
         stats.events_skipped += result.stats.events_skipped
+        stats.subtrees_emitted += result.stats.subtrees_emitted
+        stats.bytes_emitted += result.stats.bytes_emitted
         matching = result.matching_keys
         stats.deliveries += len(matching)
         if matching:

@@ -44,6 +44,11 @@ from repro.streaming.automaton import (
     compile_subscription_automaton,
     resolve_backend,
 )
+from repro.streaming.delivery import (
+    Delivery,
+    SubtreeTee,
+    resolve_delivery,
+)
 from repro.streaming.matcher import (
     Continuation,
     MatcherCore,
@@ -199,6 +204,11 @@ class SubscriptionResult:
     query: str
     matched: bool
     node_ids: List[int] = field(default_factory=list)
+    #: Substream delivery, buffered routing: the serialized XML of every
+    #: matched subtree, concatenated in document order.  ``None`` outside
+    #: substream mode and when payloads streamed out through an
+    #: ``on_payload`` callback instead.
+    payload: Optional[bytes] = None
 
 
 @dataclass
@@ -247,12 +257,30 @@ class MultiMatcher(MatcherCore):
 
     def __init__(self, subscriptions: Sequence[Subscription], trie: _TrieNode,
                  matches_only: bool = False, indexed: bool = True,
-                 automaton: Optional[SubscriptionAutomaton] = None):
+                 automaton: Optional[SubscriptionAutomaton] = None,
+                 delivery: Optional[Delivery] = None):
         super().__init__(indexed=indexed)
+        # The emission layer (see repro.streaming.delivery): what a decided
+        # match delivers.  ``matches_only`` is the legacy spelling of the
+        # verdict mode; ``resolve_delivery`` reconciles the two.
+        delivery = resolve_delivery(delivery, matches_only)
+        matches_only = delivery.matches_only
+        self._delivery = delivery
         self._subscriptions = tuple(subscriptions)
         self._trie = trie
         self._matches_only = matches_only
         self._automaton = automaton
+        if delivery.captures:
+            # Substream mode: engage the shared single-pass tee.  The core's
+            # add_candidate records a capture claim for every final match
+            # (DFA-accepted structural members included — they too converge
+            # on add_candidate), and _emit_capture below routes the bytes.
+            self._tee = SubtreeTee()
+        #: Buffered payload chunks: ordinal -> {node_id: bytes}.
+        self._payloads: Dict[int, Dict[int, bytes]] = {}
+        #: Emission dedup — several retained entries may claim the same
+        #: (subscription, node); the payload is emitted once.
+        self._emitted_captures: set = set()
         if automaton is not None:
             # Lazy-DFA backend: the trie passed in covers only the fallback
             # members; everything else dispatches through the automaton.
@@ -319,6 +347,8 @@ class MultiMatcher(MatcherCore):
             sink.satisfied = False
         self._satisfied.clear()
         self._dead_trie_nodes.clear()
+        self._payloads = {}
+        self._emitted_captures = set()
         if self._matches_only:
             for node in self._trie_unsatisfied:
                 self._trie_unsatisfied[node] = len(node.sub_ids)
@@ -353,6 +383,29 @@ class MultiMatcher(MatcherCore):
         """
         self.add_candidate(self._sinks[ordinal], node_id, depth, is_element,
                            value, conditions, collect_values=False)
+
+    # -- substream capture -------------------------------------------------
+    def _capture_ordinal(self, sink: _Sink) -> Optional[int]:
+        """Result sinks capture; engine-internal sinks (qualifier sub-paths,
+        absolute operands) do not."""
+        return self._ordinal_by_sink.get(id(sink))
+
+    def _emit_capture(self, capture) -> None:
+        """Route one decided capture's payload bytes to its subscriber."""
+        dedup = (capture.ordinal, capture.node_id)
+        if dedup in self._emitted_captures:
+            return
+        self._emitted_captures.add(dedup)
+        data = capture.render()
+        self.stats.subtrees_emitted += 1
+        self.stats.bytes_emitted += len(data)
+        on_payload = self._delivery.on_payload
+        if on_payload is not None:
+            on_payload(self._subscriptions[capture.ordinal].key,
+                       capture.node_id, data)
+        else:
+            self._payloads.setdefault(capture.ordinal, {})[
+                capture.node_id] = data
 
     def _sink_satisfied(self, sink) -> None:
         super()._sink_satisfied(sink)
@@ -394,6 +447,12 @@ class MultiMatcher(MatcherCore):
         """Per-subscription verdicts (requires the stream to be finished)."""
         if not self._finished:
             raise StreamingError("results() called before the end of the stream")
+        captures = self._delivery.captures
+        if captures:
+            # Captures whose conditions were undecided at window close are
+            # settled now, with the same entry.holds() the id readout uses.
+            self._drain_deferred_captures()
+        buffered_payloads = captures and self._delivery.on_payload is None
         results: List[SubscriptionResult] = []
         total = 0
         for subscription, sink in zip(self._subscriptions, self._sinks):
@@ -407,10 +466,17 @@ class MultiMatcher(MatcherCore):
                 node_ids = sorted({entry.node_id for entry in sink.entries
                                    if entry.holds()})
                 matched = bool(node_ids)
+            payload: Optional[bytes] = None
+            if buffered_payloads:
+                chunks = self._payloads.get(subscription.ordinal)
+                payload = (b"".join(chunks[node_id]
+                                    for node_id in sorted(chunks))
+                           if chunks else b"")
             results.append(SubscriptionResult(key=subscription.key,
                                               query=subscription.source,
                                               matched=matched,
-                                              node_ids=node_ids))
+                                              node_ids=node_ids,
+                                              payload=payload))
             total += len(node_ids)
         self.stats.results = total
         return MultiMatchResult(results=results, stats=self.stats)
@@ -546,7 +612,8 @@ class SubscriptionIndex:
     # -- matching ----------------------------------------------------------
     def matcher(self, matches_only: bool = False,
                 indexed: bool = True,
-                backend: Optional[str] = None) -> MultiMatcher:
+                backend: Optional[str] = None,
+                delivery: Optional[Delivery] = None) -> MultiMatcher:
         """A fresh single-pass matcher over the shared trie.
 
         ``backend="dfa"`` (the default) selects lazy-DFA structural dispatch
@@ -557,22 +624,29 @@ class SubscriptionIndex:
         ``indexed=False`` selects the linear-scan reference engine (every
         live expectation examined on every event) — same results, kept for
         benchmarking the dispatch index against.
+
+        ``delivery`` picks the emission layer (verdict / node ids /
+        substream — see :mod:`repro.streaming.delivery`); ``None`` keeps the
+        legacy behaviour of ``matches_only``.
         """
         if resolve_backend(backend) == "dfa":
             automaton, fallback_trie = self._built_automaton()
             return MultiMatcher(self._subscriptions, fallback_trie,
                                 matches_only=matches_only, indexed=indexed,
-                                automaton=automaton)
+                                automaton=automaton, delivery=delivery)
         return MultiMatcher(self._subscriptions, self._built_trie(),
-                            matches_only=matches_only, indexed=indexed)
+                            matches_only=matches_only, indexed=indexed,
+                            delivery=delivery)
 
     def evaluate(self, events: Iterable[Event],
                  matches_only: bool = False,
                  indexed: bool = True,
-                 backend: Optional[str] = None) -> MultiMatchResult:
+                 backend: Optional[str] = None,
+                 delivery: Optional[Delivery] = None) -> MultiMatchResult:
         """Match one document stream against every subscription at once."""
         return self.matcher(matches_only=matches_only,
-                            indexed=indexed, backend=backend).process(events)
+                            indexed=indexed, backend=backend,
+                            delivery=delivery).process(events)
 
     def matching(self, events: Iterable[Event],
                  backend: Optional[str] = None) -> List[Hashable]:

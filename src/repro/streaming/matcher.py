@@ -91,7 +91,9 @@ from repro.streaming.automaton import (
     compile_subscription_automaton,
     resolve_backend,
 )
+from repro.streaming.delivery import SubtreeTee, _LeafCapture
 from repro.streaming.stats import StreamStats
+from repro.xmlmodel.stream_serialize import serialize_events
 from repro.xmlmodel.events import (
     EndDocument,
     EndElement,
@@ -640,6 +642,19 @@ class MatcherCore:
         self._collectors_by_node: Dict[int, List[_ValueCollector]] = {}
         self._absolute_sinks: Dict[PathExpr, _Sink] = {}
         self._absolute_value_sinks: Dict[PathExpr, _Sink] = {}
+        #: Substream delivery (see :mod:`repro.streaming.delivery`): the
+        #: shared single-pass tee, or ``None`` outside substream mode — the
+        #: feed loop's only added cost in verdict/ids modes is this check.
+        #: Set by subclasses that support capture (MultiMatcher).
+        self._tee: Optional[SubtreeTee] = None
+        #: Element matches recorded during the current StartElement's
+        #: processing; handed to the tee as that element's capture claims.
+        self._pending_claims: List[Tuple[int, _Entry]] = []
+        #: Root ("/") matches recorded while spawning at StartDocument.
+        self._document_claims: List[Tuple[int, _Entry]] = []
+        #: Closed captures whose conditions were still undecided at window
+        #: close; settled (``entry.holds()``) when results are read.
+        self._deferred_captures: List[object] = []
         self._finished = False
         self._halted = False
 
@@ -730,12 +745,24 @@ class MatcherCore:
         elif isinstance(event, StartElement):
             self._start_node(event.node_id, True, event.tag, None,
                              event.attributes)
+            if self._tee is not None:
+                # Every element match fires during its own StartElement
+                # processing (trie terminal, DFA accept, gate remainder,
+                # self axis), so the claims recorded just now belong to
+                # exactly this element: open their capture windows before
+                # the event enters the shared buffer.
+                claims = self._pending_claims
+                if claims:
+                    self._pending_claims = []
+                self._tee.element_start(event, claims)
             self._stack.append(_OpenElement(event.node_id, event.tag,
                                             len(self._stack)))
             # Element nesting depth, not counting the document root entry.
             self.stats.max_depth = max(self.stats.max_depth, len(self._stack) - 1)
         elif isinstance(event, Text):
             self._start_node(event.node_id, False, None, event.value)
+            if self._tee is not None:
+                self._tee.text(event)
             if self._collectors_by_node:
                 for collectors in self._collectors_by_node.values():
                     for collector in collectors:
@@ -743,6 +770,11 @@ class MatcherCore:
                         self.stats.buffered_value_chars += len(event.value)
         elif isinstance(event, EndElement):
             self._end_node()
+            if self._tee is not None:
+                # Close after _end_node so value collectors anchored at this
+                # element are finalized before emission decisions are made.
+                for capture in self._tee.element_end(event):
+                    self._capture_closed(capture)
         elif isinstance(event, EndDocument):
             self._finish()
         else:  # pragma: no cover - defensive
@@ -766,6 +798,12 @@ class MatcherCore:
             for operand, sink in registry.items():
                 self.spawn_root_expr(operand, sink, sink.collect_values,
                                      event.node_id)
+        if self._tee is not None and self._document_claims:
+            # Root ("/") matches span the whole document: their windows open
+            # now and close at EndDocument (_finish).
+            claims = self._document_claims
+            self._document_claims = []
+            self._tee.open_document(event.node_id, claims)
 
     def spawn_root_expr(self, expr: PathExpr, sink: _Sink,
                         collect_values: bool, root_id: int) -> None:
@@ -977,14 +1015,23 @@ class MatcherCore:
         self._live = 0
         if self._automaton_run is not None:
             self._automaton_run.rewind()
+        if self._tee is not None:
+            self._tee.rewind()
+        self._pending_claims = []
+        self._document_claims = []
 
     def _finish(self) -> None:
         self._finished = True
-        self._clear_stream_state()
         for collectors in self._collectors_by_node.values():
             for collector in collectors:
                 collector.entry.value = "".join(collector.parts)
         self._collectors_by_node = {}
+        if self._tee is not None:
+            # Close whole-document windows before the tee is rewound — after
+            # the collector pass above, so root string values are final.
+            for capture in self._tee.finish():
+                self._capture_closed(capture)
+        self._clear_stream_state()
 
     # -- session control ---------------------------------------------------
     def _should_halt(self) -> bool:
@@ -1027,6 +1074,7 @@ class MatcherCore:
         self._clear_stream_state()
         self._serial = 0
         self._collectors_by_node = {}
+        self._deferred_captures = []
         for registry in (self._absolute_sinks, self._absolute_value_sinks):
             for operand in list(registry):
                 registry[operand] = _Sink(
@@ -1051,6 +1099,8 @@ class MatcherCore:
             "open_elements": len(self._stack),
             "automaton_stack": (len(self._automaton_run.stack)
                                 if self._automaton_run is not None else 0),
+            "open_capture_windows": (self._tee.open_windows
+                                     if self._tee is not None else 0),
         }
 
     # -- spawning ----------------------------------------------------------
@@ -1225,8 +1275,71 @@ class MatcherCore:
                 # Conditioned entries get one more look once the current
                 # event's attribute sweep has run (_settle_event_conditions).
                 self._event_entries.append((sink, entry))
+            if self._tee is not None:
+                self._capture_candidate(sink, entry, node_id, is_element,
+                                        value)
         if sink.satisfied and not was_satisfied:
             self._sink_satisfied(sink)
+
+    # -- substream capture (see repro.streaming.delivery) -------------------
+    def _capture_ordinal(self, sink: _Sink) -> Optional[int]:
+        """Map a sink to the subscription ordinal it delivers for, or
+        ``None`` for engine-internal sinks (qualifier sub-paths, absolute
+        operands) whose matches are never payload.  Overridden by
+        :class:`repro.streaming.engine.MultiMatcher`."""
+        return None
+
+    def _capture_candidate(self, sink: _Sink, entry: _Entry, node_id: int,
+                           is_element: bool, value: Optional[str]) -> None:
+        """Record the capture a just-delivered final match is entitled to.
+
+        Every delivery path converges on :meth:`add_candidate` — trie
+        terminals, DFA accepts (structural members included), gate
+        remainders and the attribute sweep — so this one hook sees them
+        all.  Elements become pending claims (their window opens when the
+        current StartElement reaches the tee); text and attribute matches
+        are leaves spanning no events, rendered immediately; the document
+        root opens a whole-document window.
+        """
+        ordinal = self._capture_ordinal(sink)
+        if ordinal is None:
+            return
+        if is_element:
+            self._pending_claims.append((ordinal, entry))
+        elif value is not None:
+            data = serialize_events((Text(value=value, node_id=node_id),))
+            self._capture_closed(
+                _LeafCapture(ordinal=ordinal, node_id=node_id, entry=entry,
+                             data=data))
+        else:
+            self._document_claims.append((ordinal, entry))
+
+    def _capture_closed(self, capture) -> None:
+        """A capture window just closed: emit now or defer to results().
+
+        Emission is immediate when every condition on the match is already
+        irrevocably true (``known_true``) — the streaming case, where an
+        ``on_payload`` callback sees bytes as windows close.  Undecided
+        conditions (joins, not-yet-satisfied existence sub-paths) defer the
+        capture; :meth:`_drain_deferred_captures` settles it with
+        ``entry.holds()`` once the stream is finished.
+        """
+        conditions = capture.entry.conditions
+        if not conditions or all(condition.known_true()
+                                 for condition in conditions):
+            self._emit_capture(capture)
+        else:
+            self._deferred_captures.append(capture)
+
+    def _drain_deferred_captures(self) -> None:
+        deferred = self._deferred_captures
+        self._deferred_captures = []
+        for capture in deferred:
+            if capture.entry.holds():
+                self._emit_capture(capture)
+
+    def _emit_capture(self, capture) -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
 
     # -- conditions ---------------------------------------------------------
     def _build_condition(self, qual: Qualifier, node_id: int, depth: int,

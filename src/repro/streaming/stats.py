@@ -75,6 +75,11 @@ class StreamStats:
     buffered_value_chars: int = 0
     #: Number of result nodes reported.
     results: int = 0
+    #: Substream delivery: matched subtrees re-emitted as payload, and the
+    #: serialized payload bytes that crossed the boundary — the honest unit
+    #: of serving work (zero outside substream mode).
+    subtrees_emitted: int = 0
+    bytes_emitted: int = 0
 
     @property
     def memory_units(self) -> int:
@@ -107,4 +112,6 @@ class StreamStats:
             "buffered_value_chars": self.buffered_value_chars,
             "memory_units": self.memory_units,
             "results": self.results,
+            "subtrees_emitted": self.subtrees_emitted,
+            "bytes_emitted": self.bytes_emitted,
         }

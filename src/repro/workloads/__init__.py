@@ -7,6 +7,7 @@ from repro.workloads.queries import (
     ancestor_chain,
     attribute_subscription_workload,
     differential_query_pool,
+    extraction_workload,
     following_reverse_chain,
     low_overlap_workload,
     mixed_reverse_path,
@@ -37,6 +38,7 @@ __all__ = [
     "attribute_subscription_workload",
     "differential_query_pool",
     "low_overlap_workload",
+    "extraction_workload",
     "WorkloadDocument",
     "STREAMING_DOCUMENTS",
     "streaming_documents",

@@ -229,6 +229,39 @@ def low_overlap_workload(count: int, seed: int = 7,
     return subscriptions
 
 
+def extraction_workload(count: int, seed: int = 7,
+                        tags: Optional[Sequence[str]] = None,
+                        nested_probability: float = 0.3) -> List[str]:
+    """Substream-extraction subscriptions (content routing, not verdicts).
+
+    Shapes tuned for substream delivery over the
+    :func:`repro.xmlmodel.generator.tagged_sections_document` vocabulary:
+    most subscriptions select *bounded leaf-ish subtrees* (the realistic
+    payload unit a router forwards), and with probability
+    ``nested_probability`` a subscription instead selects a whole inner
+    section — so extracted regions routinely nest and overlap across
+    subscribers, exercising the shared tee buffer rather than one isolated
+    window per match.
+    """
+    if count < 1:
+        raise ValueError("need at least one subscription")
+    if tags is None:
+        tags = low_overlap_tags()
+    rng = random.Random(seed)
+    subscriptions: List[str] = []
+    for index in range(count):
+        root = tags[index % len(tags)]
+        if rng.random() < nested_probability:
+            # A containing region: its payload encloses what the leaf-ish
+            # subscriptions below it extract.
+            subscriptions.append(f"/descendant::{root}")
+        else:
+            leaf = rng.choice(tags)
+            axis = rng.choice(("child", "descendant"))
+            subscriptions.append(f"/descendant::{root}/{axis}::{leaf}")
+    return subscriptions
+
+
 #: Attribute vocabulary of :func:`attribute_subscription_workload` — the
 #: *same* tuples the document generator uses, so subscriptions and
 #: :func:`repro.xmlmodel.generator.item_feed_document` can never drift apart.

@@ -13,7 +13,9 @@ needs:
 * :mod:`repro.xmlmodel.builder` — event stream ⇄ document conversions,
 * :mod:`repro.xmlmodel.generator` — synthetic document generators used by the
   workloads and benchmarks,
-* :mod:`repro.xmlmodel.serialize` — document → XML text serialization.
+* :mod:`repro.xmlmodel.serialize` — document → XML text serialization,
+* :mod:`repro.xmlmodel.stream_serialize` — event stream → XML bytes
+  re-serialization (substream payload encoding).
 """
 
 from repro.xmlmodel.node import NodeKind, XMLNode
@@ -29,6 +31,11 @@ from repro.xmlmodel.events import (
 from repro.xmlmodel.parser import PushTokenizer, iter_events, parse_xml
 from repro.xmlmodel.builder import build_document, document_events
 from repro.xmlmodel.serialize import to_xml
+from repro.xmlmodel.stream_serialize import (
+    StreamSerializer,
+    iter_serialized,
+    serialize_events,
+)
 from repro.xmlmodel.generator import (
     DocumentSpec,
     deep_chain_document,
@@ -56,6 +63,9 @@ __all__ = [
     "build_document",
     "document_events",
     "to_xml",
+    "StreamSerializer",
+    "iter_serialized",
+    "serialize_events",
     "DocumentSpec",
     "journal_document",
     "random_document",

@@ -51,34 +51,47 @@ def _start_tag_body(node: XMLNode) -> str:
     return " ".join(parts)
 
 
+def _inline(node: XMLNode) -> str:
+    """Render ``node``'s whole subtree on one line, children in document
+    order with no whitespace injected between them.
+
+    This is the only faithful rendering for mixed content: pretty-printing
+    would put text children on their own padded lines, and the padding (or
+    the line break itself) changes the character data on re-parse.
+    """
+    if node.is_text:
+        return escape_text(node.value or "")
+    body = _start_tag_body(node)
+    if not node.children:
+        return f"<{body} />"
+    content = "".join(_inline(child) for child in node.children)
+    return f"<{body}>{content}</{node.tag or ''}>"
+
+
 def to_xml(document: Document, indent: int = 2) -> str:
     """Serialize ``document`` to XML text.
 
-    ``indent`` controls pretty printing; pass 0 for compact output (useful
-    when the serialized text is re-parsed in round-trip tests, because the
-    model drops whitespace-only text nodes either way).
+    ``indent`` controls pretty printing; pass 0 for compact output, which
+    round-trips: re-parsing it yields the event stream of the original
+    document (whitespace-padded text needs ``keep_whitespace=True`` on the
+    parser, and adjacent text siblings merge — both parser behaviours, not
+    serializer ones).  Pretty printing only ever breaks lines *between*
+    element children; any subtree containing character data is rendered
+    inline via :func:`_inline` so indentation never corrupts mixed content.
     """
     lines: List[str] = []
 
     def render(node: XMLNode, depth: int) -> None:
         pad = " " * (indent * depth) if indent else ""
-        if node.is_text:
-            lines.append(f"{pad}{escape_text(node.value or '')}")
+        if (node.is_text or not node.children
+                or any(child.is_text for child in node.children)):
+            lines.append(pad + _inline(node))
             return
-        tag = node.tag or ""
         body = _start_tag_body(node)
-        if not node.children:
-            lines.append(f"{pad}<{body} />")
-            return
-        only_text = all(child.is_text for child in node.children)
-        if only_text:
-            content = "".join(escape_text(child.value or "") for child in node.children)
-            lines.append(f"{pad}<{body}>{content}</{tag}>")
-            return
         lines.append(f"{pad}<{body}>")
         for child in node.children:
             render(child, depth + 1)
-        lines.append(f"{pad}</{tag}>")
+        lines.append(f"{pad}</{node.tag or ''}>")
 
     for child in document.root.children:
         render(child, 0)

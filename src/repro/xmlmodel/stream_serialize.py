@@ -1,0 +1,149 @@
+"""Event-stream → XML text re-serialization (the substream payload encoder).
+
+:func:`repro.xmlmodel.serialize.to_xml` walks an in-memory document; this
+module is its streaming counterpart: it turns a *slice of the event stream*
+back into XML bytes without ever materializing nodes, in the style of
+genshi's ``markup/output.py`` — a start tag is held back one event so empty
+elements self-close, character data and attribute values are escaped through
+the shared :func:`~repro.xmlmodel.serialize.escape_text` /
+:func:`~repro.xmlmodel.serialize.escape_attribute` tables, and no pretty
+printing whitespace is ever injected (the re-parsed stream must be the
+stream that was serialized).
+
+This is what substream delivery (:mod:`repro.streaming.delivery`) uses to
+re-emit a matched subtree's events as payload bytes: the captured slice
+``StartElement .. EndElement`` round-trips byte-for-byte with what
+``to_xml(..., indent=0)`` would produce for the same subtree.
+
+Three entry points, lowest level first:
+
+* :class:`StreamSerializer` — incremental ``feed(event) -> str`` fragments
+  plus a final ``close()``; fragments concatenate to the serialization.
+* :func:`iter_serialized` — chunked ``bytes`` production: fragments are
+  accumulated and yielded in UTF-8 chunks of roughly ``chunk_size`` bytes,
+  the shape a broker hands to a network socket.
+* :func:`serialize_events` — the whole serialization as one ``bytes``.
+
+Fragments of a document's *interior* are legal input: a lone ``Text`` event
+serializes to its escaped character data, which is how text- and
+attribute-node matches are rendered as payloads.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional
+
+from repro.xmlmodel.events import (
+    EndDocument,
+    EndElement,
+    Event,
+    StartDocument,
+    StartElement,
+    Text,
+)
+from repro.xmlmodel.serialize import escape_attribute, escape_text
+
+#: Default target size (in characters) of the chunks
+#: :func:`iter_serialized` yields.
+DEFAULT_CHUNK_SIZE = 4096
+
+
+class StreamSerializer:
+    """Incremental event → XML text serializer.
+
+    ``feed`` returns the text fragment each event contributes; ``close``
+    flushes the one-event lookahead (a start tag still waiting to learn
+    whether it is empty).  Start/EndDocument events contribute nothing, so
+    whole-document streams and subtree slices serialize alike.
+
+    The single piece of state is the pending start tag: it is emitted as a
+    self-closing ``<tag />`` when the very next event closes it, and as an
+    open ``<tag>`` otherwise — the same forms ``to_xml`` produces, so the
+    two serializers agree byte-for-byte on the same tree.
+    """
+
+    __slots__ = ("_pending",)
+
+    def __init__(self) -> None:
+        #: Text of a start tag held back one event, without the closing
+        #: ``>`` — decided self-closing or open by the event that follows.
+        self._pending: Optional[str] = None
+
+    def feed(self, event: Event) -> str:
+        """Consume one event; return the text it contributes (maybe ``""``)."""
+        if isinstance(event, StartElement):
+            out = self._flush()
+            if event.attributes:
+                rendered = " ".join(
+                    f'{name}="{escape_attribute(value)}"'
+                    for name, value in event.attributes)
+                self._pending = f"<{event.tag} {rendered}"
+            else:
+                self._pending = f"<{event.tag}"
+            return out
+        if isinstance(event, EndElement):
+            pending = self._pending
+            if pending is not None:
+                # No content arrived between start and end: self-close.
+                self._pending = None
+                return pending + " />"
+            return f"</{event.tag}>"
+        if isinstance(event, Text):
+            return self._flush() + escape_text(event.value)
+        if isinstance(event, (StartDocument, EndDocument)):
+            return self._flush() if isinstance(event, EndDocument) else ""
+        raise TypeError(f"not an event: {event!r}")
+
+    def close(self) -> str:
+        """Flush the lookahead at end of input.
+
+        A well-formed slice ends on an :class:`EndElement` (or a leaf
+        event), leaving nothing pending; a truncated fragment gets its last
+        start tag emitted open, faithful to the events that were seen.
+        """
+        return self._flush()
+
+    def _flush(self) -> str:
+        pending = self._pending
+        if pending is None:
+            return ""
+        self._pending = None
+        return pending + ">"
+
+
+def iter_serialized(events: Iterable[Event],
+                    chunk_size: int = DEFAULT_CHUNK_SIZE) -> Iterator[bytes]:
+    """Serialize ``events`` to UTF-8 chunks of roughly ``chunk_size`` bytes.
+
+    Chunk boundaries are placed between event fragments only — never inside
+    a multi-byte UTF-8 sequence — and the concatenation of all chunks is
+    exactly :func:`serialize_events` of the same stream, regardless of
+    ``chunk_size``.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    serializer = StreamSerializer()
+    parts: List[str] = []
+    size = 0
+    for event in events:
+        fragment = serializer.feed(event)
+        if fragment:
+            parts.append(fragment)
+            size += len(fragment)
+            if size >= chunk_size:
+                yield "".join(parts).encode("utf-8")
+                parts = []
+                size = 0
+    tail = serializer.close()
+    if tail:
+        parts.append(tail)
+    if parts:
+        yield "".join(parts).encode("utf-8")
+
+
+def serialize_events(events: Iterable[Event]) -> bytes:
+    """The UTF-8 serialization of ``events`` as a single ``bytes``."""
+    serializer = StreamSerializer()
+    parts = [serializer.feed(event) for event in events]
+    parts.append(serializer.close())
+    return "".join(parts).encode("utf-8")

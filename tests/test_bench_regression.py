@@ -5,9 +5,11 @@ import json
 import pytest
 
 from repro.bench.regression import (
+    ADVISORY_GATES,
     DEFAULT_TOLERANCE,
     GATES,
     RegressionGateError,
+    check_advisory_gates,
     check_all_gates,
     check_regression,
     extract_events_per_sec,
@@ -16,17 +18,22 @@ from repro.bench.regression import (
 
 
 def artifact(events_per_sec, subscriptions=1000, extra_scales=(),
-             dfa_events_per_sec=None):
+             dfa_events_per_sec=None, substream_events_per_sec=None):
     scales = [{"subscriptions": 10, "events_per_sec_indexed": 99999}]
     scales.extend(extra_scales)
     scales.append({"subscriptions": subscriptions,
                    "events_per_sec_indexed": events_per_sec})
     if dfa_events_per_sec is None:
         dfa_events_per_sec = events_per_sec
-    return {"multi_query_sdi": {"scales": scales},
+    data = {"multi_query_sdi": {"scales": scales},
             "automaton_sdi": {"scales": [
                 {"subscriptions": subscriptions,
                  "events_per_sec_dfa": dfa_events_per_sec}]}}
+    if substream_events_per_sec is not None:
+        data["substream_extraction"] = {"scales": [
+            {"subscriptions": subscriptions,
+             "events_per_sec_substream": substream_events_per_sec}]}
+    return data
 
 
 class TestExtract:
@@ -107,6 +114,30 @@ class TestMultiGate:
                 artifact(1))
 
 
+class TestAdvisoryGates:
+    def test_substream_gate_is_advisory_not_blocking(self):
+        gate = ("substream_extraction", "events_per_sec_substream")
+        assert gate in ADVISORY_GATES
+        assert gate not in GATES
+
+    def test_missing_section_is_skipped_not_an_error(self):
+        # Baselines committed before the section existed must not break
+        # the pipeline: no substream section on either side -> no reports.
+        assert check_advisory_gates(artifact(2000), artifact(2000)) == []
+        # ...nor when only the fresh artifact has it.
+        assert check_advisory_gates(
+            artifact(2000),
+            artifact(2000, substream_events_per_sec=70000)) == []
+
+    def test_present_sections_are_compared(self):
+        reports = check_advisory_gates(
+            artifact(2000, substream_events_per_sec=80000),
+            artifact(2000, substream_events_per_sec=20000))
+        assert len(reports) == 1
+        assert reports[0].section == "substream_extraction"
+        assert not reports[0].ok
+
+
 class TestMain:
     def write(self, tmp_path, name, data):
         path = tmp_path / name
@@ -134,6 +165,16 @@ class TestMain:
         out = capsys.readouterr().out
         assert "OK" in out and "REGRESSION" in out
 
+    def test_advisory_regression_never_fails_the_build(self, tmp_path,
+                                                       capsys):
+        base = self.write(tmp_path, "base.json",
+                          artifact(2000, substream_events_per_sec=80000))
+        fresh = self.write(tmp_path, "fresh.json",
+                           artifact(2000, substream_events_per_sec=20000))
+        assert main([base, fresh]) == 0
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out and "(advisory)" in out
+
     def test_broken_artifact_exit_code(self, tmp_path, capsys):
         base = self.write(tmp_path, "base.json", {"nope": 1})
         fresh = self.write(tmp_path, "fresh.json", artifact(2000))
@@ -155,6 +196,6 @@ class TestMain:
                   encoding="utf-8") as handle:
             committed = json.load(handle)
         assert extract_events_per_sec(committed) > 0
-        for section, metric in GATES:
+        for section, metric in GATES + ADVISORY_GATES:
             assert extract_events_per_sec(committed, section=section,
                                           metric=metric) > 0

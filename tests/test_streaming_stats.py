@@ -31,6 +31,11 @@ class TestStreamStats:
         assert row["memory_units"] == 1 + 2 + 3
         assert row["results"] == 1
 
+    def test_as_row_reports_substream_emission_counters(self):
+        row = StreamStats(subtrees_emitted=4, bytes_emitted=120).as_row()
+        assert row["subtrees_emitted"] == 4
+        assert row["bytes_emitted"] == 120
+
 
 MONOTONIC_COUNTERS = ("events", "nodes_seen", "max_depth",
                       "expectations_created", "max_live_expectations",

@@ -7,6 +7,7 @@ from repro.workloads.documents import STREAMING_DOCUMENTS, streaming_documents
 from repro.workloads.queries import (
     PAPER_QUERIES,
     ancestor_chain,
+    extraction_workload,
     following_reverse_chain,
     mixed_reverse_path,
     parent_chain,
@@ -52,6 +53,26 @@ class TestQueryWorkloads:
         for seed in range(20):
             path = parse_xpath(random_reverse_path(seed))
             assert analysis.is_absolute(path)
+
+    def test_extraction_workload_parses_and_is_deterministic(self):
+        subscriptions = extraction_workload(50, seed=11)
+        assert subscriptions == extraction_workload(50, seed=11)
+        for query in subscriptions:
+            path = parse_xpath(query)
+            assert analysis.is_absolute(path)
+            assert analysis.count_reverse_steps(path) == 0
+
+    def test_extraction_workload_mixes_regions_and_leaves(self):
+        # With the default nested_probability both shapes must appear:
+        # whole-section subscriptions (one step — the containing regions)
+        # and leaf-ish two-step subscriptions nesting inside them.
+        subscriptions = extraction_workload(100, seed=11)
+        step_counts = {query.count("/") for query in subscriptions}
+        assert step_counts == {1, 2}
+
+    def test_extraction_workload_rejects_empty(self):
+        with pytest.raises(ValueError):
+            extraction_workload(0)
 
 
 class TestDocumentWorkloads:

@@ -1,6 +1,7 @@
 """Unit tests for XML serialization (repro.xmlmodel.serialize)."""
 
 from repro.datasets import figure1_document
+from repro.xmlmodel.builder import document_events
 from repro.xmlmodel.document import Document, element, text
 from repro.xmlmodel.parser import parse_xml
 from repro.xmlmodel.serialize import escape_text, to_xml
@@ -39,3 +40,62 @@ class TestToXML:
         compact = to_xml(doc, indent=0)
         assert "\n" not in compact
         assert parse_xml(compact).document_element.tag == "journal"
+
+
+def _mixed_content_document(pad: str = ""):
+    # Text interleaved with elements at several depths, including an
+    # element child *between* two text runs and a nested mixed region.
+    # ``pad`` adds edge whitespace to the text nodes; the default parser
+    # strips it (a parser policy), so only the unpadded document can
+    # round-trip through a default parse.
+    return Document.from_tree(element(
+        "article",
+        text("intro" + pad),
+        element("em", text("emphasized")),
+        text(pad + "middle" + pad),
+        element("section",
+                text("lead" + pad),
+                element("code", text("x<y&z")),
+                text(pad + "tail")),
+        element("empty"),
+        text(pad + "outro")))
+
+
+class TestMixedContentFidelity:
+    """Mixed content must serialize children inline, in document order —
+    pretty-printing padding would change the character data on re-parse."""
+
+    def test_compact_round_trip_event_stream_identical(self):
+        doc = _mixed_content_document()
+        reparsed = parse_xml(to_xml(doc, indent=0))
+        assert list(document_events(reparsed)) == list(document_events(doc))
+
+    def test_pretty_mode_renders_mixed_subtrees_inline(self):
+        doc = _mixed_content_document()
+        pretty = to_xml(doc, indent=2)
+        # The whole article is a mixed region: one inline line, no padding
+        # injected anywhere inside it.
+        assert "\n" not in pretty
+        reparsed = parse_xml(pretty)
+        assert list(document_events(reparsed)) == list(document_events(doc))
+
+    def test_pretty_mode_still_indents_element_only_content(self):
+        doc = Document.from_tree(element(
+            "journal",
+            element("title", text("xml")),
+            element("price")))
+        assert to_xml(doc, indent=2) == (
+            "<journal>\n  <title>xml</title>\n  <price />\n</journal>")
+
+    def test_mixed_content_order_preserved_around_element(self):
+        doc = Document.from_tree(element(
+            "p", text("before"), element("b", text("bold")), text("after")))
+        assert to_xml(doc, indent=0) == "<p>before<b>bold</b>after</p>"
+
+    def test_padded_text_round_trips_with_keep_whitespace(self):
+        # Leading/trailing whitespace inside text is a *parser* policy
+        # (stripped by default); with keep_whitespace the serialization is
+        # faithful to the original stream, padding included.
+        doc = _mixed_content_document(pad=" ")
+        reparsed = parse_xml(to_xml(doc, indent=0), keep_whitespace=True)
+        assert list(document_events(reparsed)) == list(document_events(doc))

@@ -1,0 +1,98 @@
+"""Unit tests for event-stream re-serialization
+(repro.xmlmodel.stream_serialize)."""
+
+import pytest
+
+from repro.datasets import figure1_document
+from repro.xmlmodel.builder import document_events
+from repro.xmlmodel.document import Document, element, text
+from repro.xmlmodel.events import EndElement, StartElement, Text
+from repro.xmlmodel.generator import journal_document
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serialize import to_xml
+from repro.xmlmodel.stream_serialize import (
+    StreamSerializer,
+    iter_serialized,
+    serialize_events,
+)
+
+
+class TestSerializeEvents:
+    def test_agrees_with_compact_to_xml(self):
+        for doc in (figure1_document(),
+                    journal_document(journals=2, seed=5, with_attributes=True)):
+            events = document_events(doc)
+            assert serialize_events(events) == to_xml(doc, indent=0).encode()
+
+    def test_empty_element_self_closes(self):
+        events = [StartElement("price", 1), EndElement("price", 1)]
+        assert serialize_events(events) == b"<price />"
+
+    def test_attributes_rendered_and_escaped(self):
+        events = [StartElement("item", 1, (("id", "4"), ("note", 'a"<b'))),
+                  EndElement("item", 1)]
+        assert (serialize_events(events)
+                == b'<item id="4" note="a&quot;&lt;b" />')
+
+    def test_text_escaped(self):
+        events = [StartElement("a", 1), Text("x<y&z", 2), EndElement("a", 1)]
+        assert serialize_events(events) == b"<a>x&lt;y&amp;z</a>"
+
+    def test_interior_fragment_is_legal(self):
+        # A lone text event serializes to its escaped character data — the
+        # payload of a text- or attribute-node match.
+        assert serialize_events([Text("a < b", 7)]) == b"a &lt; b"
+
+    def test_round_trips_through_parser(self):
+        doc = journal_document(journals=3, seed=9, with_attributes=True)
+        events = list(document_events(doc))
+        reparsed = parse_xml(serialize_events(events).decode())
+        assert list(document_events(reparsed)) == events
+
+    def test_mixed_content_document_order(self):
+        doc = Document.from_tree(element(
+            "p", text("before"), element("b", text("bold")), text("after")))
+        assert (serialize_events(document_events(doc))
+                == b"<p>before<b>bold</b>after</p>")
+
+
+class TestStreamSerializer:
+    def test_fragments_concatenate_to_full_serialization(self):
+        events = list(document_events(figure1_document()))
+        serializer = StreamSerializer()
+        parts = [serializer.feed(event) for event in events]
+        parts.append(serializer.close())
+        assert "".join(parts).encode() == serialize_events(events)
+
+    def test_close_flushes_truncated_fragment(self):
+        serializer = StreamSerializer()
+        out = serializer.feed(StartElement("a", 1))
+        assert out == ""
+        assert serializer.close() == "<a>"
+        # Idempotent once flushed.
+        assert serializer.close() == ""
+
+    def test_rejects_non_events(self):
+        with pytest.raises(TypeError):
+            StreamSerializer().feed("not an event")
+
+
+class TestIterSerialized:
+    @pytest.mark.parametrize("chunk_size", [1, 7, 64, 10_000])
+    def test_chunks_concatenate_identically(self, chunk_size):
+        events = list(document_events(
+            journal_document(journals=2, seed=3, with_attributes=True)))
+        chunks = list(iter_serialized(events, chunk_size=chunk_size))
+        assert b"".join(chunks) == serialize_events(events)
+        if chunk_size == 10_000:
+            assert len(chunks) == 1
+
+    def test_chunk_boundaries_never_split_utf8(self):
+        events = [StartElement("a", 1), Text("héllo wörld" * 10, 2),
+                  EndElement("a", 1)]
+        for chunk in iter_serialized(events, chunk_size=3):
+            chunk.decode("utf-8")  # every chunk is valid UTF-8 on its own
+
+    def test_rejects_nonpositive_chunk_size(self):
+        with pytest.raises(ValueError):
+            list(iter_serialized([], chunk_size=0))
