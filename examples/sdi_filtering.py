@@ -184,6 +184,34 @@ def main() -> None:
     print(f"Served {router.stats.subtrees_emitted} subtrees / "
           f"{router.stats.bytes_emitted} payload bytes across "
           f"{router.stats.documents} documents.")
+    print()
+
+    # Live subscription churn: a real router gains and loses subscribers
+    # while the feed is flowing.  subscribe()/unsubscribe() change the
+    # running broker between submits without recompiling the index: an add
+    # merges new NFA fragments into the shared automaton and invalidates
+    # only the touched transitions (a *targeted* flush), a remove retires
+    # the subscription's slot in place — the session is synced, never
+    # rebuilt, and the warm DFA table survives.  index.churn counts what
+    # each operation actually cost.
+    print("Live churn on the running broker (no recompilation, session")
+    print("synced in place, warm DFA transitions kept):")
+    feed = DocumentBroker(index, matches_only=True)
+    xml_text = to_xml(DOCUMENTS["catalogue-with-prices"], indent=0)
+    before = feed.submit("before-churn", xml_text)
+    session = feed.session
+    feed.subscribe("gold-digest", '//journal[@tier="gold"]/title')
+    feed.unsubscribe("pricing-mirror")
+    after = feed.submit("after-churn", xml_text)
+    churn = index.churn
+    print(f"  before: {', '.join(before.matching_keys)}")
+    print(f"  after:  {', '.join(after.matching_keys)}")
+    print(f"  churn cost: {churn.subscriptions_added} added / "
+          f"{churn.subscriptions_removed} removed with "
+          f"{churn.targeted_flushes} targeted flushes, "
+          f"{churn.full_flushes} full flushes, "
+          f"{churn.vacuum_runs} vacuums; session reused: "
+          f"{feed.session is session}.")
 
 
 if __name__ == "__main__":

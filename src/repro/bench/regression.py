@@ -54,10 +54,13 @@ GATES: Tuple[Tuple[str, str], ...] = (
 #: never fail the build, and a missing section (older baselines predate it)
 #: is skipped rather than an error.  ``substream_extraction`` is advisory
 #: while its trajectory accumulates — serialization-bound throughput has a
-#: different noise profile than pure matching; promote it into
-#: :data:`GATES` once a few runner generations of data exist.
+#: different noise profile than pure matching; ``subscription_churn``
+#: (warm throughput after live add/remove churn) likewise while its
+#: trajectory accumulates.  Promote either into :data:`GATES` once a few
+#: runner generations of data exist.
 ADVISORY_GATES: Tuple[Tuple[str, str], ...] = (
     ("substream_extraction", "events_per_sec_substream"),
+    ("subscription_churn", "events_per_sec_churned"),
 )
 
 

@@ -59,8 +59,16 @@ def self_node() -> Step:
 
 
 def node_wildcard() -> NodeTest:
-    """The ``*`` node test."""
-    return NodeTest.any_element()
+    """The ``node()`` test of the rules' branch-point steps.
+
+    The intermediate steps the rewrite rules introduce (ancestor-or-self /
+    following-sibling / descendant branch points) range over *nodes*, not
+    elements: a text node is somebody's preceding sibling too, and
+    ``preceding::node()`` must reach it through the branch point.  Building
+    ``*`` here instead silently drops non-element results from every
+    ``preceding``/``following`` rewrite.
+    """
+    return NodeTest.node()
 
 
 def spine(path: LocationPath, steps: Sequence[Step]) -> LocationPath:

@@ -150,6 +150,45 @@ it, and ``REPRO_STREAMING_BACKEND=expectations`` is the opt-out when a
 workload is better served without compilation (few subscriptions on
 one-shot documents) or when bisecting a suspected automaton bug.
 
+Live churn
+----------
+
+A production router cannot recompile the world every time one user
+subscribes or unsubscribes, so a built :class:`SubscriptionIndex` is
+*churnable* in place:
+
+* :meth:`SubscriptionIndex.add_subscription(key, query)
+  <SubscriptionIndex.add_subscription>` threads the new query into the
+  existing structures incrementally — prefix-trie branches are inserted in
+  place, and the new NFA fragments merge into the shared automaton followed
+  by a **targeted invalidation**: the epoch bumps, but only cached
+  transitions whose NFA-state sets intersect the touched fragments are
+  dropped (every materialized DFA state, and the state ids live runs hold,
+  stay valid).  Only when the touched fragments reach more than
+  ``TARGETED_FLUSH_RATIO`` of the materialized states does it fall back to
+  the wholesale flush (``ChurnStats.full_flushes``).
+* :meth:`SubscriptionIndex.remove_subscription(key)
+  <SubscriptionIndex.remove_subscription>` is **ordinal retirement**: the
+  slot stays (no ordinal shifts, so no session rebuild), its trie branches
+  are unlinked, and deliveries for the ordinal are dropped at the sink
+  boundary — by live sessions too, immediately, mid-document.  The dead NFA
+  fragments linger until :meth:`SubscriptionIndex.vacuum` compacts them:
+  automatically once retired ordinals exceed ``vacuum_ratio`` (default
+  0.25) of the index, or explicitly in a maintenance window.  A vacuum
+  remaps ordinals and bumps the index *generation*; existing sessions must
+  then be rebuilt (the broker does this at its next checkout).
+* Live sessions follow adds exactly as they follow a cache flush: the index
+  *version* counter bumps on every churn operation, and
+  :meth:`MultiMatcher.sync` extends a session in place — so a mid-document
+  add takes effect at the next document, while removals take effect
+  immediately.  :meth:`DocumentBroker.subscribe` / ``unsubscribe`` wire
+  this into the serving layer between submits, for all three delivery
+  modes, and are safe on a shared index (each broker syncs at its own next
+  submit).  ``index.churn`` (:class:`~repro.streaming.stats.ChurnStats`)
+  counts adds, removes, targeted/full flushes, and vacuums;
+  ``benchmarks/bench_subscription_churn.py`` measures churn-rate vs warm
+  throughput.
+
 When to use what
 ----------------
 

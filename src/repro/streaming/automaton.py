@@ -54,10 +54,15 @@ event stream:
   ``dfa`` is the default backend and the expectation engine serves as the
   differential-testing semantics reference.
 
-The automaton itself is immutable per subscription set and shared: one
-compiled instance serves every matcher a :class:`SubscriptionIndex` hands
-out, and a reused broker session keeps the warmed transition table across
-documents (``reset()`` rewinds only the per-document state stack).
+The automaton is shared — one compiled instance serves every matcher a
+:class:`SubscriptionIndex` hands out, and a reused broker session keeps the
+warmed transition table across documents (``reset()`` rewinds only the
+per-document state stack) — but no longer immutable: live subscription
+churn threads new NFA fragments into the retained builder
+(:meth:`SubscriptionAutomaton.add_member`) and repairs the materialized DFA
+view with a *targeted* invalidation (only states intersecting the touched
+fragments are patched; see :data:`TARGETED_FLUSH_RATIO`), so one user
+subscribing never recompiles the world.
 """
 
 from __future__ import annotations
@@ -90,6 +95,15 @@ BACKENDS = ("expectations", "dfa")
 #: entries).  Generous for real vocabularies; small enough that a pathological
 #: tag stream cannot grow the table without limit.
 DEFAULT_TRANSITION_CAP = 65536
+
+#: Live churn: an incremental insertion (:meth:`SubscriptionAutomaton
+#: .add_member`) invalidates *only* the materialized DFA states whose
+#: NFA-state sets intersect the touched fragments — unless those reach more
+#: than this fraction of the materialized set, where walking and patching
+#: them one by one costs more than the existing wholesale flush.  Below the
+#: ratio an add is guaranteed never to trigger a full recompilation
+#: (``ChurnStats.full_flushes`` stays 0).
+TARGETED_FLUSH_RATIO = 0.5
 
 
 def resolve_backend(backend: Optional[str] = None) -> str:
@@ -175,6 +189,13 @@ class _NfaBuilder:
         self.states: List[_NfaState] = [_NfaState()]
         self._skip_of: Dict[int, int] = {}
         self._chain_of: Dict[tuple, int] = {}
+        #: States whose rule sets changed since the last
+        #: :meth:`SubscriptionAutomaton.add_member` harvest — the touched
+        #: fragments a targeted DFA invalidation intersects against.  States
+        #: created *during* the same insertion land here too; they cannot
+        #: appear in any previously materialized DFA set, so the
+        #: intersection ignores them naturally.
+        self.touched: set = set()
 
     def _new(self) -> int:
         self.states.append(_NfaState())
@@ -187,11 +208,13 @@ class _NfaBuilder:
             self.states[source].elem_any.append(skip)
             self.states[skip].elem_any.append(skip)
             self._skip_of[source] = skip
+            self.touched.add(source)
         return skip
 
     def _edge(self, source: int, test: _Test, target: int) -> None:
         kind, name = test
         state = self.states[source]
+        self.touched.add(source)
         if kind == analysis.K_NAME:
             state.elem_by_tag.setdefault(name, []).append(target)
         elif kind == analysis.K_WILD:
@@ -231,10 +254,12 @@ class _NfaBuilder:
             armer = self._new()
             self.states[source].text.append(armer)
             self.states[skip].text.append(armer)
+            self.touched.add(skip)
             anchors.append(armer)
         for anchor in anchors:
             state = self.states[anchor]
             (state.arm_sib if sibling else state.arm_fol).append(window)
+            self.touched.add(anchor)
         return target
 
     def chain(self, items) -> int:
@@ -258,46 +283,66 @@ class _NfaBuilder:
         return current
 
 
+def _compile_path(builder: _NfaBuilder, ordinal: int,
+                  path: PathExpr) -> List[LocationPath]:
+    """Compile one subscription's union members into the shared builder.
+
+    Returns the members the automaton cannot serve (first spine step
+    unsupported, or alternative explosion); the caller routes exactly those
+    through the expectation engine.  Shared by the bulk compilation below
+    and the live :meth:`SubscriptionAutomaton.add_member` — the ``(state,
+    item)`` chain memoization makes re-inserting an already-known member a
+    structural no-op either way.
+    """
+    unsupported: List[LocationPath] = []
+    for member in iter_union_members(path):
+        if isinstance(member, Bottom):
+            continue
+        if not isinstance(member, LocationPath) or not member.absolute:
+            # Same contract as the expectation engine's root spawning.
+            raise StreamingError(
+                "the streaming evaluator expects absolute paths "
+                f"(got {to_string(member)})")
+        split = analysis.automaton_split_member(member)
+        alternatives = (None if split is None
+                        else analysis.automaton_spine_alternatives(split[0]))
+        if alternatives is None:
+            unsupported.append(member)
+            continue
+        _prefix, gate_qualifiers, remaining = split
+        for items in alternatives:
+            end_index = builder.chain(items)
+            end = builder.states[end_index]
+            if gate_qualifiers is None:
+                if ordinal not in end.deliver:
+                    end.deliver.append(ordinal)
+                    builder.touched.add(end_index)
+            else:
+                gate = _Gate(ordinal, tuple(gate_qualifiers),
+                             tuple(remaining))
+                if gate not in end.gates:
+                    end.gates.append(gate)
+                    builder.touched.add(end_index)
+    return unsupported
+
+
 def compile_subscription_automaton(
         subscriptions: Sequence[Tuple[int, PathExpr]],
         transition_cap: int = DEFAULT_TRANSITION_CAP):
     """Compile ``(ordinal, path)`` pairs into one shared lazy automaton.
 
     Returns ``(automaton, fallback)`` where ``fallback`` maps ordinals to
-    the union members the automaton cannot serve (first spine step
-    unsupported, or alternative explosion); the caller routes exactly those
-    through the expectation engine.
+    the union members the automaton cannot serve; the caller routes exactly
+    those through the expectation engine.
     """
     builder = _NfaBuilder()
     fallback: Dict[int, List[LocationPath]] = {}
     for ordinal, path in subscriptions:
-        for member in iter_union_members(path):
-            if isinstance(member, Bottom):
-                continue
-            if not isinstance(member, LocationPath) or not member.absolute:
-                # Same contract as the expectation engine's root spawning.
-                raise StreamingError(
-                    "the streaming evaluator expects absolute paths "
-                    f"(got {to_string(member)})")
-            split = analysis.automaton_split_member(member)
-            alternatives = (None if split is None
-                            else analysis.automaton_spine_alternatives(
-                                split[0]))
-            if alternatives is None:
-                fallback.setdefault(ordinal, []).append(member)
-                continue
-            _prefix, gate_qualifiers, remaining = split
-            for items in alternatives:
-                end = builder.states[builder.chain(items)]
-                if gate_qualifiers is None:
-                    if ordinal not in end.deliver:
-                        end.deliver.append(ordinal)
-                else:
-                    gate = _Gate(ordinal, tuple(gate_qualifiers),
-                                 tuple(remaining))
-                    if gate not in end.gates:
-                        end.gates.append(gate)
-    return SubscriptionAutomaton(builder.states, transition_cap), fallback
+        unsupported = _compile_path(builder, ordinal, path)
+        if unsupported:
+            fallback.setdefault(ordinal, []).extend(unsupported)
+    builder.touched.clear()
+    return SubscriptionAutomaton(builder, transition_cap), fallback
 
 
 # ---------------------------------------------------------------------------
@@ -323,15 +368,21 @@ class SubscriptionAutomaton:
     engine's open-element stack (O(depth), and only between events).
     """
 
-    def __init__(self, nfa_states: Sequence[_NfaState],
+    def __init__(self, builder: _NfaBuilder,
                  transition_cap: int = DEFAULT_TRANSITION_CAP):
-        self._nfa = tuple(nfa_states)
+        #: The builder is retained (not frozen into a tuple) so live churn
+        #: can thread new NFA fragments into the shared trie-style structure
+        #: (:meth:`add_member`); ``_nfa`` aliases its live state list.
+        self._builder = builder
+        self._nfa = builder.states
         self._cap = max(16, int(transition_cap))
         #: Materialized-state bound: generous enough that flushes are rare
         #: for real vocabularies, small enough to actually bound memory.
         self._state_cap = max(64, self._cap)
         self._evictions = 0
         self._flushes = 0
+        self._targeted_invalidations = 0
+        self._full_invalidations = 0
         #: Bumped on every flush; runs holding state ids resync on mismatch.
         self.epoch = 0
         self.has_attribute_rules = any(
@@ -371,14 +422,92 @@ class SubscriptionAutomaton:
         self._reset_caches()
         return True
 
+    # -- live churn --------------------------------------------------------
+    def add_member(self, ordinal: int, path: PathExpr,
+                   churn=None) -> List[LocationPath]:
+        """Thread one more subscription's fragments into the live automaton.
+
+        The incremental mirror of :func:`compile_subscription_automaton`:
+        the retained builder inserts the path's union members trie-style
+        (shared prefixes resolve to the already-existing chain states), then
+        the materialized DFA view is repaired by a *targeted* invalidation —
+        only states whose NFA sets intersect the touched fragments are
+        patched, everything else (including the state ids live runs hold on
+        their stacks) survives.  Above :data:`TARGETED_FLUSH_RATIO` the
+        repair degenerates to the wholesale flush live runs already resync
+        from.  Returns the union members the automaton cannot serve; the
+        caller routes those through its fallback trie.  ``churn`` is the
+        index's :class:`~repro.streaming.stats.ChurnStats`.
+        """
+        builder = self._builder
+        builder.touched.clear()
+        before = len(builder.states)
+        unsupported = _compile_path(builder, ordinal, path)
+        touched = frozenset(builder.touched)
+        builder.touched.clear()
+        fresh = range(before, len(builder.states))
+        if not self.has_attribute_rules:
+            self.has_attribute_rules = any(
+                self._nfa[q].attr_by_name or self._nfa[q].attr_any
+                for q in (*touched, *fresh))
+        if not self.has_window_rules:
+            # Live runs pick the flip up at their next document start
+            # (mid-document their window bookkeeping was never maintained,
+            # which is covered by adds-take-effect-next-document).
+            self.has_window_rules = any(
+                self._nfa[q].arm_sib or self._nfa[q].arm_fol
+                for q in (*touched, *fresh))
+        self._invalidate_touched(touched, churn)
+        return unsupported
+
+    def _invalidate_touched(self, touched: FrozenSet[int], churn) -> None:
+        """Repair the materialized DFA view after an NFA mutation.
+
+        A cached transition or accept tuple is stale exactly when its
+        *source* set intersects the touched NFA states: new fragments hang
+        off touched states, and fresh states cannot occur in any previously
+        interned set.  Stale accept info is recomputed in place (ids and
+        frozensets stay valid — live run stacks are untouched); stale
+        transitions are dropped and lazily rebuilt.  The epoch still bumps
+        so live runs resync their stacks between events, exactly as after a
+        wholesale flush.
+        """
+        if not touched:
+            return
+        affected = [state_id for state_id, key in enumerate(self._sets)
+                    if key & touched]
+        if not affected:
+            return
+        if len(affected) > TARGETED_FLUSH_RATIO * len(self._sets):
+            self._full_invalidations += 1
+            if churn is not None:
+                churn.full_flushes += 1
+            self.epoch += 1
+            self._reset_caches()
+            return
+        stale = set(affected)
+        for state_id in affected:
+            (self._deliver[state_id], self._gates[state_id],
+             self._arm_sib[state_id],
+             self._arm_fol[state_id]) = self._accept_info(
+                self._sets[state_id])
+            self._text.pop(state_id, None)
+        self._elem = {key: value for key, value in self._elem.items()
+                      if key[0] not in stale}
+        self._attr = {key: value for key, value in self._attr.items()
+                      if key[0] not in stale}
+        self._targeted_invalidations += 1
+        if churn is not None:
+            churn.targeted_flushes += 1
+        self.epoch += 1
+
     # -- state interning ---------------------------------------------------
-    def _intern(self, key: FrozenSet[int], stats) -> int:
-        state_id = self._set_ids.get(key)
-        if state_id is not None:
-            return state_id
-        state_id = len(self._sets)
-        self._set_ids[key] = state_id
-        self._sets.append(key)
+    def _accept_info(self, key: FrozenSet[int]):
+        """``(deliver, gates, arm_sib, arm_fol)`` of an NFA-state set,
+        merged and deduped in deterministic order.  Computed when a DFA
+        state is interned, and recomputed in place by a targeted
+        invalidation when an incremental insertion changed a member state's
+        rules."""
         deliver: List[int] = []
         gates: List[_Gate] = []
         arm_sib = set()
@@ -397,10 +526,21 @@ class SubscriptionAutomaton:
                     gates.append(gate)
             arm_sib.update(nfa_state.arm_sib)
             arm_fol.update(nfa_state.arm_fol)
-        self._deliver.append(tuple(deliver))
-        self._gates.append(tuple(gates))
-        self._arm_sib.append(frozenset(arm_sib))
-        self._arm_fol.append(frozenset(arm_fol))
+        return (tuple(deliver), tuple(gates), frozenset(arm_sib),
+                frozenset(arm_fol))
+
+    def _intern(self, key: FrozenSet[int], stats) -> int:
+        state_id = self._set_ids.get(key)
+        if state_id is not None:
+            return state_id
+        state_id = len(self._sets)
+        self._set_ids[key] = state_id
+        self._sets.append(key)
+        deliver, gates, arm_sib, arm_fol = self._accept_info(key)
+        self._deliver.append(deliver)
+        self._gates.append(gates)
+        self._arm_sib.append(arm_sib)
+        self._arm_fol.append(arm_fol)
         if stats is not None:
             stats.dfa_states_materialized += 1
         return state_id
@@ -501,6 +641,8 @@ class SubscriptionAutomaton:
             "state_cap": self._state_cap,
             "evictions": self._evictions,
             "flushes": self._flushes,
+            "targeted_invalidations": self._targeted_invalidations,
+            "full_invalidations": self._full_invalidations,
         }
 
 
@@ -546,6 +688,11 @@ class AutomatonRun:
         automaton = self.automaton
         automaton.maybe_flush(core.stats)
         self.epoch = automaton.epoch
+        # Live churn may have introduced the automaton's first window rules
+        # since the last document; the cached flag refreshes only here —
+        # never mid-document, where the parallel ``sets`` stack would not
+        # have been maintained from the start.
+        self._windows = automaton.has_window_rules
         start = automaton.start_state
         self.stack = [start]
         if self._windows:

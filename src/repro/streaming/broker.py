@@ -153,9 +153,20 @@ class DocumentBroker:
     unbounded (every document of the feed is recorded; only for short
     feeds).
 
+    **Live churn.**  :meth:`subscribe` / :meth:`unsubscribe` change the
+    subscription set *between* submits without recompiling the index (see
+    the live-churn section of :class:`SubscriptionIndex`).  The broker's
+    session follows along at the next checkout: additions are picked up by
+    an incremental :meth:`~repro.streaming.engine.MultiMatcher.sync` (the
+    index ``version`` counter), removals take effect immediately through
+    the shared retired set, and only a :meth:`SubscriptionIndex.vacuum`
+    (the ``generation`` counter) forces a fresh session.  Churn on a shared
+    index is equally safe — every broker on it syncs at its own next
+    submit.
+
     A broker is not thread-safe: it reuses one matcher session.  Run one
-    broker per worker and share the ``SubscriptionIndex`` (immutable once
-    built) between them.
+    broker per worker and share the ``SubscriptionIndex`` between them
+    (churn it from one thread at a time, between submits).
     """
 
     def __init__(self,
@@ -240,6 +251,28 @@ class DocumentBroker:
                 "externally supplied SubscriptionIndex (it may be shared); "
                 "add them on the index before constructing the broker")
 
+    def subscribe(self, key: Hashable,
+                  query: TypingUnion[str, PathExpr]) -> Subscription:
+        """Live churn: add one subscription to the running broker.
+
+        Delegates to :meth:`SubscriptionIndex.add_subscription`; the
+        session picks the addition up incrementally at the next submit.
+        Unlike :meth:`add` this is allowed on a shared index — churn is
+        what the version counters exist for, and other brokers on the same
+        index sync at their own next submit.
+        """
+        return self._index.add_subscription(key, query)
+
+    def unsubscribe(self, key: Hashable) -> Subscription:
+        """Live churn: drop one subscription from the running broker.
+
+        Delegates to :meth:`SubscriptionIndex.remove_subscription`
+        (ordinal retirement + deferred vacuum); no delivery for the key
+        happens after this returns.  Raises :class:`KeyError` for an
+        unknown key.
+        """
+        return self._index.remove_subscription(key)
+
     # -- the session -------------------------------------------------------
     @property
     def session(self) -> Optional[MultiMatcher]:
@@ -250,16 +283,22 @@ class DocumentBroker:
 
     def _checkout(self) -> MultiMatcher:
         matcher = self._matcher
-        if (matcher is None
-                or len(matcher._subscriptions) != len(self._index)):
-            # First document, subscriptions changed, or a previous
-            # submission left an unsalvageable session: build a fresh one.
-            matcher = self._index.matcher(matches_only=self._matches_only,
-                                          indexed=self._indexed,
-                                          backend=self._backend,
-                                          delivery=self._delivery)
+        index = self._index
+        if matcher is None or matcher._generation != index.generation:
+            # First document, the index was vacuumed (ordinals remapped),
+            # or a previous submission left an unsalvageable session:
+            # build a fresh one.
+            matcher = index.matcher(matches_only=self._matches_only,
+                                    indexed=self._indexed,
+                                    backend=self._backend,
+                                    delivery=self._delivery)
             self._matcher = matcher
             self._session_used = False
+        elif matcher._synced_version != index.version:
+            # Subscription churn since the last submit: extend the session
+            # incrementally instead of rebuilding it (removals need no sync
+            # at all — the retired set is shared by reference).
+            matcher.sync()
         if self._session_used:
             matcher.reset()
         self._session_used = True
@@ -281,12 +320,17 @@ class DocumentBroker:
         tokenizer = PushTokenizer(keep_whitespace=self._keep_whitespace)
         if isinstance(chunks, (str, bytes, bytearray, memoryview)):
             chunks = (chunks,)
+        # Counted locally and folded into the aggregates only on success:
+        # a failed document must leave ``BrokerStats`` untouched, chunk
+        # counters included (its partial work was never served to anyone).
+        chunks_fed = 0
+        chunks_skipped = 0
         try:
             for chunk in chunks:
                 if matcher.halted:
-                    self.stats.chunks_skipped += 1
+                    chunks_skipped += 1
                     continue
-                self.stats.chunks += 1
+                chunks_fed += 1
                 batch = tokenizer.feed(chunk)
                 for index, event in enumerate(batch):
                     matcher.feed(event)
@@ -303,6 +347,8 @@ class DocumentBroker:
         except Exception:
             self._salvage_session()
             raise
+        self.stats.chunks += chunks_fed
+        self.stats.chunks_skipped += chunks_skipped
         return self._deliver(document_id, result)
 
     def submit_events(self, document_id: Hashable,

@@ -30,6 +30,17 @@ Payload routing is the broker's choice: with an ``on_payload`` callback the
 bytes stream out as each window closes; without one they are buffered and
 returned on :class:`~repro.streaming.engine.SubscriptionResult` as
 ``payload``.
+
+**Churn safety.**  The tee is *matcher* state, not automaton state: a DFA
+transition-cache flush mid-document — whether from the cache cap or from a
+live ``add_subscription`` invalidating touched transitions — rebuilds only
+the automaton's lookup tables and leaves every open capture window, its
+shared region, and its buffered events untouched; the payload delivered at
+window close is byte-identical to an unflushed run.  Live *removals* never
+reach this layer at all: a retired subscription's matches are suppressed at
+emission time by the matcher's dropped sink, so no window is opened for
+them in the first place, and windows already open for surviving
+subscriptions keep their slices.
 """
 
 from __future__ import annotations

@@ -32,7 +32,7 @@ equality query by query.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from functools import cached_property
 from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple, Union as TypingUnion
 
@@ -52,9 +52,10 @@ from repro.streaming.delivery import (
 from repro.streaming.matcher import (
     Continuation,
     MatcherCore,
+    _DROPPED_SINK,
     _Sink,
 )
-from repro.streaming.stats import StreamStats
+from repro.streaming.stats import ChurnStats, StreamStats
 from repro.xmlmodel.events import Event
 from repro.xpath import analysis
 from repro.xpath.ast import (
@@ -146,6 +147,61 @@ def _build_trie(members_by_ordinal) -> _TrieNode:
         node.terminals.append(ordinal)
     root.seal()
     return root
+
+
+def _trie_insert(root: _TrieNode, ordinal: int, member: LocationPath) -> None:
+    """Thread one union member into a live (already sealed) trie.
+
+    The incremental mirror of :func:`_build_trie` + :meth:`_TrieNode.seal`:
+    the ``sub_ids`` sets along the branch and the root's reverse
+    ``nodes_by_ordinal`` index are updated in place, each node listed once
+    per ordinal exactly as ``seal`` would have it — the matcher's
+    branch-retirement countdowns depend on that invariant.
+    """
+    nodes = root.nodes_by_ordinal.setdefault(ordinal, [])
+    root.sub_ids = root.sub_ids | {ordinal}
+    node = root
+    for step in member.steps:
+        node = node.child(step)
+        if ordinal not in node.sub_ids:
+            node.sub_ids = node.sub_ids | {ordinal}
+            nodes.append(node)
+    node.terminals.append(ordinal)
+
+
+def _trie_remove(root: _TrieNode, ordinal: int,
+                 members: Sequence[LocationPath]) -> None:
+    """Unlink one subscription from a live trie, pruning emptied branches.
+
+    ``members`` are the union members the subscription may have threaded in
+    (members never inserted — e.g. automaton-served ones, for a fallback
+    trie — walk to a missing child and are skipped).  Pruning walks each
+    member's branch bottom-up and drops nodes that serve nobody, so a
+    churning index does not accrete dead steps between vacuums.
+    """
+    for node in root.nodes_by_ordinal.pop(ordinal, ()):
+        node.sub_ids = node.sub_ids - {ordinal}
+        while ordinal in node.terminals:
+            node.terminals.remove(ordinal)
+    root.sub_ids = root.sub_ids - {ordinal}
+    while ordinal in root.terminals:
+        # The path "/" terminates on the root itself (outside the reverse
+        # index, which only covers step nodes).
+        root.terminals.remove(ordinal)
+    for member in members:
+        chain = [root]
+        node = root
+        for step in member.steps:
+            node = node.children.get(step)
+            if node is None:
+                break
+            chain.append(node)
+        else:
+            for child, parent in zip(reversed(chain[1:]),
+                                     reversed(chain[:-1])):
+                if child.sub_ids or child.children:
+                    break
+                parent.children.pop(child.step, None)
 
 
 class _TrieContinuation(Continuation):
@@ -258,8 +314,17 @@ class MultiMatcher(MatcherCore):
     def __init__(self, subscriptions: Sequence[Subscription], trie: _TrieNode,
                  matches_only: bool = False, indexed: bool = True,
                  automaton: Optional[SubscriptionAutomaton] = None,
-                 delivery: Optional[Delivery] = None):
+                 delivery: Optional[Delivery] = None,
+                 index: Optional["SubscriptionIndex"] = None):
         super().__init__(indexed=indexed)
+        #: Live churn (see :meth:`sync`): the index this session serves, the
+        #: retired-ordinal set shared with it *by reference* (removals take
+        #: effect immediately, mid-document included), and the version /
+        #: generation snapshot the session was last synced to.
+        self._index = index
+        self._retired: set = index._retired if index is not None else set()
+        self._synced_version = index.version if index is not None else 0
+        self._generation = index.generation if index is not None else 0
         # The emission layer (see repro.streaming.delivery): what a decided
         # match delivers.  ``matches_only`` is the legacy spelling of the
         # verdict mode; ``resolve_delivery`` reconciles the two.
@@ -303,13 +368,9 @@ class MultiMatcher(MatcherCore):
             # count reaches zero.  Only the verdict-only mode ever satisfies
             # a result sink mid-stream, so the full-result mode skips the
             # bookkeeping entirely.
-            self._trie_unsatisfied: Dict[_TrieNode, int] = {}
             self._trie_watchers: Dict[_TrieNode, Dict[int, object]] = {}
-            stack = list(trie.children.values())
-            while stack:
-                node = stack.pop()
-                self._trie_unsatisfied[node] = len(node.sub_ids)
-                stack.extend(node.children.values())
+            self._seed_trie_counts()
+            self._seed_retired_verdicts()
         for subscription in self._subscriptions:
             self._register_absolute_subpaths(subscription.path)
 
@@ -319,7 +380,35 @@ class MultiMatcher(MatcherCore):
         return "dfa" if self._automaton is not None else "expectations"
 
     def _structural_sink(self, ordinal: int) -> _Sink:
+        # Live churn: the shared automaton may fire for ordinals this
+        # session retired (removals take effect immediately) or does not
+        # carry yet (adds take effect at the next document, after sync).
+        if ordinal in self._retired or ordinal >= len(self._sinks):
+            return _DROPPED_SINK
         return self._sinks[ordinal]
+
+    def _seed_trie_counts(self) -> None:
+        """(Re)build the verdict-mode branch countdowns from the live trie.
+
+        Runs at construction, on :meth:`reset` and on :meth:`sync` — the
+        trie is mutated in place by live churn, so the node set and each
+        node's ``sub_ids`` may have changed since the last seeding."""
+        counts: Dict[_TrieNode, int] = {}
+        stack = list(self._trie.children.values())
+        while stack:
+            node = stack.pop()
+            counts[node] = len(node.sub_ids)
+            stack.extend(node.children.values())
+        self._trie_unsatisfied = counts
+
+    def _seed_retired_verdicts(self) -> None:
+        """Count retired ordinals as settled so early termination still
+        fires: their sinks can never satisfy (every delivery is dropped),
+        and their trie branches are already unlinked, so no
+        :meth:`_retire_subscription` bookkeeping applies."""
+        self._satisfied.update(
+            ordinal for ordinal in self._retired
+            if ordinal < len(self._subscriptions))
 
     def dfa_state_count(self) -> int:
         """DFA states materialized in the shared automaton (0 for the
@@ -341,6 +430,11 @@ class MultiMatcher(MatcherCore):
         :class:`~repro.streaming.broker.DocumentBroker` session amortize the
         compiled index over a continuous feed of documents.
         """
+        if (self._index is not None
+                and self._index.generation != self._generation):
+            raise StreamingError(
+                "the subscription index was vacuumed (ordinals remapped); "
+                "build a fresh matcher")
         super().reset()
         for sink in self._sinks:
             sink.entries.clear()
@@ -350,9 +444,45 @@ class MultiMatcher(MatcherCore):
         self._payloads = {}
         self._emitted_captures = set()
         if self._matches_only:
-            for node in self._trie_unsatisfied:
-                self._trie_unsatisfied[node] = len(node.sub_ids)
+            self._seed_trie_counts()
             self._trie_watchers.clear()
+            self._seed_retired_verdicts()
+
+    def sync(self) -> None:
+        """Bring a live session up to its index's current subscription set.
+
+        The churn counterpart of :meth:`reset`, called *between* documents
+        (the broker's checkout does it whenever the index version moved):
+        appends sinks and per-subscription registries for every ordinal
+        added since the last sync and reseeds the verdict-mode branch
+        countdowns from the mutated trie.  Removals need no per-matcher
+        work — the retired set is shared by reference and consulted at
+        delivery time.  A vacuumed index (generation bump) cannot be synced
+        to: ordinals were remapped, build a fresh matcher.
+        """
+        index = self._index
+        if index is None:
+            raise StreamingError(
+                "this matcher was built without a SubscriptionIndex; "
+                "nothing to sync from")
+        if index.generation != self._generation:
+            raise StreamingError(
+                "the subscription index was vacuumed (ordinals remapped); "
+                "build a fresh matcher")
+        if index.version == self._synced_version:
+            return
+        subscriptions = index._subscriptions
+        sinks = self._sinks
+        for ordinal in range(len(sinks), len(subscriptions)):
+            sink = _Sink(exists_only=self._matches_only)
+            sinks.append(sink)
+            self._ordinal_by_sink[id(sink)] = ordinal
+            self._register_absolute_subpaths(subscriptions[ordinal].path)
+        self._subscriptions = tuple(subscriptions)
+        if self._matches_only:
+            self._seed_trie_counts()
+            self._seed_retired_verdicts()
+        self._synced_version = index.version
 
     def _should_halt(self) -> bool:
         """Early termination: in verdict-only mode, once every subscription
@@ -381,6 +511,11 @@ class MultiMatcher(MatcherCore):
         deferred to the end-of-event settlement pass (attribute-qualified
         match decided by the same StartElement).
         """
+        if ordinal in self._retired or ordinal >= len(self._sinks):
+            # Live churn: unsubscribed mid-feed (drop immediately), or a
+            # trie branch added mid-document for a subscription this
+            # session will only carry after its next sync.
+            return
         self.add_candidate(self._sinks[ordinal], node_id, depth, is_element,
                            value, conditions, collect_values=False)
 
@@ -392,6 +527,10 @@ class MultiMatcher(MatcherCore):
 
     def _emit_capture(self, capture) -> None:
         """Route one decided capture's payload bytes to its subscriber."""
+        if capture.ordinal in self._retired:
+            # Unsubscribed while the capture window was open (or before the
+            # deferred-capture drain): the payload is no longer owed.
+            return
         dedup = (capture.ordinal, capture.node_id)
         if dedup in self._emitted_captures:
             return
@@ -411,7 +550,8 @@ class MultiMatcher(MatcherCore):
         super()._sink_satisfied(sink)
         ordinal = self._ordinal_by_sink.get(id(sink))
         if (ordinal is not None and self._matches_only
-                and ordinal not in self._satisfied):
+                and ordinal not in self._satisfied
+                and ordinal not in self._retired):
             self._satisfied.add(ordinal)
             self._retire_subscription(ordinal)
 
@@ -433,7 +573,13 @@ class MultiMatcher(MatcherCore):
     def _retire_subscription(self, ordinal: int) -> None:
         """``ordinal`` just settled: retire branches it was the last user of."""
         for node in self._trie.nodes_by_ordinal.get(ordinal, ()):
-            remaining = self._trie_unsatisfied[node] - 1
+            count = self._trie_unsatisfied.get(node)
+            if count is None:
+                # Branch threaded in by live churn after the last seeding:
+                # it only serves next-document subscriptions, and retiring
+                # it on a stale countdown could silence survivors.
+                continue
+            remaining = count - 1
             self._trie_unsatisfied[node] = remaining
             if remaining == 0:
                 self._dead_trie_nodes.add(node)
@@ -456,6 +602,9 @@ class MultiMatcher(MatcherCore):
         results: List[SubscriptionResult] = []
         total = 0
         for subscription, sink in zip(self._subscriptions, self._sinks):
+            if subscription.ordinal in self._retired:
+                # Unsubscribed (possibly mid-document): no longer reported.
+                continue
             if self._matches_only:
                 # Verdict-only mode: ids of candidates that happened to be
                 # buffered before the verdict settled are not a full answer,
@@ -492,7 +641,29 @@ class SubscriptionIndex:
     share is parsed and rewritten exactly once.
 
     One index serves any number of documents: :meth:`matcher` hands out a
-    fresh single-pass :class:`MultiMatcher` over the shared, immutable trie.
+    fresh single-pass :class:`MultiMatcher` over the shared trie.
+
+    **Live churn.**  A production router cannot recompile the world when
+    one user subscribes or unsubscribes, so the shared structures are
+    mutated *incrementally* on a running index:
+
+    * :meth:`add_subscription` threads the new branches into the built
+      prefix/fallback tries in place and inserts the new NFA fragments into
+      the shared automaton with a *targeted* DFA invalidation (epoch bump
+      plus patching only the materialized states the fragments touch — see
+      :meth:`~repro.streaming.automaton.SubscriptionAutomaton.add_member`);
+    * :meth:`remove_subscription` is ordinal retirement: trie branches are
+      unlinked and pruned immediately, deliveries for the ordinal are
+      dropped at the sink boundary (live sessions included — the retired
+      set is shared by reference), and the automaton keeps the dead
+      fragments until :meth:`vacuum` compacts them away — automatically
+      once retired ordinals exceed ``vacuum_ratio`` of the index;
+    * running :class:`MultiMatcher` sessions resync between documents
+      (:meth:`MultiMatcher.sync`, driven by the :attr:`version` counter):
+      adds take effect at the session's next document, removals at once.
+
+    ``index.churn`` (:class:`~repro.streaming.stats.ChurnStats`) accounts
+    for all of it.
     """
 
     def __init__(self,
@@ -500,17 +671,31 @@ class SubscriptionIndex:
                                             Iterable[TypingUnion[str, PathExpr]]] = None,
                  ruleset: str = "ruleset2",
                  cache: Optional[QueryCache] = None,
-                 dfa_transition_cap: int = DEFAULT_TRANSITION_CAP):
+                 dfa_transition_cap: int = DEFAULT_TRANSITION_CAP,
+                 vacuum_ratio: float = 0.25):
         self._ruleset = ruleset
         self._cache = cache if cache is not None else default_cache()
         self._subscriptions: List[Subscription] = []
-        self._keys: set = set()
+        self._by_key: Dict[Hashable, Subscription] = {}
         self._trie: Optional[_TrieNode] = None
         self._dfa_transition_cap = dfa_transition_cap
         #: Lazily compiled DFA-backend parts: the shared automaton plus the
         #: trie over the members it cannot serve (see :meth:`matcher`).
         self._automaton_parts: Optional[
             Tuple[SubscriptionAutomaton, _TrieNode]] = None
+        #: Retired ordinals (removed subscriptions awaiting compaction).
+        #: Shared by reference with every matcher this index hands out, so
+        #: removal takes effect on live sessions immediately.
+        self._retired: set = set()
+        #: Retired fraction beyond which :meth:`remove_subscription` runs
+        #: the deferred compaction automatically.
+        self._vacuum_ratio = float(vacuum_ratio)
+        #: Bumped on every add/remove; sessions sync on mismatch.
+        self._version = 0
+        #: Bumped on every vacuum (ordinals remapped; sessions rebuild).
+        self._generation = 0
+        #: Lifetime churn accounting (see :class:`ChurnStats`).
+        self.churn = ChurnStats()
         if subscriptions is not None:
             self.add_many(subscriptions)
 
@@ -537,17 +722,27 @@ class SubscriptionIndex:
             # Default to the ordinal, skipping over any integers the caller
             # already used as explicit keys.
             key = ordinal
-            while key in self._keys:
+            while key in self._by_key:
                 key += 1
-        elif key in self._keys:
+        elif key in self._by_key:
             raise ValueError(f"duplicate subscription key {key!r}")
         source = query if isinstance(query, str) else to_string(query)
         subscription = Subscription(key=key, source=source, path=path,
                                     ordinal=ordinal)
         self._subscriptions.append(subscription)
-        self._keys.add(key)
-        self._trie = None  # rebuilt lazily
-        self._automaton_parts = None
+        self._by_key[key] = subscription
+        self._version += 1
+        # Structures not built yet stay lazy; built ones are updated
+        # *incrementally* — live churn never recompiles the world.
+        if self._trie is not None:
+            for member in iter_union_members(path):
+                if not isinstance(member, Bottom):
+                    _trie_insert(self._trie, ordinal, member)
+        if self._automaton_parts is not None:
+            automaton, fallback_trie = self._automaton_parts
+            for member in automaton.add_member(ordinal, path,
+                                               churn=self.churn):
+                _trie_insert(fallback_trie, ordinal, member)
         return subscription
 
     def add_many(self, subscriptions) -> List[Subscription]:
@@ -561,18 +756,123 @@ class SubscriptionIndex:
                 added.append(self.add(query))
         return added
 
+    # -- live churn --------------------------------------------------------
+    def add_subscription(self, key: Hashable,
+                         query: TypingUnion[str, PathExpr]) -> Subscription:
+        """Live churn: register one subscription on a *running* index.
+
+        Exactly :meth:`add` with the key required up front (a pub/sub
+        server always has a subscriber identity), counted in :attr:`churn`.
+        Built structures are updated incrementally — prefix/fallback trie
+        branches threaded in place, NFA fragments inserted with a targeted
+        DFA invalidation — and live sessions pick the addition up at their
+        next document (:meth:`MultiMatcher.sync`, which the broker's
+        checkout drives off the :attr:`version` counter).
+        """
+        subscription = self.add(query, key=key)
+        self.churn.subscriptions_added += 1
+        return subscription
+
+    def remove_subscription(self, key: Hashable) -> Subscription:
+        """Live churn: drop one subscription from a running index.
+
+        Removal is *ordinal retirement*: the slot stays (ordinals of the
+        survivors are untouched, so no session rebuild), its trie branches
+        are unlinked and pruned in place, and every delivery for the
+        ordinal is dropped at the sink boundary — including by live
+        sessions mid-document, which share the retired set by reference.
+        The shared automaton keeps the now-dead NFA fragments; once retired
+        ordinals exceed ``vacuum_ratio`` of the index, :meth:`vacuum`
+        compacts them away automatically.  The key is freed for
+        re-registration immediately (the re-add gets a fresh ordinal).
+        Raises :class:`KeyError` for an unknown key.
+        """
+        try:
+            subscription = self._by_key.pop(key)
+        except KeyError:
+            raise KeyError(f"no subscription with key {key!r}") from None
+        ordinal = subscription.ordinal
+        self._retired.add(ordinal)
+        self._version += 1
+        members = [member
+                   for member in iter_union_members(subscription.path)
+                   if not isinstance(member, Bottom)]
+        if self._trie is not None:
+            _trie_remove(self._trie, ordinal, members)
+        if self._automaton_parts is not None:
+            # Only the fallback members ever reached this trie; the others
+            # walk to a missing child and are skipped.
+            _trie_remove(self._automaton_parts[1], ordinal, members)
+        self.churn.subscriptions_removed += 1
+        if len(self._retired) > self._vacuum_ratio * len(self._subscriptions):
+            self.vacuum()
+        return subscription
+
+    def vacuum(self) -> int:
+        """Deferred compaction: rebuild without the retired ordinals.
+
+        Survivor ordinals are remapped to close the gaps and the trie /
+        automaton are dropped for lazy recompilation, so the shared NFA
+        sheds the dead fragments removal left behind.  Runs automatically
+        from :meth:`remove_subscription` past ``vacuum_ratio``; callable
+        explicitly (e.g. in a maintenance window).  Existing sessions are
+        invalidated by the generation bump — the broker builds a fresh one
+        at its next checkout — but keep their own pre-vacuum view (retired
+        set included: it is re-bound here, never cleared in place) for any
+        document in flight.  Returns the number of ordinals reclaimed.
+        """
+        if not self._retired:
+            return 0
+        retired = self._retired
+        reclaimed = len(retired)
+        self._subscriptions = [
+            replace(subscription, ordinal=position)
+            for position, subscription in enumerate(
+                subscription for subscription in self._subscriptions
+                if subscription.ordinal not in retired)]
+        self._by_key = {subscription.key: subscription
+                        for subscription in self._subscriptions}
+        self._retired = set()
+        self._trie = None
+        self._automaton_parts = None
+        self._generation += 1
+        self._version += 1
+        self.churn.vacuum_runs += 1
+        return reclaimed
+
+    @property
+    def version(self) -> int:
+        """Bumped on every add/remove; sessions sync on mismatch."""
+        return self._version
+
+    @property
+    def generation(self) -> int:
+        """Bumped on every vacuum; stale sessions must be rebuilt."""
+        return self._generation
+
+    @property
+    def retired_count(self) -> int:
+        """Removed subscriptions awaiting compaction (see :meth:`vacuum`)."""
+        return len(self._retired)
+
     @property
     def subscriptions(self) -> Tuple[Subscription, ...]:
-        return tuple(self._subscriptions)
+        """The live subscriptions (retired ordinals are not listed)."""
+        if not self._retired:
+            return tuple(self._subscriptions)
+        return tuple(subscription for subscription in self._subscriptions
+                     if subscription.ordinal not in self._retired)
 
     def __len__(self) -> int:
-        return len(self._subscriptions)
+        return len(self._subscriptions) - len(self._retired)
 
     def _built_trie(self) -> _TrieNode:
         if self._trie is None:
+            retired = self._retired
             self._trie = _build_trie(
                 (subscription.ordinal, member)
                 for subscription in self._subscriptions
+                if subscription.ordinal not in retired
                 for member in iter_union_members(subscription.path)
                 if not isinstance(member, Bottom))
         return self._trie
@@ -586,9 +886,11 @@ class SubscriptionIndex:
         is shared by every matcher this index hands out.
         """
         if self._automaton_parts is None:
+            retired = self._retired
             automaton, fallback = compile_subscription_automaton(
                 [(subscription.ordinal, subscription.path)
-                 for subscription in self._subscriptions],
+                 for subscription in self._subscriptions
+                 if subscription.ordinal not in retired],
                 transition_cap=self._dfa_transition_cap)
             fallback_trie = _build_trie(
                 (ordinal, member)
@@ -605,7 +907,7 @@ class SubscriptionIndex:
         walks instead of ``spine_steps`` independent ones.
         """
         summary = analysis.prefix_sharing_summary(
-            subscription.path for subscription in self._subscriptions)
+            subscription.path for subscription in self.subscriptions)
         summary["trie_nodes_built"] = self._built_trie().node_count()
         return summary
 
@@ -633,10 +935,11 @@ class SubscriptionIndex:
             automaton, fallback_trie = self._built_automaton()
             return MultiMatcher(self._subscriptions, fallback_trie,
                                 matches_only=matches_only, indexed=indexed,
-                                automaton=automaton, delivery=delivery)
+                                automaton=automaton, delivery=delivery,
+                                index=self)
         return MultiMatcher(self._subscriptions, self._built_trie(),
                             matches_only=matches_only, indexed=indexed,
-                            delivery=delivery)
+                            delivery=delivery, index=self)
 
     def evaluate(self, events: Iterable[Event],
                  matches_only: bool = False,

@@ -176,6 +176,17 @@ class _Sink:
         return self.satisfied or bool(self.surviving())
 
 
+#: Shared terminal sink for deliveries that must be dropped on the floor:
+#: retired (unsubscribed) ordinals, and ordinals a live session does not
+#: carry yet because the subscription was added mid-document (live churn —
+#: see :meth:`repro.streaming.engine.MultiMatcher.sync`).  Permanently
+#: satisfied and exists-only, so :meth:`_Sink.add` rejects every entry in
+#: O(1), qualifier gates skip it, and no capture claim can attach (it is
+#: registered in no ordinal map).
+_DROPPED_SINK = _Sink(exists_only=True)
+_DROPPED_SINK.satisfied = True
+
+
 class _Condition:
     """Base class of deferred boolean conditions."""
 

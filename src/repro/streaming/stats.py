@@ -115,3 +115,47 @@ class StreamStats:
             "subtrees_emitted": self.subtrees_emitted,
             "bytes_emitted": self.bytes_emitted,
         }
+
+
+@dataclass
+class ChurnStats:
+    """Accounting of live subscription churn on a
+    :class:`~repro.streaming.engine.SubscriptionIndex`.
+
+    One instance lives on the index (``index.churn``) for the index's whole
+    lifetime — unlike the per-run :class:`StreamStats`, these counters
+    accumulate across documents and matchers.  The acceptance contract of
+    live churn is asserted against them: below the documented thresholds an
+    add costs one *targeted* invalidation (never a full flush) and a remove
+    costs no recompilation at all (``vacuum_runs`` stays flat until the
+    retired ratio is crossed).
+    """
+
+    #: Subscriptions added to / removed from a live index through the churn
+    #: API (:meth:`~repro.streaming.engine.SubscriptionIndex.add_subscription`
+    #: / ``remove_subscription``).  Bulk registration before the first
+    #: matcher is built is not churn and is not counted.
+    subscriptions_added: int = 0
+    subscriptions_removed: int = 0
+    #: Targeted DFA invalidations: an incremental NFA insertion bumped the
+    #: epoch and dropped only the cached transitions whose NFA-state sets
+    #: intersect the touched fragments, keeping every materialized DFA state
+    #: (and the ids live runs hold) intact.
+    targeted_flushes: int = 0
+    #: Incremental insertions that fell back to the wholesale flush because
+    #: the touched fragments reached too many materialized states (see
+    #: ``TARGETED_FLUSH_RATIO`` in :mod:`repro.streaming.automaton`).
+    full_flushes: int = 0
+    #: Deferred compactions: the index rebuilt its structures to reclaim
+    #: retired ordinals once they exceeded the ``vacuum_ratio``.
+    vacuum_runs: int = 0
+
+    def as_row(self) -> dict:
+        """Flat dictionary used by the benchmark reports."""
+        return {
+            "subscriptions_added": self.subscriptions_added,
+            "subscriptions_removed": self.subscriptions_removed,
+            "targeted_flushes": self.targeted_flushes,
+            "full_flushes": self.full_flushes,
+            "vacuum_runs": self.vacuum_runs,
+        }

@@ -328,6 +328,16 @@ class PushTokenizer:
             return
         raw = "".join(self._raw_parts)
         self._raw_parts.clear()
+        bad = raw.find("]]>")
+        if bad != -1:
+            # XML 1.0 §2.4: "]]>" must not appear in character data except
+            # closing a CDATA section (escape it as "]]&gt;").  Checked on
+            # the raw run before entity decoding — "&#93;&#93;&gt;" stays
+            # legal — and after joining, so a "]]"/">" chunk split cannot
+            # slip through.  The expat front end rejects this; accepting it
+            # here would silently diverge the two tokenizers.
+            raise XMLSyntaxError("']]>' not allowed in character data",
+                                 self._raw_start + bad)
         self._pending_text.append(_decode_entities(raw, self._raw_start))
 
     def _flush_pending(self, events: List[Event]) -> None:

@@ -593,7 +593,11 @@ def prefix_sharing_summary(paths: Iterable[PathExpr]) -> dict:
     distinct step prefixes (the node count of a prefix trie over the batch),
     and the number of steps saved by sharing.  Used by
     :class:`repro.streaming.engine.SubscriptionIndex` to report how much
-    per-event work the shared trie avoids.
+    per-event work the shared trie avoids.  Under live churn the index
+    feeds this the *surviving* subscriptions only, so the ratio always
+    describes the set actually being matched — retired ordinals awaiting
+    ``vacuum()`` contribute nothing, even though their trie nodes linger
+    until compaction.
     """
     total_steps = 0
     prefixes = set()

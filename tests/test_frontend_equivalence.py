@@ -177,3 +177,63 @@ class TestCDATARepro:
         from repro.errors import XMLSyntaxError
         with pytest.raises(XMLSyntaxError):
             list(iter_events("<a><![CDATA[oops</a>"))
+
+
+class TestBareCDEndRepro:
+    """Repro: a bare ``]]>`` in character data is not well formed.
+
+    XML 1.0 §2.4 forbids the CDATA-section close delimiter in character
+    data; expat rejects it, and the hand tokenizer used to accept it —
+    silently diverging the two front ends on what is well formed.
+    """
+
+    def test_bare_cdend_rejected(self):
+        from repro.errors import XMLSyntaxError
+        with pytest.raises(XMLSyntaxError):
+            list(iter_events("<a>x ]]> y</a>"))
+
+    def test_sax_agrees_it_is_rejected(self):
+        from repro.errors import XMLSyntaxError
+        with pytest.raises(XMLSyntaxError):
+            list(iter_events_sax("<a>x ]]> y</a>"))
+
+    def test_cdend_split_across_chunks_rejected(self):
+        from repro.errors import XMLSyntaxError
+        from repro.xmlmodel.parser import PushTokenizer
+        tokenizer = PushTokenizer()
+        tokenizer.feed("<a>x ]]")
+        with pytest.raises(XMLSyntaxError):
+            tokenizer.feed("> y</a>")
+            tokenizer.close()
+
+    def test_cdend_in_trailing_text_rejected_at_close(self):
+        from repro.errors import XMLSyntaxError
+        from repro.xmlmodel.parser import PushTokenizer
+        tokenizer = PushTokenizer()
+        tokenizer.feed("<a>x ]]>")
+        with pytest.raises(XMLSyntaxError):
+            tokenizer.close()
+
+    def test_character_reference_form_stays_legal(self):
+        # The check runs before entity decoding: the escaped spelling must
+        # keep producing a literal "]]>" in the text value, as expat does.
+        from repro.xmlmodel.events import Text
+        xml = "<a>x &#93;&#93;&gt; y</a>"
+        texts = [e for e in iter_events(xml) if isinstance(e, Text)]
+        assert [t.value for t in texts] == ["x ]]> y"]
+        assert list(iter_events(xml)) == list(iter_events_sax(xml))
+
+    def test_cdata_section_split_form_stays_legal(self):
+        # The classic escape: close the CDATA section between the brackets.
+        from repro.xmlmodel.events import Text
+        xml = "<a><![CDATA[x ]]]]><![CDATA[> y]]></a>"
+        texts = [e for e in iter_events(xml) if isinstance(e, Text)]
+        assert [t.value for t in texts] == ["x ]]> y"]
+        assert list(iter_events(xml)) == list(iter_events_sax(xml))
+
+    def test_brackets_without_gt_stay_legal(self):
+        from repro.xmlmodel.events import Text
+        xml = "<a>m[i][j] = a[]]</a>"
+        texts = [e for e in iter_events(xml) if isinstance(e, Text)]
+        assert [t.value for t in texts] == ["m[i][j] = a[]]"]
+        assert list(iter_events(xml)) == list(iter_events_sax(xml))

@@ -227,7 +227,127 @@ class TestSessionReuse:
         assert result["names"].matched
 
 
+class TestLiveChurn:
+    """subscribe/unsubscribe on a running broker, between submits."""
+
+    DOC = "<journal><name>n</name><title>t</title></journal>"
+
+    def test_subscribe_takes_effect_next_submit(self, backend):
+        broker = DocumentBroker({"names": "/descendant::name"},
+                                backend=backend)
+        broker.submit("a", self.DOC)
+        session = broker.session
+        broker.subscribe("titles", "/descendant::title")
+        result = broker.submit("b", self.DOC)
+        assert result["titles"].matched
+        assert result["names"].matched
+        # The session was extended incrementally, not rebuilt.
+        assert broker.session is session
+
+    def test_unsubscribe_stops_deliveries(self, backend):
+        broker = DocumentBroker(dict(SUBSCRIPTIONS), backend=backend)
+        before = broker.submit("a", self.DOC)
+        assert before["names"].matched
+        broker.unsubscribe("names")
+        after = broker.submit("b", self.DOC)
+        with pytest.raises(KeyError):
+            after["names"]
+        assert "names" not in after.matching_keys
+        assert after["joined"].matched == before["joined"].matched
+
+    def test_unsubscribe_unknown_key_raises(self):
+        broker = DocumentBroker({"names": "/descendant::name"})
+        with pytest.raises(KeyError):
+            broker.unsubscribe("nope")
+
+    def test_churn_on_shared_index_is_allowed(self, backend):
+        # Unlike add(), live churn is version-checked: every broker on the
+        # shared index syncs at its own next submit.
+        index = SubscriptionIndex({"names": "/descendant::name"})
+        first = DocumentBroker(index, backend=backend)
+        second = DocumentBroker(index, backend=backend)
+        first.submit("a", self.DOC)
+        second.submit("a", self.DOC)
+        first.subscribe("titles", "/descendant::title")
+        assert second.submit("b", self.DOC)["titles"].matched
+        assert first.submit("b", self.DOC)["titles"].matched
+
+    def test_vacuum_forces_a_fresh_session(self, backend):
+        broker = DocumentBroker(dict(SUBSCRIPTIONS), backend=backend)
+        broker.submit("a", self.DOC)
+        session = broker.session
+        removed = [key for key in list(SUBSCRIPTIONS) if key != "names"]
+        for key in removed:
+            broker.unsubscribe(key)
+        assert broker.index.churn.vacuum_runs > 0
+        result = broker.submit("b", self.DOC)
+        assert broker.session is not session
+        assert result.matching_keys == ["names"]
+
+    @pytest.mark.parametrize("mode", ["verdicts", "ids", "substream"])
+    def test_churn_across_delivery_modes(self, backend, mode):
+        from repro.streaming.delivery import SubstreamDelivery
+        kwargs = {"backend": backend}
+        if mode == "verdicts":
+            kwargs["matches_only"] = True
+        elif mode == "substream":
+            kwargs["delivery"] = SubstreamDelivery()
+        broker = DocumentBroker({"names": "/descendant::name"}, **kwargs)
+        broker.submit("a", self.DOC)
+        broker.subscribe("titles", "/descendant::title")
+        broker.unsubscribe("names")
+        result = broker.submit("b", self.DOC)
+        assert result.matching_keys == ["titles"]
+        if mode == "substream":
+            assert b"<title>" in result["titles"].payload
+
+    def test_remove_then_readd_same_key(self, backend):
+        broker = DocumentBroker({"k": "/descendant::name"}, backend=backend)
+        assert broker.submit("a", self.DOC)["k"].matched
+        broker.unsubscribe("k")
+        broker.subscribe("k", "/descendant::title")
+        result = broker.submit("b", self.DOC)
+        assert result["k"].matched
+        assert result["k"].query == "/descendant::title"
+
+
 class TestAccounting:
+    def test_failed_submit_leaves_aggregates_untouched(self, backend):
+        # A failed document's partial work — chunks fed, events consumed,
+        # subtrees/bytes emitted — must not fold into the aggregates or the
+        # history: nothing was served to anyone.
+        import dataclasses
+
+        broker = DocumentBroker(SUBSCRIPTIONS, backend=backend)
+        good = to_xml(journal_document(journals=2, articles_per_journal=2,
+                                       authors_per_article=2, seed=6),
+                      indent=0)
+        broker.submit("warmup", _chunked(good, 32))
+        snapshot = dataclasses.replace(broker.stats)
+        history = broker.history
+        bad = good[:len(good) // 2] + "<&broken"
+        with pytest.raises(XMLSyntaxError):
+            broker.submit("bad", _chunked(bad, 16))
+        assert broker.stats == snapshot
+        assert broker.history == history
+
+    def test_failed_substream_submit_leaves_aggregates_untouched(self):
+        # Substream mode is the sharpest case: the dead document may have
+        # emitted payload subtrees before the error.
+        import dataclasses
+
+        from repro.streaming.delivery import SubstreamDelivery
+
+        broker = DocumentBroker({"names": "/descendant::name"},
+                                delivery=SubstreamDelivery())
+        broker.submit("warmup", "<journal><name>n</name></journal>")
+        snapshot = dataclasses.replace(broker.stats)
+        # The <name> subtree closes (payload emitted) before the error.
+        with pytest.raises(XMLSyntaxError):
+            broker.submit("bad", "<journal><name>n</name><&broken")
+        assert broker.stats == snapshot
+        assert broker.stats.subtrees_emitted == snapshot.subtrees_emitted
+
     def test_aggregate_stats_accumulate(self):
         broker = DocumentBroker(SUBSCRIPTIONS)
         total_events = 0

@@ -258,6 +258,67 @@ class TestSubstreamEvaluation:
         assert second.stats.subtrees_emitted == 1
 
 
+class TestFlushMidCapture:
+    """A DFA cache flush (epoch bump) while a capture window is open must
+    preserve the open ``SubtreeTee`` region across the state-stack resync:
+    the tee is matcher state, and the resync rebuilds only automaton state.
+    """
+
+    N_TAGS = 120  # enough distinct tags to overflow the floor state cap
+
+    def _workload(self):
+        xml = ("<root><wrap>"
+               + "".join(f"<t{i}>x{i}</t{i}>" for i in range(self.N_TAGS))
+               + "</wrap></root>")
+        from repro.xmlmodel.parser import iter_events
+        events = list(iter_events(xml))
+        subscriptions = {f"s{i}": f"//t{i}" for i in range(self.N_TAGS)}
+        # The ancestor capture: its window spans every flush below.
+        subscriptions["wrap"] = "//wrap"
+        return events, subscriptions
+
+    def _run(self, events, subscriptions, backend, cap=None):
+        kwargs = {} if cap is None else {"dfa_transition_cap": cap}
+        index = SubscriptionIndex(subscriptions, **kwargs)
+        return index.evaluate(events, backend=backend,
+                              delivery=SubstreamDelivery())
+
+    def test_payload_identical_across_forced_flushes(self):
+        events, subscriptions = self._workload()
+        flushed = self._run(events, subscriptions, "dfa", cap=2)
+        # The tiny cap really did force wholesale flushes mid-document,
+        # i.e. while <wrap>'s capture region was open.
+        assert flushed.stats.transition_cache_flushed > 0
+        for reference_backend, cap in (("dfa", None), ("expectations", None)):
+            reference = self._run(events, subscriptions,
+                                  reference_backend, cap=cap)
+            assert reference.stats.transition_cache_flushed == 0
+            assert flushed["wrap"].payload == reference["wrap"].payload
+            for i in (0, self.N_TAGS // 2, self.N_TAGS - 1):
+                assert (flushed[f"s{i}"].payload
+                        == reference[f"s{i}"].payload), i
+
+    def test_payload_matches_independent_serialization(self):
+        events, subscriptions = self._workload()
+        flushed = self._run(events, subscriptions, "dfa", cap=2)
+        assert flushed["wrap"].payload == _expected_payload(
+            events, flushed["wrap"].node_ids)
+
+    def test_targeted_invalidation_mid_capture(self):
+        # Live churn's targeted invalidation is the other epoch-bump
+        # source; an open capture must survive it just the same.  Pinned
+        # to the dfa backend: only the automaton has a cache to flush.
+        events, subscriptions = self._workload()
+        index = SubscriptionIndex(subscriptions)
+        baseline = index.evaluate(events, backend="dfa",
+                                  delivery=SubstreamDelivery())
+        index.add_subscription("late", "//t0/inner")
+        assert index.churn.targeted_flushes > 0
+        after = index.evaluate(events, backend="dfa",
+                               delivery=SubstreamDelivery())
+        assert after["wrap"].payload == baseline["wrap"].payload
+
+
 class TestVerdictDelivery:
     @pytest.mark.parametrize("backend", BACKENDS)
     def test_equivalent_to_matches_only(self, backend):
